@@ -1,0 +1,225 @@
+//! Criterion microbenchmarks of the simulation kernels: the executor, the
+//! cache hierarchy, k-means clustering, and the end-to-end pipeline at a
+//! reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion, Throughput};
+use sampsim_cache::{configs, Hierarchy};
+use sampsim_core::{PinPointsConfig, Pipeline};
+use sampsim_pin::engine;
+use sampsim_pin::tools::CacheSim;
+use sampsim_simpoint::kmeans::kmeans;
+use sampsim_simpoint::SimPointOptions;
+use sampsim_uarch::{CoreConfig, Sniper};
+use sampsim_util::rng::Xoshiro256StarStar;
+use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+use sampsim_workload::{Executor, Program};
+
+fn workload(insts: u64) -> Program {
+    WorkloadSpec::builder("bench", 1)
+        .total_insts(insts)
+        .phase(PhaseSpec::balanced(1.0))
+        .phase(PhaseSpec::memory_bound(1.0))
+        .build()
+        .build()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let p = workload(200_000);
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(p.total_insts()));
+    g.bench_function("retire_stream", |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(&p);
+            let mut sum = 0u64;
+            while let Some(i) = exec.next_inst() {
+                sum ^= i.addr;
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let p = workload(100_000);
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(p.total_insts()));
+    for (label, cfg) in [
+        ("allcache_table1", configs::allcache_table1()),
+        ("i7_table3", configs::i7_table3()),
+    ] {
+        g.bench_with_input(CriterionId::new("hierarchy", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut exec = Executor::new(&p);
+                let mut cs = CacheSim::new(*cfg);
+                engine::run_one(&mut exec, u64::MAX, &mut cs);
+                cs.stats().l3.misses
+            })
+        });
+    }
+    g.bench_function("raw_accesses", |b| {
+        let mut h = Hierarchy::new(configs::allcache_table1());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        b.iter(|| {
+            let mut last = sampsim_cache::Level::Mem;
+            for _ in 0..10_000 {
+                last = h.access_data(rng.next_below(1 << 24), false);
+            }
+            last
+        })
+    });
+    g.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let p = workload(100_000);
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(p.total_insts()));
+    g.bench_function("sniper_interval_model", |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(&p);
+            let mut sim = Sniper::new(CoreConfig::table3(), configs::i7_table3());
+            engine::run_one(&mut exec, u64::MAX, &mut sim);
+            sim.stats().cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+    let n = 2_000;
+    let dim = 15;
+    let data: Vec<f64> = (0..n * dim)
+        .map(|i| rng.next_f64() + f64::from((i % 7 == 0) as u8))
+        .collect();
+    let mut g = c.benchmark_group("kmeans");
+    for k in [5usize, 20] {
+        g.bench_with_input(CriterionId::new("lloyd", k), &k, |b, &k| {
+            b.iter(|| kmeans(&data, n, dim, k, 30, 1).inertia)
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let p = workload(300_000);
+    let config = PinPointsConfig {
+        slice_size: 1_000,
+        simpoint: SimPointOptions {
+            max_k: 10,
+            ..Default::default()
+        },
+        warmup_slices: 5,
+        profile_cache: None,
+    };
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("end_to_end_300k", |b| {
+        b.iter(|| Pipeline::new(config.clone()).run(&p).unwrap().regional.len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_cache,
+    bench_timing,
+    bench_kmeans,
+    bench_pipeline
+);
+
+
+// Additional kernels appended after the initial release: predictors, the
+// projection front end, and the checkpoint codec.
+
+fn bench_bpred(c: &mut Criterion) {
+    use sampsim_uarch::bpred_zoo::{Bimodal, Gshare, Predictor, Tournament, TwoLevelLocal};
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    let outcomes: Vec<(u64, bool)> = (0..50_000)
+        .map(|i| ((0x400 + (i % 64) * 64) as u64, rng.chance(0.8)))
+        .collect();
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(outcomes.len() as u64));
+    g.bench_function("gshare", |b| {
+        b.iter(|| {
+            let mut p = Gshare::typical();
+            for &(pc, t) in &outcomes {
+                p.predict_and_update(pc, t);
+            }
+            p.stats().mispredicts
+        })
+    });
+    g.bench_function("bimodal", |b| {
+        b.iter(|| {
+            let mut p = Bimodal::new(12);
+            for &(pc, t) in &outcomes {
+                p.predict_and_update(pc, t);
+            }
+            p.stats().mispredicts
+        })
+    });
+    g.bench_function("two_level_local", |b| {
+        b.iter(|| {
+            let mut p = TwoLevelLocal::new(10, 10);
+            for &(pc, t) in &outcomes {
+                p.predict_and_update(pc, t);
+            }
+            p.stats().mispredicts
+        })
+    });
+    g.bench_function("tournament", |b| {
+        b.iter(|| {
+            let mut p = Tournament::new();
+            for &(pc, t) in &outcomes {
+                p.predict_and_update(pc, t);
+            }
+            p.stats().mispredicts
+        })
+    });
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    use sampsim_simpoint::bbv::Bbv;
+    use sampsim_simpoint::project::RandomProjection;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+    let bbvs: Vec<Bbv> = (0..500)
+        .map(|_| {
+            let mut counts: Vec<(u32, u32)> = (0..12)
+                .map(|_| (rng.next_below(400) as u32, 1 + rng.next_below(900) as u32))
+                .collect();
+            counts.sort_by_key(|&(b, _)| b);
+            counts.dedup_by_key(|&mut (b, _)| b);
+            Bbv::from_counts(counts).normalized()
+        })
+        .collect();
+    let projection = RandomProjection::new(15, 7);
+    let mut g = c.benchmark_group("projection");
+    g.throughput(Throughput::Elements(bbvs.len() as u64));
+    g.bench_function("project_500_bbvs", |b| {
+        b.iter(|| projection.project_all(&bbvs).len())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use sampsim_util::codec;
+    use sampsim_workload::Cursor;
+    let p = workload(10_000);
+    let mut exec = Executor::new(&p);
+    exec.skip(5_000);
+    let cursor = exec.cursor();
+    let bytes = codec::to_bytes(&cursor);
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("cursor_encode", |b| b.iter(|| codec::to_bytes(&cursor).len()));
+    g.bench_function("cursor_decode", |b| {
+        b.iter(|| codec::from_bytes::<Cursor>(&bytes).unwrap().retired)
+    });
+    g.finish();
+}
+
+criterion_group!(extra, bench_bpred, bench_projection, bench_codec);
+
+criterion_main!(benches, extra);

@@ -1,0 +1,67 @@
+//! Fig. 3(a) — MaxK sensitivity for `623.xalancbmk_s`.
+//!
+//! Sweeps the maximum cluster count {15, 20, 25, 30, 35} at the default
+//! slice size and compares the sampled instruction distribution and cache
+//! miss rates (Table I hierarchy) against the full run.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_core::bench_result::StudyConfig;
+use sampsim_core::experiments::maxk_sweep;
+use sampsim_spec2017::BenchmarkId;
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let maxks = [15usize, 20, 25, 30, 35];
+    let result = unwrap_or_die(maxk_sweep(
+        BenchmarkId::XalancbmkS,
+        &maxks,
+        cli.scale,
+        &StudyConfig::default(),
+    ));
+    let mut table = Table::new(vec![
+        "Config".into(),
+        "Points".into(),
+        "NO_MEM%".into(),
+        "MEM_R%".into(),
+        "MEM_W%".into(),
+        "MEM_RW%".into(),
+        "L1D mr%".into(),
+        "L2 mr%".into(),
+        "L3 mr%".into(),
+    ]);
+    table.title(format!(
+        "Fig 3(a): MaxK sensitivity, {} (slice = default, Table I caches)",
+        result.name
+    ));
+    let whole_mr = result.whole.miss_rates.expect("whole cache stats");
+    table.row(vec![
+        "Full Run".into(),
+        "-".into(),
+        fmt_f(result.whole.mix_pct[0], 2),
+        fmt_f(result.whole.mix_pct[1], 2),
+        fmt_f(result.whole.mix_pct[2], 2),
+        fmt_f(result.whole.mix_pct[3], 2),
+        fmt_f(whole_mr.l1d, 3),
+        fmt_f(whole_mr.l2, 3),
+        fmt_f(whole_mr.l3, 3),
+    ]);
+    for row in &result.rows {
+        table.row(vec![
+            format!("MaxK={}", row.param),
+            row.num_points.to_string(),
+            fmt_f(row.mix_pct[0], 2),
+            fmt_f(row.mix_pct[1], 2),
+            fmt_f(row.mix_pct[2], 2),
+            fmt_f(row.mix_pct[3], 2),
+            fmt_f(row.miss_rates.l1d, 3),
+            fmt_f(row.miss_rates.l2, 3),
+            fmt_f(row.miss_rates.l3, 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(paper: small MaxK shows significant instruction-distribution variation; \
+         >=35 clusters capture all phases)"
+    );
+}

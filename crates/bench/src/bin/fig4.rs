@@ -1,0 +1,54 @@
+//! Fig. 4 — average intra-cluster variance vs number of clusters, per
+//! benchmark.
+//!
+//! Forcing a low cluster count makes distinct phases share clusters at the
+//! expense of accuracy; variance falls as the cluster budget grows.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    let ks: Vec<usize> = results
+        .first()
+        .map(|r| r.cluster_variance.iter().map(|&(k, _)| k).collect())
+        .unwrap_or_default();
+    let mut headers = vec!["Benchmark".into()];
+    headers.extend(ks.iter().map(|k| format!("k={k}")));
+    let mut table = Table::new(headers);
+    table.title("Fig 4: average intra-cluster variance vs available clusters");
+    for r in &results {
+        let mut row = vec![r.name.clone()];
+        for &k in &ks {
+            let v = r
+                .cluster_variance
+                .iter()
+                .find(|&&(kk, _)| kk == k)
+                .map(|&(_, v)| v);
+            row.push(match v {
+                Some(v) => fmt_f(v * 1e3, 3), // scaled for readability
+                None => "-".into(),
+            });
+        }
+        table.row(row);
+    }
+    table.print();
+    // Suite-average trend (log-ish shape is the message).
+    let avg: Vec<f64> = ks
+        .iter()
+        .map(|&k| {
+            let (sum, n) = results.iter().fold((0.0, 0u32), |(s, n), r| {
+                match r.cluster_variance.iter().find(|&&(kk, _)| kk == k) {
+                    Some(&(_, v)) => (s + v * 1e3, n + 1),
+                    None => (s, n),
+                }
+            });
+            if n == 0 { 0.0 } else { sum / f64::from(n) }
+        })
+        .collect();
+    println!("\nsuite-average variance (x1e3) vs cluster budget ({:?}):\n", ks);
+    print!("{}", sampsim_util::plot::line_chart(&[("avg variance", &avg)], 8));
+    println!("\n(values are mean squared distance to centroid x1e3 in projected BBV space;");
+    println!(" paper: variance grows as the number of available clusters decreases)");
+}

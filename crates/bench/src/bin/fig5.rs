@@ -1,0 +1,83 @@
+//! Fig. 5 — dynamic instruction count and execution time of Whole,
+//! Regional and Reduced Regional runs.
+//!
+//! The paper's headline reductions: ~650× fewer instructions / ~750× less
+//! time for Regional runs, ~1225× / ~1297× for Reduced Regional runs.
+
+use sampsim_bench::{geo_mean, unwrap_or_die, Cli};
+use sampsim_util::stats::with_commas;
+use sampsim_util::table::{fmt_f, fmt_x, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    let mut table = Table::new(vec![
+        "Benchmark".into(),
+        "Whole insts".into(),
+        "Regional insts".into(),
+        "Reduced insts".into(),
+        "Instr red.".into(),
+        "Red. red.".into(),
+        "Whole s".into(),
+        "Regional s".into(),
+        "Reduced s".into(),
+    ]);
+    table.title("Fig 5: dynamic instruction count and execution time per run kind");
+    let (mut w_i, mut r_i, mut d_i) = (0u64, 0u64, 0u64);
+    let (mut w_t, mut r_t, mut d_t) = (0.0f64, 0.0f64, 0.0f64);
+    let mut instr_factors = Vec::new();
+    let mut reduced_factors = Vec::new();
+    for r in &results {
+        let regional = r.regional_aggregate();
+        let reduced = r.reduced_aggregate(0.9);
+        let whole_insts = r.whole.instructions;
+        let reg_insts = regional.total_instructions;
+        let red_insts = reduced.total_instructions;
+        w_i += whole_insts;
+        r_i += reg_insts;
+        d_i += red_insts;
+        w_t += r.whole.wall_seconds;
+        r_t += regional.total_wall_seconds;
+        d_t += reduced.total_wall_seconds;
+        let f_reg = whole_insts as f64 / reg_insts as f64;
+        let f_red = whole_insts as f64 / red_insts as f64;
+        instr_factors.push(f_reg);
+        reduced_factors.push(f_red);
+        table.row(vec![
+            r.name.clone(),
+            with_commas(whole_insts),
+            with_commas(reg_insts),
+            with_commas(red_insts),
+            fmt_x(f_reg),
+            fmt_x(f_red),
+            fmt_f(r.whole.wall_seconds, 2),
+            fmt_f(regional.total_wall_seconds, 3),
+            fmt_f(reduced.total_wall_seconds, 3),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "Suite totals: whole {} -> regional {} insts ({}), reduced {} ({})",
+        with_commas(w_i),
+        with_commas(r_i),
+        fmt_x(w_i as f64 / r_i as f64),
+        with_commas(d_i),
+        fmt_x(w_i as f64 / d_i as f64),
+    );
+    println!(
+        "Execution time: whole {:.1}s -> regional {:.2}s ({}), reduced {:.2}s ({})",
+        w_t,
+        r_t,
+        fmt_x(w_t / r_t),
+        d_t,
+        fmt_x(w_t / d_t),
+    );
+    println!(
+        "Per-benchmark geomean instruction reduction: regional {}, reduced {}",
+        fmt_x(geo_mean(instr_factors)),
+        fmt_x(geo_mean(reduced_factors)),
+    );
+    println!("\n(paper: ~650x fewer instructions / ~750x less time for Regional;");
+    println!(" ~1225x / ~1297x for Reduced Regional)");
+}

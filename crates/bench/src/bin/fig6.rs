@@ -1,0 +1,45 @@
+//! Fig. 6 — weight of each simulation point, per benchmark.
+//!
+//! Prints the weight distribution (descending) with a marker at the 90%
+//! cumulative-weight boundary — the dashed line of the paper's stacked-bar
+//! figure.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    println!("Fig 6: simulation-point weights per benchmark (descending; '|' = 90% boundary)\n");
+    for r in &results {
+        let mut weights: Vec<f64> = r.regions.iter().map(|reg| reg.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut acc = 0.0;
+        let mut parts = Vec::new();
+        let mut marked = false;
+        for w in &weights {
+            acc += w;
+            parts.push(format!("{:.1}", w * 100.0));
+            if acc >= 0.9 - 1e-12 && !marked {
+                parts.push("|".to_string());
+                marked = true;
+            }
+        }
+        println!(
+            "{:<18} ({:>2} pts, {:>2} @90%): {}",
+            r.name,
+            weights.len(),
+            r.num_points_at(0.9),
+            parts.join(" ")
+        );
+        // A coarse stacked bar: one character per 2% of weight.
+        let mut bar = String::new();
+        for (i, w) in weights.iter().enumerate() {
+            let cells = ((w * 50.0).round() as usize).max(1);
+            let ch = char::from(b'A' + (i % 26) as u8);
+            bar.extend(std::iter::repeat_n(ch, cells));
+        }
+        println!("{:<18}  {}", "", bar);
+    }
+    println!("\n(paper: 503.bwaves_r has one ~60% dominant point and its top three cover ~80%;");
+    println!(" 631.deepsjeng_s / 648.exchange2_s / 511.povray_r are nearly uniform)");
+}

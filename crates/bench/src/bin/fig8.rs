@@ -1,0 +1,63 @@
+//! Fig. 8 — cache miss rates of Whole, Regional, Reduced Regional and
+//! Warmup Regional runs (Table I hierarchy).
+//!
+//! The paper's key memory-hierarchy finding: cold-started regions inflate
+//! the L3 miss rate by ~25 percentage points on average; checkpointed
+//! warmup drops that error to ~9.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    for (level, pick) in [
+        ("L1D", 0usize),
+        ("L2", 1),
+        ("L3", 2),
+    ] {
+        let mut table = Table::new(vec![
+            "Benchmark".into(),
+            "Whole".into(),
+            "Regional".into(),
+            "Reduced".into(),
+            "Warmup".into(),
+        ]);
+        table.title(format!("Fig 8: {level} miss rate (%), per run kind"));
+        let mut err = [0.0f64; 3]; // regional, reduced, warmup
+        for r in &results {
+            let get = |agg: &sampsim_core::AggregatedMetrics| -> f64 {
+                let mr = agg.miss_rates.expect("cache stats");
+                match pick {
+                    0 => mr.l1d,
+                    1 => mr.l2,
+                    _ => mr.l3,
+                }
+            };
+            let whole = get(&r.whole_aggregate());
+            let reg = get(&r.regional_aggregate());
+            let red = get(&r.reduced_aggregate(0.9));
+            let warm = get(&r.warmup_aggregate());
+            err[0] += (reg - whole).abs();
+            err[1] += (red - whole).abs();
+            err[2] += (warm - whole).abs();
+            table.row(vec![
+                r.name.clone(),
+                fmt_f(whole, 3),
+                fmt_f(reg, 3),
+                fmt_f(red, 3),
+                fmt_f(warm, 3),
+            ]);
+        }
+        table.print();
+        let n = results.len() as f64;
+        println!(
+            "Average |error| vs Whole ({level}): Regional {:.2} pp, Reduced {:.2} pp, Warmup {:.2} pp\n",
+            err[0] / n,
+            err[1] / n,
+            err[2] / n,
+        );
+    }
+    println!("(paper: avg error vs whole — L1D +0.18, L2 +0.10, L3 +25.16 pp for Regional;");
+    println!(" L1D +2.23, L2 +0.33, L3 +25.53 pp for Reduced; warmup cuts L3 error 25.16 -> 9.08 pp)");
+}

@@ -1,0 +1,47 @@
+//! Fig. 9 — error vs execution time as the simulation-point percentile
+//! shrinks.
+//!
+//! Sweeps the fraction of total weight retained (50–100%); errors against
+//! the whole run rise as points are dropped while execution time falls.
+//! 100 and 90 correspond to the Regional and Reduced Regional runs.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_core::experiments::percentile_sweep;
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    let rows = percentile_sweep(&results, &[50, 60, 70, 80, 90, 95, 100]);
+    let mut table = Table::new(vec![
+        "Percentile".into(),
+        "Avg points".into(),
+        "Mix err pp".into(),
+        "L1D err pp".into(),
+        "L2 err pp".into(),
+        "L3 err pp".into(),
+        "Exec time s".into(),
+    ]);
+    table.title("Fig 9: suite-average error vs whole run (y1) and execution time (y2)");
+    for row in &rows {
+        table.row(vec![
+            format!("{}%", row.percentile),
+            fmt_f(row.avg_points, 1),
+            fmt_f(row.mix_err_pp, 3),
+            fmt_f(row.l1d_err_pp, 3),
+            fmt_f(row.l2_err_pp, 3),
+            fmt_f(row.l3_err_pp, 3),
+            fmt_f(row.exec_seconds, 3),
+        ]);
+    }
+    table.print();
+    let mix: Vec<f64> = rows.iter().map(|r| r.mix_err_pp).collect();
+    let time: Vec<f64> = rows.iter().map(|r| r.exec_seconds).collect();
+    println!("\nmix error (pp) and execution time (s) vs percentile (50% ... 100%):\n");
+    print!(
+        "{}",
+        sampsim_util::plot::line_chart(&[("mix err pp", &mix), ("exec s", &time)], 9)
+    );
+    println!("\n(paper: error rates rise as the number of simulation points is reduced,");
+    println!(" letting users trade accuracy for runtime budget)");
+}

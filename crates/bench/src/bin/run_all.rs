@@ -1,0 +1,41 @@
+//! Convenience driver: computes the suite artifacts, then regenerates
+//! every table and figure in order by invoking the sibling binaries'
+//! logic... actually, simpler and more robust: prints the commands to run.
+//!
+//! The heavy lifting (per-benchmark simulation) happens once on the first
+//! figure target and is cached in `--artifacts`; this binary forces that
+//! computation and then tells you what to run.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    println!(
+        "computed/loaded {} benchmark artifacts at scale {}\n",
+        results.len(),
+        cli.scale.factor()
+    );
+    println!("regenerate the paper's exhibits with:");
+    for bin in [
+        "table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig12",
+    ] {
+        println!("  cargo run --release -p sampsim-bench --bin {bin}");
+    }
+    println!("\nablations:");
+    for bin in [
+        "baseline_sampling",
+        "smarts_compare",
+        "ablation_warmup",
+        "ablation_clustering",
+        "ablation_hierarchy",
+        "ablation_core_models",
+        "ablation_vli",
+        "cpi_stacks",
+        "methodology_costs",
+        "suite_overview",
+    ] {
+        println!("  cargo run --release -p sampsim-bench --bin {bin}");
+    }
+}

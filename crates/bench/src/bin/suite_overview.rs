@@ -1,0 +1,43 @@
+//! Suite overview: whole-run characteristics of every benchmark — dynamic
+//! size, instruction mix, cache miss rates, branch misprediction rate and
+//! CPI. Not a paper exhibit; a sanity dashboard for the synthetic suite.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_util::stats::with_commas;
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    let mut table = Table::new(vec![
+        "Benchmark".into(),
+        "Suite".into(),
+        "Insts".into(),
+        "MEM_R%".into(),
+        "MEM_W%".into(),
+        "L1D%".into(),
+        "L2%".into(),
+        "L3%".into(),
+        "BrMiss%".into(),
+        "CPI".into(),
+    ]);
+    table.title("Suite overview (whole runs)");
+    for r in &results {
+        let whole = r.whole_aggregate();
+        let mr = whole.miss_rates.expect("cache stats");
+        let t = r.whole_timing.timing.as_ref().expect("timing stats");
+        table.row(vec![
+            r.name.clone(),
+            r.suite_label.clone(),
+            with_commas(r.whole.instructions),
+            fmt_f(whole.mix_pct[1], 1),
+            fmt_f(whole.mix_pct[2], 1),
+            fmt_f(mr.l1d, 2),
+            fmt_f(mr.l2, 2),
+            fmt_f(mr.l3, 2),
+            fmt_f(t.branches.mispredict_rate_pct(), 2),
+            fmt_f(t.cpi(), 3),
+        ]);
+    }
+    table.print();
+}

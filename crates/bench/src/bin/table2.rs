@@ -1,0 +1,54 @@
+//! Table II — simulation points per benchmark.
+//!
+//! Prints, for every benchmark: the number of simulation points the
+//! pipeline found and how many of them cover the 90th weight percentile,
+//! alongside the counts the paper reports. Usage: see `sampsim-bench`
+//! crate docs for common flags.
+
+use sampsim_bench::{unwrap_or_die, Cli};
+use sampsim_spec2017::benchmark;
+use sampsim_spec2017::BenchmarkId;
+use sampsim_util::table::{fmt_f, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let results = unwrap_or_die(cli.results());
+    let mut table = Table::new(vec![
+        "Benchmark".into(),
+        "SimPoints".into(),
+        "90pct SimPoints".into(),
+        "Paper SP".into(),
+        "Paper 90pct".into(),
+    ]);
+    table.title("Table II: SPEC CPU2017 simulation points (measured vs paper)");
+    let (mut sp_sum, mut p90_sum) = (0usize, 0usize);
+    let (mut paper_sp_sum, mut paper_p90_sum) = (0usize, 0usize);
+    for r in &results {
+        let spec = benchmark(
+            BenchmarkId::from_name(&r.name).expect("result name is a suite benchmark"),
+        );
+        let points = r.num_points();
+        let p90 = r.num_points_at(0.9);
+        sp_sum += points;
+        p90_sum += p90;
+        paper_sp_sum += spec.table2_points();
+        paper_p90_sum += spec.table2_points_90();
+        table.row(vec![
+            r.name.clone(),
+            points.to_string(),
+            p90.to_string(),
+            spec.table2_points().to_string(),
+            spec.table2_points_90().to_string(),
+        ]);
+    }
+    let n = results.len() as f64;
+    table.row(vec![
+        "Average".into(),
+        fmt_f(sp_sum as f64 / n, 2),
+        fmt_f(p90_sum as f64 / n, 2),
+        fmt_f(paper_sp_sum as f64 / n, 2),
+        fmt_f(paper_p90_sum as f64 / n, 2),
+    ]);
+    table.print();
+    println!("\n(paper averages: 19.75 simulation points, 11.31 at the 90th percentile)");
+}

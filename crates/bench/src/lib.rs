@@ -1,0 +1,200 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index) and accepts the same flags:
+//!
+//! ```text
+//! --scale <f>        workload scale factor (default: $SAMPSIM_SCALE or 1.0)
+//! --artifacts <dir>  artifact cache directory (default: ./artifacts)
+//! --no-cache         recompute instead of using the artifact cache
+//! --bench <name>     restrict suite figures to one benchmark (substring)
+//! --quiet            suppress progress lines
+//! ```
+//!
+//! Artifacts are shared: the first figure binary to run pays the
+//! simulation cost for the suite, later binaries reload in milliseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sampsim_core::artifacts::ArtifactStore;
+use sampsim_core::bench_result::BenchResult;
+use sampsim_core::experiments::Study;
+use sampsim_core::CoreError;
+use sampsim_spec2017::BenchmarkId;
+use sampsim_util::scale::Scale;
+
+/// Parsed common command-line options.
+#[derive(Debug)]
+pub struct Cli {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Artifact directory (`None` with `--no-cache`).
+    pub artifacts: Option<String>,
+    /// Benchmark-name substring filter.
+    pub filter: Option<String>,
+    /// Progress printing.
+    pub verbose: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with usage on an unknown flag.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of [`Cli::parse`]).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = Scale::from_env();
+        let mut artifacts = Some("artifacts".to_string());
+        let mut filter = None;
+        let mut verbose = true;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    match v.parse::<f64>() {
+                        Ok(f) if f.is_finite() && f > 0.0 => scale = Scale::new(f),
+                        _ => die(&format!("invalid --scale value: {v}")),
+                    }
+                }
+                "--artifacts" => {
+                    artifacts = Some(args.next().unwrap_or_else(|| {
+                        die("--artifacts needs a directory");
+                    }));
+                }
+                "--no-cache" => artifacts = None,
+                "--bench" => {
+                    filter = Some(args.next().unwrap_or_else(|| {
+                        die("--bench needs a name");
+                    }));
+                }
+                "--quiet" => verbose = false,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale <f> --artifacts <dir> --no-cache --bench <name> --quiet"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag: {other}")),
+            }
+        }
+        Self {
+            scale,
+            artifacts,
+            filter,
+            verbose,
+        }
+    }
+
+    /// Builds the study described by the flags.
+    pub fn study(&self) -> Study {
+        let mut study = Study::new(self.scale);
+        study.verbose = self.verbose;
+        if let Some(dir) = &self.artifacts {
+            match ArtifactStore::open(dir) {
+                Ok(store) => study = study.with_store(store),
+                Err(e) => die(&format!("cannot open artifact store {dir}: {e}")),
+            }
+        }
+        study
+    }
+
+    /// The benchmarks selected by `--bench` (all when unset).
+    pub fn benchmarks(&self) -> Vec<BenchmarkId> {
+        BenchmarkId::ALL
+            .iter()
+            .copied()
+            .filter(|id| match &self.filter {
+                Some(f) => id.name().contains(f.as_str()),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// Computes (or loads) results for the selected benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation/store failure.
+    pub fn results(&self) -> Result<Vec<BenchResult>, CoreError> {
+        let study = self.study();
+        self.benchmarks()
+            .into_iter()
+            .map(|id| study.bench_result(id))
+            .collect()
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Exits with a readable message on experiment failure.
+pub fn unwrap_or_die<T>(r: Result<T, CoreError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => die(&format!("experiment failed: {e}")),
+    }
+}
+
+/// Geometric-mean helper for suite-level factors.
+pub fn geo_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Cli {
+        Cli::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse("");
+        assert!(cli.artifacts.as_deref() == Some("artifacts"));
+        assert!(cli.filter.is_none());
+        assert!(cli.verbose);
+        assert_eq!(cli.benchmarks().len(), 29);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse("--scale 0.5 --no-cache --bench mcf_r --quiet");
+        assert_eq!(cli.scale.factor(), 0.5);
+        assert!(cli.artifacts.is_none());
+        assert!(!cli.verbose);
+        let benches = cli.benchmarks();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].name(), "505.mcf_r");
+    }
+
+    #[test]
+    fn substring_filter_matches_many() {
+        let cli = parse("--bench xz");
+        assert_eq!(cli.benchmarks().len(), 2); // 557.xz_r and 657.xz_s
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean([4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geo_mean(std::iter::empty::<f64>()), 0.0);
+        assert!((geo_mean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12, "zeros skipped");
+    }
+}

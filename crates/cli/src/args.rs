@@ -1,0 +1,226 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use sampsim_util::scale::Scale;
+
+/// Usage text shown by `sampsim help` and on parse errors.
+pub const USAGE: &str = "\
+usage: sampsim <command> [flags]
+
+commands:
+  list                         list the synthetic SPEC CPU2017 suite
+  profile <bench>              run the whole benchmark under ldstmix+allcache
+  simpoints <bench> [-o DIR]   find simulation points; save pinballs to DIR
+  replay <FILE>                replay saved regional pinballs with tools
+  report <bench>               whole vs regional vs reduced vs warmup report
+  trace <bench> -o FILE        write an execution trace (--limit N insts)
+  help                         show this text
+
+flags:
+  --scale <f>    workload scale factor (default: $SAMPSIM_SCALE or 1.0)
+  --slice <n>    slice size in instructions (default: 10000, scaled)
+  --maxk <n>     maximum cluster count (default: 35)
+
+<bench> is a SPEC name (e.g. 505.mcf_r) or a unique substring (mcf_r).";
+
+/// Global options shared by all commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Slice size override (`None` = default 10 000, scaled).
+    pub slice: Option<u64>,
+    /// MaxK override.
+    pub maxk: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::from_env(),
+            slice: None,
+            maxk: None,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// The subcommand.
+    pub command: Command,
+    /// Global options.
+    pub options: Options,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `sampsim list`
+    List,
+    /// `sampsim profile <bench>`
+    Profile {
+        /// Benchmark name or substring.
+        bench: String,
+    },
+    /// `sampsim simpoints <bench> [-o DIR]`
+    SimPoints {
+        /// Benchmark name or substring.
+        bench: String,
+        /// Output directory for pinball files.
+        out: Option<String>,
+    },
+    /// `sampsim replay <FILE>`
+    Replay {
+        /// Path to a regional-pinball file.
+        path: String,
+    },
+    /// `sampsim report <bench>`
+    Report {
+        /// Benchmark name or substring.
+        bench: String,
+    },
+    /// `sampsim trace <bench> -o FILE`
+    Trace {
+        /// Benchmark name or substring.
+        bench: String,
+        /// Output trace file.
+        out: String,
+        /// Instruction cap (`None` = whole run).
+        limit: Option<u64>,
+    },
+    /// `sampsim help`
+    Help,
+}
+
+/// Parses an argument iterator.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown commands/flags or missing
+/// operands.
+pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
+    let mut options = Options::default();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut limit: Option<u64> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a value")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(format!("bad --scale value: {v}"));
+                }
+                options.scale = Scale::new(f);
+            }
+            "--slice" => {
+                let v = iter.next().ok_or("--slice needs a value")?;
+                options.slice =
+                    Some(v.parse().map_err(|_| format!("bad --slice value: {v}"))?);
+            }
+            "--maxk" => {
+                let v = iter.next().ok_or("--maxk needs a value")?;
+                options.maxk = Some(v.parse().map_err(|_| format!("bad --maxk value: {v}"))?);
+            }
+            "-o" | "--out" => {
+                out = Some(iter.next().ok_or("-o needs a path")?);
+            }
+            "--limit" => {
+                let v = iter.next().ok_or("--limit needs a value")?;
+                limit = Some(v.parse().map_err(|_| format!("bad --limit value: {v}"))?);
+            }
+            "--help" | "-h" => positionals.insert(0, "help".into()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            _ => positionals.push(arg),
+        }
+    }
+    let mut positionals = positionals.into_iter();
+    let command = match positionals.next().as_deref() {
+        None | Some("help") => Command::Help,
+        Some("list") => Command::List,
+        Some("profile") => Command::Profile {
+            bench: positionals.next().ok_or("profile needs a benchmark")?,
+        },
+        Some("simpoints") => Command::SimPoints {
+            bench: positionals.next().ok_or("simpoints needs a benchmark")?,
+            out,
+        },
+        Some("replay") => Command::Replay {
+            path: positionals.next().ok_or("replay needs a pinball file")?,
+        },
+        Some("report") => Command::Report {
+            bench: positionals.next().ok_or("report needs a benchmark")?,
+        },
+        Some("trace") => Command::Trace {
+            bench: positionals.next().ok_or("trace needs a benchmark")?,
+            out: out.take().ok_or("trace needs -o FILE")?,
+            limit,
+        },
+        Some(other) => return Err(format!("unknown command: {other}")),
+    };
+    if let Some(extra) = positionals.next() {
+        return Err(format!("unexpected argument: {extra}"));
+    }
+    Ok(Parsed { command, options })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Parsed, String> {
+        parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_str("list").unwrap().command, Command::List);
+        assert_eq!(
+            parse_str("profile mcf_r").unwrap().command,
+            Command::Profile { bench: "mcf_r".into() }
+        );
+        assert_eq!(
+            parse_str("simpoints mcf_r -o out").unwrap().command,
+            Command::SimPoints { bench: "mcf_r".into(), out: Some("out".into()) }
+        );
+        assert_eq!(
+            parse_str("replay out/x.pb").unwrap().command,
+            Command::Replay { path: "out/x.pb".into() }
+        );
+        assert_eq!(parse_str("").unwrap().command, Command::Help);
+        assert_eq!(parse_str("-h").unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let p = parse_str("report gcc_r --scale 0.5 --slice 2000 --maxk 10").unwrap();
+        assert_eq!(p.options.scale.factor(), 0.5);
+        assert_eq!(p.options.slice, Some(2000));
+        assert_eq!(p.options.maxk, Some(10));
+    }
+
+    #[test]
+    fn parses_trace() {
+        let p = parse_str("trace mcf_r -o t.trace --limit 5000").unwrap();
+        assert_eq!(
+            p.command,
+            Command::Trace {
+                bench: "mcf_r".into(),
+                out: "t.trace".into(),
+                limit: Some(5000),
+            }
+        );
+        assert!(parse_str("trace mcf_r").is_err(), "missing -o");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_str("frobnicate").is_err());
+        assert!(parse_str("profile").is_err());
+        assert!(parse_str("list --wat").is_err());
+        assert!(parse_str("list extra").is_err());
+        assert!(parse_str("profile x --scale nope").is_err());
+        assert!(parse_str("profile x --scale -1").is_err());
+    }
+}

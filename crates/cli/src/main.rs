@@ -1,0 +1,53 @@
+//! `sampsim` — the command-line interface to the statistical-sampling
+//! laboratory.
+//!
+//! ```text
+//! sampsim list                          benchmarks in the suite
+//! sampsim profile  <bench>              whole-run profile (mix, caches)
+//! sampsim simpoints <bench> -o <dir>    find simulation points, save pinballs
+//! sampsim replay   <dir>/<bench>.pb     replay saved pinballs with tools
+//! sampsim report   <bench>              full paper-style report (all runs)
+//! sampsim trace    <bench> -o FILE      write an execution trace to disk
+//! ```
+//!
+//! Global flags: `--scale <f>` (workload scale, default `$SAMPSIM_SCALE`
+//! or 1.0), `--slice <n>`, `--maxk <n>`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let parsed = match args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match parsed.command {
+        args::Command::List => commands::list(),
+        args::Command::Profile { bench } => commands::profile(&bench, &parsed.options),
+        args::Command::SimPoints { bench, out } => {
+            commands::simpoints(&bench, out.as_deref(), &parsed.options)
+        }
+        args::Command::Replay { path } => commands::replay(&path, &parsed.options),
+        args::Command::Report { bench } => commands::report(&bench, &parsed.options),
+        args::Command::Trace { bench, out, limit } => {
+            commands::trace(&bench, &out, limit, &parsed.options)
+        }
+        args::Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

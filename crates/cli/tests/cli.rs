@@ -1,0 +1,108 @@
+//! Integration tests driving the `sampsim` binary end to end.
+
+use std::process::Command;
+
+fn sampsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sampsim"))
+}
+
+#[test]
+fn help_shows_usage() {
+    let out = sampsim().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("usage: sampsim"));
+    assert!(text.contains("simpoints"));
+}
+
+#[test]
+fn list_shows_all_benchmarks() {
+    let out = sampsim().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("505.mcf_r"));
+    assert!(text.contains("549.fotonik3d_r"));
+    // 29 benchmarks + header + separator.
+    assert_eq!(text.lines().count(), 31, "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = sampsim().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn ambiguous_benchmark_is_rejected() {
+    let out = sampsim().args(["profile", "mcf", "--scale", "0.01"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn simpoints_save_and_replay_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = sampsim()
+        .args([
+            "simpoints",
+            "omnetpp_s",
+            "--scale",
+            "0.02",
+            "--maxk",
+            "8",
+            "-o",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let pb = dir.join("620.omnetpp_s.pb");
+    assert!(pb.exists());
+    assert!(dir.join("620.omnetpp_s.whole.pb").exists());
+    let out = sampsim()
+        .arg("replay")
+        .arg(&pb)
+        .args(["--scale", "0.02"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("L3 miss %"), "{text}");
+    assert!(text.contains("replayed"));
+}
+
+#[test]
+fn replay_rejects_wrong_scale() {
+    // Pinballs saved at one scale must not attach to a different-scale
+    // program (digest mismatch).
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = sampsim()
+        .args(["simpoints", "omnetpp_s", "--scale", "0.02", "--maxk", "8", "-o"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = sampsim()
+        .arg("replay")
+        .arg(dir.join("620.omnetpp_s.pb"))
+        .args(["--scale", "0.03"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("captured from program"), "{err}");
+}

@@ -1,0 +1,163 @@
+//! On-disk caching of computed experiment artifacts.
+//!
+//! Every benchmark binary shares the per-benchmark
+//! [`BenchResult`](crate::bench_result::BenchResult)s through
+//! this store: the first `fig*`/`table*` target to run pays the simulation
+//! cost, the rest reload in milliseconds. Keys incorporate a configuration
+//! digest, so changing the study parameters invalidates stale artifacts
+//! instead of silently reusing them.
+
+use crate::error::CoreError;
+use sampsim_pinball::store::StoreError;
+use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x5350_4152; // "SPAR"
+const VERSION: u16 = 1;
+
+/// A directory-backed artifact cache.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CoreError::Store(StoreError::Io(e)))?;
+        Ok(Self { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Keys are caller-controlled; keep them filesystem-safe.
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            })
+            .collect();
+        self.dir.join(format!("{safe}.art"))
+    }
+
+    /// Loads the artifact stored under `key`, or `None` when absent or
+    /// unreadable (stale/corrupt artifacts are treated as cache misses).
+    pub fn load<T: Decode>(&self, key: &str) -> Option<T> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        let mut dec = Decoder::with_header(&bytes, MAGIC, VERSION).ok()?;
+        let value = T::decode(&mut dec).ok()?;
+        if !dec.is_exhausted() {
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] on filesystem failure.
+    pub fn save<T: Encode>(&self, key: &str, value: &T) -> Result<(), CoreError> {
+        let mut enc = Encoder::with_header(MAGIC, VERSION);
+        value.encode(&mut enc);
+        fs::write(self.path_for(key), enc.into_bytes())
+            .map_err(|e| CoreError::Store(StoreError::Io(e)))?;
+        Ok(())
+    }
+
+    /// Loads `key` or computes-and-stores it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the computation's error, or [`CoreError::Store`] when the
+    /// result cannot be written back.
+    pub fn get_or_compute<T, F>(&self, key: &str, compute: F) -> Result<T, CoreError>
+    where
+        T: Encode + Decode,
+        F: FnOnce() -> Result<T, CoreError>,
+    {
+        if let Some(v) = self.load::<T>(key) {
+            return Ok(v);
+        }
+        let v = compute()?;
+        self.save(key, &v)?;
+        Ok(v)
+    }
+}
+
+/// Ignore-decode guard for corrupt files.
+impl From<DecodeError> for CoreError {
+    fn from(e: DecodeError) -> Self {
+        CoreError::Store(StoreError::Decode(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(name: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("sampsim-art-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store("roundtrip");
+        s.save("answer", &42u64).unwrap();
+        assert_eq!(s.load::<u64>("answer"), Some(42));
+        assert_eq!(s.load::<u64>("missing"), None);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once() {
+        let s = store("once");
+        let mut calls = 0;
+        let v: u64 = s
+            .get_or_compute("k", || {
+                calls += 1;
+                Ok(7)
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+        let v2: u64 = s
+            .get_or_compute("k", || {
+                calls += 1;
+                Ok(8)
+            })
+            .unwrap();
+        assert_eq!(v2, 7, "second call must come from the cache");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss() {
+        let s = store("corrupt");
+        s.save("k", &1u64).unwrap();
+        let path = s.path_for("k");
+        fs::write(&path, b"garbage").unwrap();
+        assert_eq!(s.load::<u64>("k"), None);
+    }
+
+    #[test]
+    fn keys_are_sanitized() {
+        let s = store("sanitize");
+        s.save("a/../b c", &5u64).unwrap();
+        assert_eq!(s.load::<u64>("a/../b c"), Some(5));
+        // The file landed inside the store directory.
+        assert!(s.path_for("a/../b c").starts_with(s.dir()));
+    }
+}

@@ -1,0 +1,370 @@
+//! The PinPoints pipeline: one profiling pass → simulation points →
+//! checkpoints.
+
+use crate::error::CoreError;
+use crate::metrics::RunMetrics;
+use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix};
+use sampsim_pinball::{RegionalPinball, WarmupRecord, WholePinball};
+use sampsim_simpoint::bbv::Bbv;
+use sampsim_simpoint::{SimPointAnalysis, SimPointOptions, SimPointsResult};
+use sampsim_cache::HierarchyConfig;
+use sampsim_workload::{Cursor, Executor, Program};
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinPointsConfig {
+    /// Slice length in instructions (the paper's sweep settles on 30 M,
+    /// 1/3000-scaled to 10 000).
+    pub slice_size: u64,
+    /// SimPoint analysis options (`MaxK`, projection, BIC threshold…).
+    pub simpoint: SimPointOptions,
+    /// Warmup length recorded into each regional pinball, in slices.
+    /// The paper warms for 500 M cycles before each simulation point —
+    /// on the order of 1–1.5 B instructions at its CPIs, i.e. ~48 default
+    /// slices at the 1/3000 scale.
+    pub warmup_slices: u64,
+    /// Cache hierarchy profiled during the whole-run pass (Table I), or
+    /// `None` to skip cache simulation in the profiling pass.
+    pub profile_cache: Option<HierarchyConfig>,
+}
+
+impl Default for PinPointsConfig {
+    fn default() -> Self {
+        Self {
+            slice_size: 10_000,
+            simpoint: SimPointOptions::default(),
+            warmup_slices: 48,
+            profile_cache: None,
+        }
+    }
+}
+
+/// Everything the pipeline produces for one program.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Checkpoint of the complete execution.
+    pub whole: WholePinball,
+    /// Whole-run metrics collected during the profiling pass (instruction
+    /// mix always; cache stats when `profile_cache` was set).
+    pub whole_metrics: RunMetrics,
+    /// The SimPoint analysis outcome.
+    pub simpoints: SimPointsResult,
+    /// One checkpoint per simulation point, with weights and warmup
+    /// records.
+    pub regional: Vec<RegionalPinball>,
+    /// Number of slices the execution divided into.
+    pub num_slices: u64,
+}
+
+/// Runs the PinPoints flow over a program.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PinPointsConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PinPointsConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PinPointsConfig {
+        &self.config
+    }
+
+    /// Executes the profiling pass, clustering and checkpoint creation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SimPoint`] when the program is too short to
+    /// produce a single slice.
+    pub fn run(&self, program: &Program) -> Result<PipelineResult, CoreError> {
+        let (bbvs, starts, whole_metrics) = self.profile(program);
+        let num_slices = bbvs.len() as u64;
+
+        // -- Clustering.
+        let simpoints =
+            SimPointAnalysis::new(self.config.simpoint).run(&bbvs, self.config.slice_size)?;
+
+        // -- Regional pinballs.
+        let regional = self.make_regionals(program, &simpoints, &starts);
+
+        Ok(PipelineResult {
+            whole: WholePinball::capture(program),
+            whole_metrics,
+            simpoints,
+            regional,
+            num_slices,
+        })
+    }
+
+    fn make_regionals(
+        &self,
+        program: &Program,
+        simpoints: &SimPointsResult,
+        starts: &[Cursor],
+    ) -> Vec<RegionalPinball> {
+        let slice = self.config.slice_size;
+        simpoints
+            .points
+            .iter()
+            .map(|p| {
+                let idx = p.slice as usize;
+                let mut pb = RegionalPinball::new(
+                    program,
+                    p.slice,
+                    starts[idx].clone(),
+                    slice,
+                    p.weight,
+                    p.cluster,
+                );
+                if self.config.warmup_slices > 0 {
+                    let chunks = warmup_chunks(
+                        idx,
+                        p.cluster,
+                        &simpoints.assignments,
+                        starts,
+                        slice,
+                        self.config.warmup_slices,
+                    );
+                    pb = pb.with_warmup(chunks);
+                }
+                pb
+            })
+            .collect()
+    }
+
+    /// Re-derives regional pinballs for a different analysis result (e.g. a
+    /// different `MaxK`) without re-running the profiling pass. `starts`
+    /// must come from the same program and slice size.
+    pub fn regionals_for(
+        &self,
+        program: &Program,
+        simpoints: &SimPointsResult,
+        starts: &[Cursor],
+    ) -> Vec<RegionalPinball> {
+        self.make_regionals(program, simpoints, starts)
+    }
+
+    /// Runs only the profiling pass — a single whole execution collecting
+    /// per-slice BBVs, slice-boundary checkpoints, the `ldstmix` profile
+    /// and (when `profile_cache` is set) `allcache` statistics. The design
+    /// sweeps re-cluster this profile many ways without re-executing.
+    pub fn profile(&self, program: &Program) -> (Vec<Bbv>, Vec<Cursor>, RunMetrics) {
+        let slice = self.config.slice_size;
+        assert!(slice > 0, "slice size must be positive");
+        let started = Instant::now();
+        let mut exec = Executor::new(program);
+        let mut bbv_tool = BbvTool::new(program.blocks().len());
+        let mut mix = LdStMix::new();
+        let mut cache = self.config.profile_cache.map(CacheSim::new);
+        let mut bbvs = Vec::new();
+        let mut starts = Vec::new();
+        loop {
+            let start = exec.cursor();
+            let ran = match cache.as_mut() {
+                Some(cs) => sampsim_pin::engine::run(
+                    &mut exec,
+                    slice,
+                    &mut [&mut bbv_tool, &mut mix, cs],
+                ),
+                None => {
+                    sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix])
+                }
+            };
+            if ran == 0 {
+                break;
+            }
+            starts.push(start);
+            bbvs.push(Bbv::from_counts(bbv_tool.harvest()));
+            if ran < slice {
+                break;
+            }
+        }
+        let metrics = RunMetrics {
+            instructions: exec.retired(),
+            mix: *mix.counts(),
+            cache: cache.map(|c| c.stats()),
+            timing: None,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        };
+        (bbvs, starts, metrics)
+    }
+}
+
+/// Selects warmup slices for the region at `idx`: the most recent
+/// `warmup_slices` slices *belonging to the region's cluster* (plus the
+/// region's immediate predecessors, which are usually the same thing),
+/// coalesced into contiguous chunks in chronological order.
+///
+/// Rationale (DESIGN.md scaling policy): at full scale PinPoints warms with
+/// the instructions directly preceding the region; at 1/3000 scale those
+/// may belong to a different phase, while the whole run's cache state for
+/// this region was accumulated across the *phase's* earlier residencies.
+/// Warming with same-cluster slices reproduces the resident footprint
+/// without touching the region's own transient (streaming/pointer-chase)
+/// addresses.
+fn warmup_chunks(
+    idx: usize,
+    cluster: u32,
+    assignments: &[u32],
+    starts: &[Cursor],
+    slice: u64,
+    warmup_slices: u64,
+) -> Vec<WarmupRecord> {
+    let mut picked: Vec<usize> = Vec::new();
+    let mut j = idx;
+    while j > 0 && (picked.len() as u64) < warmup_slices {
+        j -= 1;
+        // Same-cluster predecessors; also accept the region's direct
+        // neighbours (they share the microarchitectural context even when
+        // assigned to an adjacent cluster).
+        // Without an assignment vector (baseline samplers build synthetic
+        // point sets), fall back to the plain preceding window.
+        let same_cluster = assignments.get(j).is_none_or(|&a| a == cluster);
+        if same_cluster || idx - j <= 2 {
+            picked.push(j);
+        }
+    }
+    picked.reverse();
+    // Coalesce consecutive slice indices into chunks.
+    let mut chunks: Vec<WarmupRecord> = Vec::new();
+    let mut run_start: Option<(usize, usize)> = None; // (first, last)
+    for &s in &picked {
+        match run_start {
+            Some((first, last)) if s == last + 1 => run_start = Some((first, s)),
+            Some((first, last)) => {
+                chunks.push(WarmupRecord {
+                    start: starts[first].clone(),
+                    insts: (last - first + 1) as u64 * slice,
+                });
+                run_start = Some((s, s));
+            }
+            None => run_start = Some((s, s)),
+        }
+    }
+    if let Some((first, last)) = run_start {
+        chunks.push(WarmupRecord {
+            start: starts[first].clone(),
+            insts: (last - first + 1) as u64 * slice,
+        });
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_cache::configs;
+    use sampsim_workload::spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};
+
+    fn program() -> Program {
+        WorkloadSpec::builder("pipe-test", 21)
+            .total_insts(200_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .phase(PhaseSpec::memory_bound(1.0))
+            .phase(PhaseSpec::compute_bound(1.0))
+            .interleave(InterleaveSpec {
+                mean_segment: 8_000,
+                jitter: 0.4,
+                align: 0,
+            })
+            .build()
+            .build()
+    }
+
+    fn config() -> PinPointsConfig {
+        PinPointsConfig {
+            slice_size: 1_000,
+            simpoint: SimPointOptions {
+                max_k: 10,
+                ..Default::default()
+            },
+            warmup_slices: 3,
+            profile_cache: None,
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let p = program();
+        let r = Pipeline::new(config()).run(&p).unwrap();
+        assert_eq!(r.num_slices, p.total_insts().div_ceil(1_000));
+        assert_eq!(r.whole_metrics.instructions, p.total_insts());
+        assert_eq!(r.whole.length, p.total_insts());
+        assert!(!r.regional.is_empty());
+        assert!(r.regional.len() <= 10);
+        let w: f64 = r.regional.iter().map(|pb| pb.weight).sum();
+        assert!((w - 1.0).abs() < 1e-9);
+        // Regional pinballs start at their slice's boundary.
+        for pb in &r.regional {
+            assert_eq!(pb.start.retired, pb.slice_index * 1_000);
+            assert_eq!(pb.length, 1_000);
+        }
+    }
+
+    #[test]
+    fn warmup_chunks_attached_except_at_program_start() {
+        let p = program();
+        let r = Pipeline::new(config()).run(&p).unwrap();
+        for pb in &r.regional {
+            if pb.slice_index == 0 {
+                assert!(pb.warmup.is_empty(), "slice 0 has no predecessors");
+                continue;
+            }
+            assert!(!pb.warmup.is_empty(), "slice {} lacks warmup", pb.slice_index);
+            let total = pb.warmup_insts();
+            assert!(total > 0 && total <= 3_000);
+            // Chunks are chronological, non-overlapping, slice-aligned,
+            // and end at or before the region start.
+            let mut prev_end = 0;
+            for w in &pb.warmup {
+                assert!(w.start.retired >= prev_end);
+                assert_eq!(w.start.retired % 1_000, 0);
+                prev_end = w.start.retired + w.insts;
+            }
+            assert!(prev_end <= pb.start.retired + 1_000);
+            // The final chunk covers the slice immediately before the
+            // region (its direct context).
+            let last = pb.warmup.last().unwrap();
+            assert_eq!(last.start.retired + last.insts, pb.start.retired);
+        }
+    }
+
+    #[test]
+    fn profile_cache_collects_stats() {
+        let p = program();
+        let mut cfg = config();
+        cfg.profile_cache = Some(configs::allcache_table1());
+        let r = Pipeline::new(cfg).run(&p).unwrap();
+        let cache = r.whole_metrics.cache.unwrap();
+        assert_eq!(cache.l1i.accesses, p.total_insts());
+        assert!(cache.l1d.accesses > 0);
+    }
+
+    #[test]
+    fn profile_matches_run_bbv_count() {
+        let p = program();
+        let pipe = Pipeline::new(config());
+        let (bbvs, starts, metrics) = pipe.profile(&p);
+        let expected = p.total_insts().div_ceil(1_000) as usize;
+        assert_eq!(bbvs.len(), expected);
+        assert_eq!(starts.len(), expected);
+        assert_eq!(metrics.instructions, p.total_insts());
+        // Each full BBV accounts for exactly one slice of instructions.
+        for bbv in &bbvs[..bbvs.len() - 1] {
+            assert_eq!(bbv.l1_norm(), 1_000.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let p = program();
+        let a = Pipeline::new(config()).run(&p).unwrap();
+        let b = Pipeline::new(config()).run(&p).unwrap();
+        assert_eq!(a.simpoints, b.simpoints);
+        assert_eq!(a.regional, b.regional);
+    }
+}

@@ -1,0 +1,133 @@
+//! The instrumentation engine: drives an executor and dispatches retired
+//! instructions to tools.
+
+use sampsim_workload::{Executor, Retired};
+
+/// An observation tool attached to a program's execution.
+///
+/// Tools receive every retired instruction. They must be passive: a tool
+/// cannot alter the instruction stream (instrumentation, not emulation).
+pub trait Pintool {
+    /// Called for every retired instruction.
+    fn on_inst(&mut self, inst: &Retired);
+
+    /// Called when the driven run finishes (end of program or instruction
+    /// limit). Default: no-op.
+    fn on_run_end(&mut self) {}
+}
+
+/// Runs `exec` for up to `limit` instructions, feeding every retired
+/// instruction to each tool in order. Returns the number of instructions
+/// actually retired (less than `limit` only at program end).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn run(exec: &mut Executor<'_>, limit: u64, tools: &mut [&mut dyn Pintool]) -> u64 {
+    let mut done = 0u64;
+    while done < limit {
+        match exec.next_inst() {
+            Some(inst) => {
+                for tool in tools.iter_mut() {
+                    tool.on_inst(&inst);
+                }
+                done += 1;
+            }
+            None => break,
+        }
+    }
+    for tool in tools.iter_mut() {
+        tool.on_run_end();
+    }
+    done
+}
+
+/// Monomorphized single-tool variant of [`run`] for hot loops (avoids the
+/// dynamic dispatch per instruction).
+pub fn run_one<T: Pintool>(exec: &mut Executor<'_>, limit: u64, tool: &mut T) -> u64 {
+    let mut done = 0u64;
+    while done < limit {
+        match exec.next_inst() {
+            Some(inst) => {
+                tool.on_inst(&inst);
+                done += 1;
+            }
+            None => break,
+        }
+    }
+    tool.on_run_end();
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+    use sampsim_workload::Program;
+
+    struct Counter {
+        n: u64,
+        ended: bool,
+    }
+
+    impl Pintool for Counter {
+        fn on_inst(&mut self, _inst: &Retired) {
+            self.n += 1;
+        }
+        fn on_run_end(&mut self) {
+            self.ended = true;
+        }
+    }
+
+    fn program() -> Program {
+        WorkloadSpec::builder("engine-test", 5)
+            .total_insts(5_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build()
+            .build()
+    }
+
+    #[test]
+    fn run_respects_limit() {
+        let p = program();
+        let mut exec = Executor::new(&p);
+        let mut c = Counter { n: 0, ended: false };
+        let ran = run(&mut exec, 1000, &mut [&mut c]);
+        assert_eq!(ran, 1000);
+        assert_eq!(c.n, 1000);
+        assert!(c.ended);
+    }
+
+    #[test]
+    fn run_stops_at_program_end() {
+        let p = program();
+        let mut exec = Executor::new(&p);
+        let mut c = Counter { n: 0, ended: false };
+        let ran = run(&mut exec, u64::MAX, &mut [&mut c]);
+        assert_eq!(ran, p.total_insts());
+    }
+
+    #[test]
+    fn multiple_tools_see_same_stream() {
+        let p = program();
+        let mut exec = Executor::new(&p);
+        let mut a = Counter { n: 0, ended: false };
+        let mut b = Counter { n: 0, ended: false };
+        run(&mut exec, 2_000, &mut [&mut a, &mut b]);
+        assert_eq!(a.n, b.n);
+    }
+
+    #[test]
+    fn run_one_matches_run() {
+        let p = program();
+        let mut e1 = Executor::new(&p);
+        let mut e2 = Executor::new(&p);
+        let mut a = Counter { n: 0, ended: false };
+        let mut b = Counter { n: 0, ended: false };
+        assert_eq!(
+            run(&mut e1, 1234, &mut [&mut a]),
+            run_one(&mut e2, 1234, &mut b)
+        );
+        assert_eq!(a.n, b.n);
+    }
+}

@@ -1,0 +1,45 @@
+//! Dynamic instrumentation engine and Pintool suite.
+//!
+//! This crate plays the role of Pin (Luk et al., PLDI 2005) in the paper's
+//! methodology: it drives a program's execution and dispatches every
+//! retired instruction to one or more observation tools. The tools shipped
+//! here mirror the Pintools the paper used:
+//!
+//! * [`tools::InsCount`] — dynamic instruction counter (`inscount0`),
+//! * [`tools::LdStMix`] — instruction-mix profiler (`ldstmix`, Fig. 7),
+//! * [`tools::BbvTool`] — per-slice basic-block vector collector (the
+//!   front end of SimPoint/PinPoints),
+//! * [`tools::CacheSim`] — functional cache-hierarchy bridge (`allcache`,
+//!   Figs. 8 and 10),
+//! * [`tools::TraceRecorder`] — bounded execution-trace logger used in
+//!   replay-equivalence tests.
+//!
+//! Tools implement the [`Pintool`] trait and are driven by [`engine::run`]
+//! (or the monomorphized [`engine::run_one`] for single-tool hot loops).
+//!
+//! # Example
+//!
+//! ```
+//! use sampsim_pin::{engine, tools::{InsCount, LdStMix}};
+//! use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+//!
+//! let program = WorkloadSpec::builder("demo", 1)
+//!     .total_insts(10_000)
+//!     .phase(PhaseSpec::balanced(1.0))
+//!     .build()
+//!     .build();
+//! let mut exec = sampsim_workload::Executor::new(&program);
+//! let mut count = InsCount::default();
+//! let mut mix = LdStMix::default();
+//! engine::run(&mut exec, u64::MAX, &mut [&mut count, &mut mix]);
+//! assert_eq!(count.total(), program.total_insts());
+//! assert_eq!(mix.counts().total(), program.total_insts());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod tools;
+
+pub use engine::Pintool;

@@ -1,0 +1,107 @@
+//! `inscount0`: the dynamic instruction counter.
+
+use crate::engine::Pintool;
+use sampsim_workload::Retired;
+
+/// Counts retired instructions and branch outcomes.
+///
+/// # Example
+///
+/// ```
+/// use sampsim_pin::{engine, tools::InsCount};
+/// use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+///
+/// let p = WorkloadSpec::builder("ic", 1)
+///     .total_insts(1_000)
+///     .phase(PhaseSpec::compute_bound(1.0))
+///     .build()
+///     .build();
+/// let mut exec = sampsim_workload::Executor::new(&p);
+/// let mut ic = InsCount::default();
+/// engine::run_one(&mut exec, u64::MAX, &mut ic);
+/// assert_eq!(ic.total(), p.total_insts());
+/// assert!(ic.branches() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsCount {
+    total: u64,
+    branches: u64,
+    taken: u64,
+}
+
+impl InsCount {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total instructions observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Conditional branches observed.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Branches that were taken.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Fraction of instructions that are branches (0 when empty).
+    pub fn branch_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.total as f64
+        }
+    }
+}
+
+impl Pintool for InsCount {
+    #[inline]
+    fn on_inst(&mut self, inst: &Retired) {
+        self.total += 1;
+        if inst.is_branch {
+            self.branches += 1;
+            self.taken += u64::from(inst.taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_workload::MemClass;
+
+    fn retired(is_branch: bool, taken: bool) -> Retired {
+        Retired {
+            block: 0,
+            pc: 0,
+            mem: MemClass::NoMem,
+            addr: 0,
+            is_branch,
+            taken,
+            dependent: false,
+        }
+    }
+
+    #[test]
+    fn counts_branches_and_taken() {
+        let mut ic = InsCount::new();
+        ic.on_inst(&retired(false, false));
+        ic.on_inst(&retired(true, true));
+        ic.on_inst(&retired(true, false));
+        assert_eq!(ic.total(), 3);
+        assert_eq!(ic.branches(), 2);
+        assert_eq!(ic.taken(), 1);
+        assert!((ic.branch_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(InsCount::new().branch_fraction(), 0.0);
+    }
+}

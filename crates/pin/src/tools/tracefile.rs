@@ -1,0 +1,241 @@
+//! On-disk execution traces (the file-producing side of the paper's
+//! `logger`/`replayer` Pintool pair).
+//!
+//! A trace file is a compact, versioned binary stream of retired
+//! instructions. Unlike pinballs (which store a resumable *cursor*),
+//! traces store the observed events themselves, so they can be consumed by
+//! tools that never execute the program — including on machines without
+//! the program definition.
+//!
+//! Format: header (magic `SPTR`, version, program digest, name) followed by
+//! one fixed 21-byte little-endian record per instruction
+//! (`block:u32 pc:u64 addr:u64 flags:u8`). Delta-encoding would be
+//! smaller, but fixed records keep the reader trivially seekable; the
+//! flags byte packs the memory class, branch bits and dependence.
+
+use crate::engine::Pintool;
+use sampsim_util::codec::{Decoder, Encoder};
+use sampsim_workload::{MemClass, Retired};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x5350_5452; // "SPTR"
+const VERSION: u16 = 1;
+
+fn pack_flags(inst: &Retired) -> u8 {
+    let mut f = inst.mem.index() as u8; // 2 bits
+    if inst.is_branch {
+        f |= 1 << 2;
+    }
+    if inst.taken {
+        f |= 1 << 3;
+    }
+    if inst.dependent {
+        f |= 1 << 4;
+    }
+    f
+}
+
+fn unpack_flags(f: u8) -> (MemClass, bool, bool, bool) {
+    let mem = MemClass::ALL[(f & 0b11) as usize];
+    (mem, f & (1 << 2) != 0, f & (1 << 3) != 0, f & (1 << 4) != 0)
+}
+
+/// A Pintool that streams every retired instruction to a trace file.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl TraceWriter {
+    /// Creates a trace file at `path` for a program identified by
+    /// `program_digest` and `program_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be created.
+    pub fn create(
+        path: &Path,
+        program_digest: u64,
+        program_name: &str,
+    ) -> io::Result<TraceWriter> {
+        let mut enc = Encoder::with_header(MAGIC, VERSION);
+        enc.put_u64(program_digest);
+        enc.put_u32(program_name.len() as u32);
+        enc.put_bytes(program_name.as_bytes());
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&enc.into_bytes())?;
+        Ok(TraceWriter { out, written: 0 })
+    }
+
+    /// Instructions written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and closes the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the flush fails.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl Pintool for TraceWriter {
+    fn on_inst(&mut self, inst: &Retired) {
+        let mut rec = [0u8; 21];
+        rec[0..4].copy_from_slice(&inst.block.to_le_bytes());
+        rec[4..12].copy_from_slice(&inst.pc.to_le_bytes());
+        rec[12..20].copy_from_slice(&inst.addr.to_le_bytes());
+        rec[20] = pack_flags(inst);
+        // A stream write failing mid-trace leaves a truncated file; the
+        // reader detects that. Destructors must not fail (C-DTOR-FAIL), so
+        // errors surface at finish() via the flush.
+        let _ = self.out.write_all(&rec);
+        self.written += 1;
+    }
+}
+
+/// Iterator over the records of a trace file.
+#[derive(Debug)]
+pub struct TraceReader {
+    input: BufReader<File>,
+    program_digest: u64,
+    program_name: String,
+}
+
+impl TraceReader {
+    /// Opens a trace file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic/version.
+    pub fn open(path: &Path) -> io::Result<TraceReader> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 4 + 2 + 8 + 4];
+        input.read_exact(&mut header)?;
+        let mut dec = Decoder::with_header(&header, MAGIC, VERSION)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let program_digest = dec
+            .take_u64()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let name_len = dec
+            .take_u32()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            as usize;
+        let mut name = vec![0u8; name_len];
+        input.read_exact(&mut name)?;
+        let program_name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad trace name"))?;
+        Ok(TraceReader {
+            input,
+            program_digest,
+            program_name,
+        })
+    }
+
+    /// Digest of the traced program.
+    pub fn program_digest(&self) -> u64 {
+        self.program_digest
+    }
+
+    /// Name of the traced program.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = io::Result<Retired>;
+
+    fn next(&mut self) -> Option<io::Result<Retired>> {
+        let mut rec = [0u8; 21];
+        match self.input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+        }
+        let block = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let pc = u64::from_le_bytes(rec[4..12].try_into().unwrap());
+        let addr = u64::from_le_bytes(rec[12..20].try_into().unwrap());
+        let (mem, is_branch, taken, dependent) = unpack_flags(rec[20]);
+        Some(Ok(Retired {
+            block,
+            pc,
+            mem,
+            addr,
+            is_branch,
+            taken,
+            dependent,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+    use sampsim_workload::Executor;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sampsim-trace-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn trace_roundtrips_exactly() {
+        let program = WorkloadSpec::builder("trace-test", 5)
+            .total_insts(5_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build()
+            .build();
+        let path = tmpfile("roundtrip");
+        let mut writer =
+            TraceWriter::create(&path, program.digest(), program.name()).unwrap();
+        let mut exec = Executor::new(&program);
+        engine::run_one(&mut exec, u64::MAX, &mut writer);
+        assert_eq!(writer.finish().unwrap(), program.total_insts());
+
+        let reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.program_digest(), program.digest());
+        assert_eq!(reader.program_name(), "trace-test");
+        let replayed: Vec<Retired> = reader.map(|r| r.unwrap()).collect();
+        let mut reference = Executor::new(&program);
+        for (i, want) in replayed.iter().enumerate() {
+            assert_eq!(reference.next_inst().as_ref(), Some(want), "record {i}");
+        }
+        assert!(reference.next_inst().is_none());
+    }
+
+    #[test]
+    fn truncated_trace_ends_cleanly() {
+        let program = WorkloadSpec::builder("trace-trunc", 6)
+            .total_insts(1_000)
+            .phase(PhaseSpec::compute_bound(1.0))
+            .build()
+            .build();
+        let path = tmpfile("trunc");
+        let mut writer = TraceWriter::create(&path, program.digest(), program.name()).unwrap();
+        let mut exec = Executor::new(&program);
+        engine::run_one(&mut exec, 100, &mut writer);
+        writer.finish().unwrap();
+        // Chop a partial record off the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let reader = TraceReader::open(&path).unwrap();
+        let n = reader.filter_map(|r| r.ok()).count();
+        assert_eq!(n, 99, "partial final record is dropped");
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, b"not a trace at all........").unwrap();
+        assert!(TraceReader::open(&path).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Pinballs: portable, user-level execution checkpoints.
+//!
+//! In the paper's methodology (PinPlay; Patil & Carlson, REPRODUCE 2014), a
+//! *pinball* captures enough state to deterministically re-execute a
+//! program or a region of it. For `sampsim`'s deterministic synthetic
+//! programs that state is exactly a [`Cursor`](sampsim_workload::Cursor)
+//! plus provenance (program name + content digest), which keeps checkpoints
+//! small while preserving the essential property: **replaying a pinball
+//! reproduces the original instruction stream bit-for-bit** (property-tested
+//! in this crate and in the integration suite).
+//!
+//! Two checkpoint kinds mirror the paper:
+//!
+//! * [`WholePinball`] — the complete execution ("Whole Run"),
+//! * [`RegionalPinball`] — one simulation point: a slice-aligned region
+//!   with its SimPoint weight, and optionally a *warmup* predecessor cursor
+//!   so caches can be primed before measurement ("Warmup Regional Run").
+//!
+//! The [`store`] module persists pinballs in a versioned binary format.
+//!
+//! # Example
+//!
+//! ```
+//! use sampsim_pinball::{Logger, RegionalPinball};
+//! use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+//!
+//! let program = WorkloadSpec::builder("demo", 9)
+//!     .total_insts(20_000)
+//!     .phase(PhaseSpec::balanced(1.0))
+//!     .build()
+//!     .build();
+//!
+//! // Capture a checkpoint of slice 3 (slices of 1000 instructions).
+//! let starts = Logger::new(&program).slice_starts(1_000);
+//! let pb = RegionalPinball::new(&program, 3, starts[3].clone(), 1_000, 0.25, 0);
+//!
+//! // Replaying it resumes execution exactly at instruction 3000.
+//! let mut exec = pb.attach(&program).unwrap();
+//! assert_eq!(exec.retired(), 3_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pinball;
+pub mod store;
+
+pub use pinball::{Logger, PinballError, RegionalPinball, WarmupRecord, WholePinball};

@@ -1,0 +1,405 @@
+//! Checkpoint types, the logger that captures them, and replay validation.
+
+use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use sampsim_workload::{Cursor, Executor, Program};
+use std::fmt;
+
+/// Errors raised when attaching a pinball to a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinballError {
+    /// The pinball was captured from a different program (digest mismatch).
+    DigestMismatch {
+        /// Digest recorded in the pinball.
+        expected: u64,
+        /// Digest of the program supplied for replay.
+        found: u64,
+    },
+}
+
+impl fmt::Display for PinballError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinballError::DigestMismatch { expected, found } => write!(
+                f,
+                "pinball was captured from program {expected:#018x}, not {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PinballError {}
+
+/// A checkpoint of a complete program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WholePinball {
+    /// Program (benchmark) name, for reporting.
+    pub program_name: String,
+    /// Content digest of the program the pinball belongs to.
+    pub program_digest: u64,
+    /// Initial execution state.
+    pub start: Cursor,
+    /// Dynamic instruction count of the whole run.
+    pub length: u64,
+}
+
+impl WholePinball {
+    /// Captures a whole-execution checkpoint of `program`.
+    pub fn capture(program: &Program) -> Self {
+        Self {
+            program_name: program.name().to_string(),
+            program_digest: program.digest(),
+            start: Cursor::start(program),
+            length: program.total_insts(),
+        }
+    }
+
+    /// Creates an executor positioned at the start of the checkpointed
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::DigestMismatch`] if `program` is not the
+    /// program this pinball was captured from.
+    pub fn attach<'p>(&self, program: &'p Program) -> Result<Executor<'p>, PinballError> {
+        check_digest(self.program_digest, program)?;
+        Ok(Executor::with_cursor(program, self.start.clone()))
+    }
+}
+
+/// One chunk of checkpointed warmup: a cursor to resume from and how many
+/// instructions to replay (uncounted) before measuring a region.
+///
+/// A regional pinball carries a chronological list of these. At full
+/// (paper) scale the warmup is simply the instructions immediately
+/// preceding the region; at reduced scale the pipeline selects preceding
+/// slices *from the region's own cluster*, which reproduces the cache
+/// residency the whole run accumulates for that phase (DESIGN.md scaling
+/// policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmupRecord {
+    /// Execution state to resume from.
+    pub start: Cursor,
+    /// Number of warmup instructions to replay.
+    pub insts: u64,
+}
+
+/// A checkpoint of one simulation point (a slice-aligned region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionalPinball {
+    /// Program (benchmark) name, for reporting.
+    pub program_name: String,
+    /// Content digest of the program the pinball belongs to.
+    pub program_digest: u64,
+    /// Index of the slice this region covers.
+    pub slice_index: u64,
+    /// Execution state at the region start.
+    pub start: Cursor,
+    /// Region length in instructions (the slice size).
+    pub length: u64,
+    /// SimPoint weight: the fraction of whole-program execution this
+    /// region represents.
+    pub weight: f64,
+    /// Cluster id the slice belongs to.
+    pub cluster: u32,
+    /// Warmup chunks, chronological (empty = no warmup data).
+    pub warmup: Vec<WarmupRecord>,
+}
+
+impl RegionalPinball {
+    /// Creates a regional pinball without warmup data.
+    pub fn new(
+        program: &Program,
+        slice_index: u64,
+        start: Cursor,
+        length: u64,
+        weight: f64,
+        cluster: u32,
+    ) -> Self {
+        Self {
+            program_name: program.name().to_string(),
+            program_digest: program.digest(),
+            slice_index,
+            start,
+            length,
+            weight,
+            cluster,
+            warmup: Vec::new(),
+        }
+    }
+
+    /// Attaches warmup chunks (builder-style; chunks must be
+    /// chronological).
+    pub fn with_warmup(mut self, warmup: Vec<WarmupRecord>) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Creates an executor positioned at the region start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::DigestMismatch`] if `program` is not the
+    /// program this pinball was captured from.
+    pub fn attach<'p>(&self, program: &'p Program) -> Result<Executor<'p>, PinballError> {
+        check_digest(self.program_digest, program)?;
+        Ok(Executor::with_cursor(program, self.start.clone()))
+    }
+
+    /// Creates one executor per warmup chunk, in chronological order
+    /// (empty when the pinball carries no warmup data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinballError::DigestMismatch`] on a program mismatch.
+    pub fn warmup_executors<'p>(
+        &self,
+        program: &'p Program,
+    ) -> Result<Vec<(Executor<'p>, u64)>, PinballError> {
+        check_digest(self.program_digest, program)?;
+        Ok(self
+            .warmup
+            .iter()
+            .map(|w| (Executor::with_cursor(program, w.start.clone()), w.insts))
+            .collect())
+    }
+
+    /// Total warmup instructions across all chunks.
+    pub fn warmup_insts(&self) -> u64 {
+        self.warmup.iter().map(|w| w.insts).sum()
+    }
+}
+
+fn check_digest(expected: u64, program: &Program) -> Result<(), PinballError> {
+    if expected != program.digest() {
+        return Err(PinballError::DigestMismatch {
+            expected,
+            found: program.digest(),
+        });
+    }
+    Ok(())
+}
+
+/// Captures checkpoints by walking a program's execution — the stand-in
+/// for PinPlay's `logger` Pintool. (Like the real logger, this is the slow,
+/// run-once part of the methodology.)
+#[derive(Debug)]
+pub struct Logger<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Logger<'p> {
+    /// Creates a logger for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Self { program }
+    }
+
+    /// Executes the program start-to-end, capturing the cursor at every
+    /// `slice_size` boundary. Element `i` is the state at instruction
+    /// `i * slice_size`; the final partial slice's start is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_size` is zero.
+    pub fn slice_starts(&self, slice_size: u64) -> Vec<Cursor> {
+        assert!(slice_size > 0, "slice size must be positive");
+        let mut exec = Executor::new(self.program);
+        let mut starts = Vec::new();
+        loop {
+            let start = exec.cursor();
+            let ran = exec.skip(slice_size);
+            if ran == 0 {
+                break;
+            }
+            starts.push(start);
+            if ran < slice_size {
+                break;
+            }
+        }
+        starts
+    }
+
+    /// Captures a whole-execution pinball (no execution needed — the whole
+    /// run starts at the initial state).
+    pub fn whole(&self) -> WholePinball {
+        WholePinball::capture(self.program)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec impls
+// ---------------------------------------------------------------------------
+
+impl Encode for WholePinball {
+    fn encode(&self, enc: &mut Encoder) {
+        self.program_name.encode(enc);
+        enc.put_u64(self.program_digest);
+        self.start.encode(enc);
+        enc.put_u64(self.length);
+    }
+}
+
+impl Decode for WholePinball {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            program_name: String::decode(dec)?,
+            program_digest: dec.take_u64()?,
+            start: Cursor::decode(dec)?,
+            length: dec.take_u64()?,
+        })
+    }
+}
+
+impl Encode for WarmupRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        self.start.encode(enc);
+        enc.put_u64(self.insts);
+    }
+}
+
+impl Decode for WarmupRecord {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            start: Cursor::decode(dec)?,
+            insts: dec.take_u64()?,
+        })
+    }
+}
+
+impl Encode for RegionalPinball {
+    fn encode(&self, enc: &mut Encoder) {
+        self.program_name.encode(enc);
+        enc.put_u64(self.program_digest);
+        enc.put_u64(self.slice_index);
+        self.start.encode(enc);
+        enc.put_u64(self.length);
+        enc.put_f64(self.weight);
+        enc.put_u32(self.cluster);
+        self.warmup.encode(enc);
+    }
+}
+
+impl Decode for RegionalPinball {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            program_name: String::decode(dec)?,
+            program_digest: dec.take_u64()?,
+            slice_index: dec.take_u64()?,
+            start: Cursor::decode(dec)?,
+            length: dec.take_u64()?,
+            weight: dec.take_f64()?,
+            cluster: dec.take_u32()?,
+            warmup: Vec::<WarmupRecord>::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+
+    fn program(seed: u64) -> Program {
+        WorkloadSpec::builder("pb-test", seed)
+            .total_insts(30_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .phase(PhaseSpec::compute_bound(1.0))
+            .build()
+            .build()
+    }
+
+    #[test]
+    fn slice_starts_positions() {
+        let p = program(1);
+        let starts = Logger::new(&p).slice_starts(1_000);
+        assert_eq!(starts.len() as u64, p.total_insts().div_ceil(1_000));
+        for (i, c) in starts.iter().enumerate() {
+            assert_eq!(c.retired, i as u64 * 1_000);
+        }
+    }
+
+    #[test]
+    fn regional_replay_matches_direct_execution() {
+        let p = program(2);
+        let starts = Logger::new(&p).slice_starts(1_000);
+        let pb = RegionalPinball::new(&p, 5, starts[5].clone(), 1_000, 0.1, 0);
+        // Reference: run from the beginning and skip to slice 5.
+        let mut reference = Executor::new(&p);
+        reference.skip(5_000);
+        let mut replayed = pb.attach(&p).unwrap();
+        for _ in 0..1_000 {
+            assert_eq!(replayed.next_inst(), reference.next_inst());
+        }
+    }
+
+    #[test]
+    fn digest_mismatch_rejected() {
+        let p1 = program(3);
+        let p2 = program(4);
+        let pb = WholePinball::capture(&p1);
+        let err = pb.attach(&p2).unwrap_err();
+        assert!(matches!(err, PinballError::DigestMismatch { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn warmup_attach() {
+        let p = program(5);
+        let starts = Logger::new(&p).slice_starts(1_000);
+        let pb = RegionalPinball::new(&p, 4, starts[4].clone(), 1_000, 0.1, 2).with_warmup(vec![
+            WarmupRecord {
+                start: starts[1].clone(),
+                insts: 1_000,
+            },
+            WarmupRecord {
+                start: starts[2].clone(),
+                insts: 2_000,
+            },
+        ]);
+        assert_eq!(pb.warmup_insts(), 3_000);
+        let chunks = pb.warmup_executors(&p).unwrap();
+        assert_eq!(chunks.len(), 2);
+        let (mut warm_exec, insts) = chunks.into_iter().nth(1).unwrap();
+        assert_eq!(insts, 2_000);
+        assert_eq!(warm_exec.retired(), 2_000);
+        warm_exec.skip(insts);
+        // The final chunk ends exactly at the region start.
+        assert_eq!(warm_exec.cursor(), pb.start);
+    }
+
+    #[test]
+    fn no_warmup_is_empty() {
+        let p = program(6);
+        let pb = RegionalPinball::new(&p, 0, Cursor::start(&p), 100, 1.0, 0);
+        assert!(pb.warmup_executors(&p).unwrap().is_empty());
+        assert_eq!(pb.warmup_insts(), 0);
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let p = program(7);
+        let starts = Logger::new(&p).slice_starts(2_000);
+        let whole = WholePinball::capture(&p);
+        let bytes = sampsim_util::codec::to_bytes(&whole);
+        assert_eq!(
+            sampsim_util::codec::from_bytes::<WholePinball>(&bytes).unwrap(),
+            whole
+        );
+        let regional = RegionalPinball::new(&p, 1, starts[1].clone(), 2_000, 0.5, 3)
+            .with_warmup(vec![WarmupRecord {
+                start: starts[0].clone(),
+                insts: 2_000,
+            }]);
+        let bytes = sampsim_util::codec::to_bytes(&regional);
+        assert_eq!(
+            sampsim_util::codec::from_bytes::<RegionalPinball>(&bytes).unwrap(),
+            regional
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slice size must be positive")]
+    fn zero_slice_panics() {
+        let p = program(8);
+        Logger::new(&p).slice_starts(0);
+    }
+}

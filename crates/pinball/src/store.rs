@@ -1,0 +1,239 @@
+//! On-disk pinball storage.
+//!
+//! Files carry a magic/version header so stale or foreign files are
+//! rejected with a clear error instead of garbage decodes.
+
+use crate::pinball::{RegionalPinball, WholePinball};
+use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const WHOLE_MAGIC: u32 = 0x5350_4257; // "SPBW"
+const REGION_MAGIC: u32 = 0x5350_4252; // "SPBR"
+const VERSION: u16 = 1;
+
+/// Errors raised by pinball file I/O.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed or mismatched file contents.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "pinball i/o error: {e}"),
+            StoreError::Decode(e) => write!(f, "pinball decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// Writes a whole pinball to `path`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn save_whole(path: &Path, pinball: &WholePinball) -> Result<(), StoreError> {
+    let mut enc = Encoder::with_header(WHOLE_MAGIC, VERSION);
+    pinball.encode(&mut enc);
+    fs::write(path, enc.into_bytes())?;
+    Ok(())
+}
+
+/// Reads a whole pinball from `path`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Decode`] on malformed contents.
+pub fn load_whole(path: &Path) -> Result<WholePinball, StoreError> {
+    let bytes = fs::read(path)?;
+    let mut dec = Decoder::with_header(&bytes, WHOLE_MAGIC, VERSION)?;
+    let pb = WholePinball::decode(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bytes").into());
+    }
+    Ok(pb)
+}
+
+/// Writes a set of regional pinballs (one benchmark's simulation points) to
+/// `path`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn save_regions(path: &Path, regions: &[RegionalPinball]) -> Result<(), StoreError> {
+    let mut enc = Encoder::with_header(REGION_MAGIC, VERSION);
+    enc.put_u32(regions.len() as u32);
+    for r in regions {
+        r.encode(&mut enc);
+    }
+    fs::write(path, enc.into_bytes())?;
+    Ok(())
+}
+
+/// Reads regional pinballs from `path`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Decode`] on malformed contents.
+pub fn load_regions(path: &Path) -> Result<Vec<RegionalPinball>, StoreError> {
+    let bytes = fs::read(path)?;
+    let mut dec = Decoder::with_header(&bytes, REGION_MAGIC, VERSION)?;
+    let n = dec.take_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(RegionalPinball::decode(&mut dec)?);
+    }
+    if !dec.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bytes").into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pinball::Logger;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+    use sampsim_workload::Program;
+
+    fn program() -> Program {
+        WorkloadSpec::builder("store-test", 1)
+            .total_insts(10_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build()
+            .build()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sampsim-store-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn whole_roundtrip() {
+        let p = program();
+        let pb = Logger::new(&p).whole();
+        let path = tmpdir("whole").join("w.pb");
+        save_whole(&path, &pb).unwrap();
+        assert_eq!(load_whole(&path).unwrap(), pb);
+    }
+
+    #[test]
+    fn regions_roundtrip() {
+        let p = program();
+        let starts = Logger::new(&p).slice_starts(1_000);
+        let regions: Vec<RegionalPinball> = starts
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, c)| RegionalPinball::new(&p, i as u64, c.clone(), 1_000, 0.3, i as u32))
+            .collect();
+        let path = tmpdir("regions").join("r.pb");
+        save_regions(&path, &regions).unwrap();
+        assert_eq!(load_regions(&path).unwrap(), regions);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let p = program();
+        let pb = Logger::new(&p).whole();
+        let dir = tmpdir("magic");
+        let path = dir.join("w.pb");
+        save_whole(&path, &pb).unwrap();
+        // A whole-pinball file is not a region file.
+        assert!(matches!(
+            load_regions(&path),
+            Err(StoreError::Decode(DecodeError::BadHeader { .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let p = program();
+        let pb = Logger::new(&p).whole();
+        let dir = tmpdir("trunc");
+        let path = dir.join("w.pb");
+        save_whole(&path, &pb).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(load_whole(&path), Err(StoreError::Decode(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_whole(Path::new("/nonexistent/sampsim.pb")),
+            Err(StoreError::Io(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod store_extra_tests {
+    use super::*;
+    use crate::pinball::{Logger, WarmupRecord};
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+
+    #[test]
+    fn regions_with_warmup_chunks_roundtrip() {
+        let p = WorkloadSpec::builder("store-warm", 3)
+            .total_insts(12_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build()
+            .build();
+        let starts = Logger::new(&p).slice_starts(1_000);
+        let regions = vec![RegionalPinball::new(&p, 5, starts[5].clone(), 1_000, 1.0, 0)
+            .with_warmup(vec![
+                WarmupRecord { start: starts[1].clone(), insts: 1_000 },
+                WarmupRecord { start: starts[3].clone(), insts: 2_000 },
+            ])];
+        let dir = std::env::temp_dir()
+            .join(format!("sampsim-store-warm-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.pb");
+        save_regions(&path, &regions).unwrap();
+        let back = load_regions(&path).unwrap();
+        assert_eq!(back, regions);
+        assert_eq!(back[0].warmup.len(), 2);
+        assert_eq!(back[0].warmup_insts(), 3_000);
+    }
+
+    #[test]
+    fn empty_region_file_roundtrips() {
+        let dir = std::env::temp_dir()
+            .join(format!("sampsim-store-empty-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.pb");
+        save_regions(&path, &[]).unwrap();
+        assert!(load_regions(&path).unwrap().is_empty());
+    }
+}

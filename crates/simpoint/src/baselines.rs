@@ -1,0 +1,100 @@
+//! Baseline samplers used as comparison points against SimPoint selection.
+//!
+//! These implement the classical alternatives SimPoint is usually compared
+//! with: *periodic* (SMARTS-style systematic sampling) and *uniform random*
+//! slice selection. Both produce the same [`SimPoint`] shape so downstream
+//! replay/aggregation code is sampler-agnostic (every selected slice gets
+//! an equal weight).
+
+use crate::select::SimPoint;
+use sampsim_util::rng::Xoshiro256StarStar;
+
+/// Picks `count` slices spread evenly across `[0, num_slices)`
+/// (systematic sampling).
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `num_slices` is zero.
+pub fn periodic(num_slices: u64, count: usize) -> Vec<SimPoint> {
+    assert!(count > 0, "count must be positive");
+    assert!(num_slices > 0, "need at least one slice");
+    let count = count.min(num_slices as usize);
+    let weight = 1.0 / count as f64;
+    (0..count)
+        .map(|i| {
+            // Midpoint of the i-th stratum.
+            let slice = ((i as f64 + 0.5) * num_slices as f64 / count as f64) as u64;
+            SimPoint {
+                slice: slice.min(num_slices - 1),
+                cluster: i as u32,
+                weight,
+            }
+        })
+        .collect()
+}
+
+/// Picks `count` distinct slices uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `num_slices` is zero.
+pub fn uniform_random(num_slices: u64, count: usize, seed: u64) -> Vec<SimPoint> {
+    assert!(count > 0, "count must be positive");
+    assert!(num_slices > 0, "need at least one slice");
+    let count = count.min(num_slices as usize);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < count {
+        chosen.insert(rng.next_below(num_slices));
+    }
+    let weight = 1.0 / count as f64;
+    chosen
+        .into_iter()
+        .enumerate()
+        .map(|(i, slice)| SimPoint {
+            slice,
+            cluster: i as u32,
+            weight,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_is_spread_and_weighted() {
+        let pts = periodic(100, 4);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(
+            pts.iter().map(|p| p.slice).collect::<Vec<_>>(),
+            vec![12, 37, 62, 87]
+        );
+        let w: f64 = pts.iter().map(|p| p.weight).sum();
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_caps_count() {
+        let pts = periodic(3, 10);
+        assert_eq!(pts.len(), 3);
+    }
+
+    #[test]
+    fn random_is_distinct_sorted_deterministic() {
+        let a = uniform_random(1000, 20, 5);
+        let b = uniform_random(1000, 20, 5);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].slice < w[1].slice));
+        assert_eq!(a.len(), 20);
+        let c = uniform_random(1000, 20, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be positive")]
+    fn zero_count_panics() {
+        periodic(10, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Basic-block vectors (Sherwood, Perelman & Calder, PACT 2001).
+//!
+//! A BBV counts the instructions retired in each basic block during one
+//! slice. Vectors are stored sparsely (most slices touch a small fraction
+//! of a program's blocks) and L1-normalized before clustering so that slice
+//! length does not influence similarity.
+
+/// A sparse basic-block vector: `(block, value)` pairs sorted by block id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Bbv {
+    entries: Vec<(u32, f64)>,
+}
+
+impl Bbv {
+    /// Creates a BBV from raw per-block instruction counts (as harvested by
+    /// `sampsim-pin`'s `BbvTool`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not sorted by strictly increasing block id.
+    pub fn from_counts(counts: Vec<(u32, u32)>) -> Self {
+        assert!(
+            counts.windows(2).all(|w| w[0].0 < w[1].0),
+            "counts must be sorted by strictly increasing block id"
+        );
+        Self {
+            entries: counts
+                .into_iter()
+                .map(|(b, c)| (b, f64::from(c)))
+                .collect(),
+        }
+    }
+
+    /// The sparse entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero blocks.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of values (total instructions for a raw count vector).
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Returns an L1-normalized copy (values sum to 1). An empty vector
+    /// normalizes to itself.
+    pub fn normalized(&self) -> Bbv {
+        let norm = self.l1_norm();
+        if norm == 0.0 {
+            return self.clone();
+        }
+        Bbv {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(b, v)| (b, v / norm))
+                .collect(),
+        }
+    }
+
+    /// Manhattan (L1) distance between two BBVs — the similarity metric of
+    /// the original SimPoint formulation.
+    pub fn manhattan(&self, other: &Bbv) -> f64 {
+        let mut dist = 0.0;
+        let (mut i, mut j) = (0, 0);
+        let a = &self.entries;
+        let b = &other.entries;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    dist += a[i].1.abs();
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    dist += b[j].1.abs();
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    dist += (a[i].1 - b[j].1).abs();
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dist += a[i..].iter().map(|&(_, v)| v.abs()).sum::<f64>();
+        dist += b[j..].iter().map(|&(_, v)| v.abs()).sum::<f64>();
+        dist
+    }
+
+    /// Highest block id referenced, if any.
+    pub fn max_block(&self) -> Option<u32> {
+        self.entries.last().map(|&(b, _)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_and_norm() {
+        let v = Bbv::from_counts(vec![(1, 30), (4, 70)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.l1_norm(), 100.0);
+        let n = v.normalized();
+        assert_eq!(n.entries(), &[(1, 0.3), (4, 0.7)]);
+        assert!((n.l1_norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = Bbv::from_counts(vec![]);
+        assert!(v.is_empty());
+        assert_eq!(v.l1_norm(), 0.0);
+        assert_eq!(v.normalized(), v);
+        assert_eq!(v.max_block(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_counts_panic() {
+        Bbv::from_counts(vec![(4, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Bbv::from_counts(vec![(0, 5), (2, 5)]).normalized();
+        let b = Bbv::from_counts(vec![(0, 5), (3, 5)]).normalized();
+        // Shared block 0 matches (0.5 each); blocks 2 and 3 contribute 0.5 each.
+        assert!((a.manhattan(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.manhattan(&a), 0.0);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Bbv::from_counts(vec![(0, 1), (5, 9)]).normalized();
+        let b = Bbv::from_counts(vec![(1, 4), (5, 6)]).normalized();
+        assert!((a.manhattan(&b) - b.manhattan(&a)).abs() < 1e-12);
+    }
+}

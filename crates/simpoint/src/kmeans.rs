@@ -1,0 +1,304 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Operates on a flat row-major matrix of projected BBVs. Deterministic for
+//! a given seed; empty clusters are reseeded to the point farthest from its
+//! centroid so every requested cluster survives when the data supports it.
+
+use sampsim_util::rng::Xoshiro256StarStar;
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Number of clusters requested.
+    pub k: usize,
+    /// Cluster assignment per point.
+    pub assignments: Vec<u32>,
+    /// Flat row-major centroid matrix (`k * dim`).
+    pub centroids: Vec<f64>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: u32,
+}
+
+impl KmeansResult {
+    /// Cluster sizes (points per cluster).
+    pub fn cluster_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.k];
+        for &a in &self.assignments {
+            sizes[a as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of clusters that actually contain points.
+    pub fn occupied_clusters(&self) -> usize {
+        self.cluster_sizes().iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Average intra-cluster variance: inertia divided by point count
+    /// (the Fig. 4 metric).
+    pub fn avg_variance(&self) -> f64 {
+        if self.assignments.is_empty() {
+            0.0
+        } else {
+            self.inertia / self.assignments.len() as f64
+        }
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on `n` points of `dim` dimensions stored row-major in
+/// `data`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, `dim` is zero, `data.len() != n * dim`, or there
+/// are no points.
+pub fn kmeans(
+    data: &[f64],
+    n: usize,
+    dim: usize,
+    k: usize,
+    max_iter: u32,
+    seed: u64,
+) -> KmeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(dim > 0, "dim must be positive");
+    assert!(n > 0, "need at least one point");
+    assert_eq!(data.len(), n * dim, "data shape mismatch");
+    let k = k.min(n);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut centroids = plus_plus_init(data, n, dim, k, &mut rng);
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0;
+    let mut inertia = f64::INFINITY;
+    for iter in 0..max_iter {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let p = &data[i * dim..(i + 1) * dim];
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(p, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += best_d;
+        }
+        inertia = new_inertia;
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for i in 0..n {
+            let c = assignments[i] as usize;
+            counts[c] += 1;
+            let p = &data[i * dim..(i + 1) * dim];
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster at the point farthest from its
+                // current centroid.
+                let mut far = 0usize;
+                let mut far_d = -1.0;
+                for i in 0..n {
+                    let p = &data[i * dim..(i + 1) * dim];
+                    let c_own = assignments[i] as usize;
+                    let d = sq_dist(p, &centroids[c_own * dim..(c_own + 1) * dim]);
+                    if d > far_d {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                centroids[c * dim..(c + 1) * dim]
+                    .copy_from_slice(&data[far * dim..(far + 1) * dim]);
+            } else {
+                for (cc, s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *cc = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+    KmeansResult {
+        k,
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii, 2007).
+fn plus_plus_init(
+    data: &[f64],
+    n: usize,
+    dim: usize,
+    k: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<f64> {
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.next_below(n as u64) as usize;
+    centroids.extend_from_slice(&data[first * dim..(first + 1) * dim]);
+    let mut dists: Vec<f64> = (0..n)
+        .map(|i| sq_dist(&data[i * dim..(i + 1) * dim], &centroids[0..dim]))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dists.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; any point works.
+            rng.next_below(n as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.extend_from_slice(&data[chosen * dim..(chosen + 1) * dim]);
+        for i in 0..n {
+            let d = sq_dist(
+                &data[i * dim..(i + 1) * dim],
+                &centroids[c * dim..(c + 1) * dim],
+            );
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Runs k-means `n_init` times with different derived seeds, returning the
+/// run with the lowest inertia.
+///
+/// # Panics
+///
+/// As [`kmeans`]; additionally if `n_init` is zero.
+pub fn kmeans_best_of(
+    data: &[f64],
+    n: usize,
+    dim: usize,
+    k: usize,
+    max_iter: u32,
+    seed: u64,
+    n_init: u32,
+) -> KmeansResult {
+    assert!(n_init > 0, "n_init must be positive");
+    let mut best: Option<KmeansResult> = None;
+    for run in 0..n_init {
+        let r = kmeans(data, n, dim, k, max_iter, seed.wrapping_add(u64::from(run) * 0x9E37));
+        if best.as_ref().is_none_or(|b| r.inertia < b.inertia) {
+            best = Some(r);
+        }
+    }
+    best.expect("n_init > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs.
+    fn blobs() -> (Vec<f64>, usize) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut data = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..40 {
+                data.push(cx + rng.next_f64() - 0.5);
+                data.push(cy + rng.next_f64() - 0.5);
+            }
+        }
+        (data, 120)
+    }
+
+    #[test]
+    fn recovers_blobs() {
+        let (data, n) = blobs();
+        let r = kmeans(&data, n, 2, 3, 100, 1);
+        assert_eq!(r.occupied_clusters(), 3);
+        let sizes = r.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 40), "sizes {sizes:?}");
+        // Points in the same blob share a cluster.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 40];
+            assert!(r.assignments[blob * 40..(blob + 1) * 40]
+                .iter()
+                .all(|&a| a == first));
+        }
+        assert!(r.avg_variance() < 1.0);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let data = vec![0.0, 0.0, 1.0, 1.0];
+        let r = kmeans(&data, 2, 2, 10, 50, 1);
+        assert_eq!(r.k, 2);
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn identical_points_one_cluster_zero_inertia() {
+        let data = vec![3.0; 20]; // 10 identical 2-D points
+        let r = kmeans(&data, 10, 2, 3, 50, 1);
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (data, n) = blobs();
+        let a = kmeans(&data, n, 2, 3, 100, 5);
+        let b = kmeans(&data, n, 2, 3, 100, 5);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia_much() {
+        let (data, n) = blobs();
+        let k3 = kmeans_best_of(&data, n, 2, 3, 100, 1, 3);
+        let k6 = kmeans_best_of(&data, n, 2, 6, 100, 1, 3);
+        assert!(k6.inertia <= k3.inertia * 1.01);
+    }
+
+    #[test]
+    fn best_of_picks_lowest_inertia() {
+        let (data, n) = blobs();
+        let single = kmeans(&data, n, 2, 3, 100, 1);
+        let multi = kmeans_best_of(&data, n, 2, 3, 100, 1, 5);
+        assert!(multi.inertia <= single.inertia + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "data shape mismatch")]
+    fn shape_checked() {
+        kmeans(&[1.0, 2.0, 3.0], 2, 2, 1, 10, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Random projection of BBVs to a low-dimensional dense space.
+//!
+//! SimPoint projects (potentially huge) BBVs down to 15 dimensions before
+//! clustering; random projection approximately preserves distances
+//! (Johnson–Lindenstrauss) at a fraction of the cost. The projection matrix
+//! is generated deterministically from a seed, so analyses are
+//! reproducible.
+
+use crate::bbv::Bbv;
+use sampsim_util::rng::SplitMix64;
+
+/// The projected dimensionality used by SimPoint.
+pub const DEFAULT_DIM: usize = 15;
+
+/// A deterministic random projection from block space to `dim` dense
+/// dimensions.
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    dim: usize,
+    seed: u64,
+}
+
+impl RandomProjection {
+    /// Creates a projection onto `dim` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "projection dimension must be positive");
+        Self { dim, seed }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The matrix row for `block`: `dim` values uniform in `[-1, 1]`,
+    /// generated on demand from the seed.
+    fn row(&self, block: u32, out: &mut [f64]) {
+        let mut rng = SplitMix64::new(self.seed ^ (u64::from(block).wrapping_mul(0x9E37_79B9)));
+        for slot in out.iter_mut() {
+            // Map to [-1, 1).
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            *slot = 2.0 * u - 1.0;
+        }
+    }
+
+    /// Projects one (typically normalized) BBV.
+    pub fn project(&self, bbv: &Bbv) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        let mut row = vec![0.0; self.dim];
+        for &(block, value) in bbv.entries() {
+            self.row(block, &mut row);
+            for (o, r) in out.iter_mut().zip(&row) {
+                *o += value * r;
+            }
+        }
+        out
+    }
+
+    /// Projects a batch of BBVs into a flat row-major matrix
+    /// (`bbvs.len() * dim` values).
+    pub fn project_all(&self, bbvs: &[Bbv]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(bbvs.len() * self.dim);
+        for bbv in bbvs {
+            out.extend(self.project(bbv));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = RandomProjection::new(15, 7);
+        let v = Bbv::from_counts(vec![(3, 10), (900, 5)]).normalized();
+        assert_eq!(p.project(&v), p.project(&v));
+        let p2 = RandomProjection::new(15, 8);
+        assert_ne!(p.project(&v), p2.project(&v));
+    }
+
+    #[test]
+    fn identical_bbvs_project_identically() {
+        let p = RandomProjection::new(15, 1);
+        let a = Bbv::from_counts(vec![(0, 50), (10, 50)]).normalized();
+        let b = Bbv::from_counts(vec![(0, 50), (10, 50)]).normalized();
+        assert_eq!(p.project(&a), p.project(&b));
+    }
+
+    #[test]
+    fn preserves_relative_distance_roughly() {
+        // near-identical vectors should project much closer than disjoint ones.
+        let p = RandomProjection::new(15, 42);
+        let a = Bbv::from_counts(vec![(0, 100)]).normalized();
+        let a2 = Bbv::from_counts(vec![(0, 99), (1, 1)]).normalized();
+        let far = Bbv::from_counts(vec![(500, 100)]).normalized();
+        let d = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+        };
+        let pa = p.project(&a);
+        let pa2 = p.project(&a2);
+        let pfar = p.project(&far);
+        assert!(d(&pa, &pa2) * 10.0 < d(&pa, &pfar));
+    }
+
+    #[test]
+    fn project_all_shape() {
+        let p = RandomProjection::new(5, 1);
+        let bbvs = vec![
+            Bbv::from_counts(vec![(0, 1)]),
+            Bbv::from_counts(vec![(1, 1)]),
+            Bbv::from_counts(vec![]),
+        ];
+        let m = p.project_all(&bbvs);
+        assert_eq!(m.len(), 15);
+        assert!(m[10..].iter().all(|&x| x == 0.0), "empty bbv projects to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        RandomProjection::new(0, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation-point selection and percentile reduction.
+
+use crate::kmeans::KmeansResult;
+
+/// One simulation point: a representative slice, its cluster, and the
+/// fraction of whole-program execution it stands for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Index of the representative slice.
+    pub slice: u64,
+    /// Cluster this point represents.
+    pub cluster: u32,
+    /// Cluster weight: cluster size / total slices.
+    pub weight: f64,
+}
+
+/// For every occupied cluster, picks the member slice closest to the
+/// centroid and computes its weight. Points are returned sorted by slice
+/// index.
+///
+/// `data` is the projected matrix the clustering was computed on.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `result` and `data`.
+pub fn select_simpoints(result: &KmeansResult, data: &[f64], dim: usize) -> Vec<SimPoint> {
+    let n = result.assignments.len();
+    assert_eq!(data.len(), n * dim, "data shape mismatch");
+    let sizes = result.cluster_sizes();
+    let mut best_slice: Vec<Option<(usize, f64)>> = vec![None; result.k];
+    for i in 0..n {
+        let c = result.assignments[i] as usize;
+        let centroid = &result.centroids[c * dim..(c + 1) * dim];
+        let p = &data[i * dim..(i + 1) * dim];
+        let d: f64 = p
+            .iter()
+            .zip(centroid)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        if best_slice[c].is_none_or(|(_, bd)| d < bd) {
+            best_slice[c] = Some((i, d));
+        }
+    }
+    let mut points: Vec<SimPoint> = best_slice
+        .iter()
+        .enumerate()
+        .filter_map(|(c, best)| {
+            best.map(|(slice, _)| SimPoint {
+                slice: slice as u64,
+                cluster: c as u32,
+                weight: sizes[c] as f64 / n as f64,
+            })
+        })
+        .collect();
+    points.sort_by_key(|p| p.slice);
+    points
+}
+
+/// Keeps the highest-weighted points whose cumulative weight reaches
+/// `percentile` (e.g. `0.9` for the paper's "Reduced Regional Run"), then
+/// renormalizes the kept weights to sum to 1 so weighted statistics remain
+/// well-defined. Points are returned sorted by slice index.
+///
+/// # Panics
+///
+/// Panics if `percentile` is outside `(0, 1]` or `points` is empty.
+pub fn reduce_to_percentile(points: &[SimPoint], percentile: f64) -> Vec<SimPoint> {
+    assert!(
+        percentile > 0.0 && percentile <= 1.0,
+        "percentile must be in (0, 1]"
+    );
+    assert!(!points.is_empty(), "no simulation points to reduce");
+    let mut sorted: Vec<SimPoint> = points.to_vec();
+    sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    let total: f64 = sorted.iter().map(|p| p.weight).sum();
+    let target = percentile * total;
+    let mut kept = Vec::new();
+    let mut acc = 0.0;
+    for p in sorted {
+        kept.push(p);
+        acc += p.weight;
+        // Strict comparison with a tiny epsilon so an exact boundary does
+        // not keep one extra point due to floating-point rounding.
+        if acc >= target - 1e-12 {
+            break;
+        }
+    }
+    let kept_total: f64 = kept.iter().map(|p| p.weight).sum();
+    for p in &mut kept {
+        p.weight /= kept_total;
+    }
+    kept.sort_by_key(|p| p.slice);
+    kept
+}
+
+/// Number of points needed to reach `percentile` of the total weight
+/// (Table II's third column), without materializing the reduced set.
+pub fn count_at_percentile(points: &[SimPoint], percentile: f64) -> usize {
+    if points.is_empty() {
+        return 0;
+    }
+    reduce_to_percentile(points, percentile).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    #[test]
+    fn selects_one_point_per_occupied_cluster() {
+        // Two blobs in 1-D.
+        let data = vec![0.0, 0.1, 0.2, 10.0, 10.1];
+        let r = kmeans(&data, 5, 1, 2, 50, 1);
+        let pts = select_simpoints(&r, &data, 1);
+        assert_eq!(pts.len(), 2);
+        let w: f64 = pts.iter().map(|p| p.weight).sum();
+        assert!((w - 1.0).abs() < 1e-12);
+        // Representative of the 3-point blob is the middle point (closest
+        // to the mean 0.1).
+        let big = pts.iter().find(|p| p.weight > 0.5).unwrap();
+        assert_eq!(big.slice, 1);
+    }
+
+    fn mk(points: &[(u64, f64)]) -> Vec<SimPoint> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(slice, weight))| SimPoint {
+                slice,
+                cluster: i as u32,
+                weight,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduce_keeps_dominant_points() {
+        let pts = mk(&[(0, 0.6), (1, 0.25), (2, 0.1), (3, 0.05)]);
+        let reduced = reduce_to_percentile(&pts, 0.9);
+        // 0.6 + 0.25 = 0.85 < 0.9; adding 0.1 reaches 0.95.
+        assert_eq!(reduced.len(), 3);
+        let w: f64 = reduced.iter().map(|p| p.weight).sum();
+        assert!((w - 1.0).abs() < 1e-12, "weights renormalized");
+        assert!(reduced.windows(2).all(|w| w[0].slice < w[1].slice));
+    }
+
+    #[test]
+    fn reduce_full_percentile_keeps_all() {
+        let pts = mk(&[(0, 0.5), (1, 0.5)]);
+        assert_eq!(reduce_to_percentile(&pts, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn reduce_tiny_percentile_keeps_heaviest() {
+        let pts = mk(&[(7, 0.7), (1, 0.3)]);
+        let reduced = reduce_to_percentile(&pts, 0.1);
+        assert_eq!(reduced.len(), 1);
+        assert_eq!(reduced[0].slice, 7);
+        assert_eq!(reduced[0].weight, 1.0);
+    }
+
+    #[test]
+    fn count_at_percentile_matches_reduce() {
+        let pts = mk(&[(0, 0.4), (1, 0.3), (2, 0.2), (3, 0.1)]);
+        for pct in [0.5, 0.7, 0.9, 1.0] {
+            assert_eq!(
+                count_at_percentile(&pts, pct),
+                reduce_to_percentile(&pts, pct).len()
+            );
+        }
+        assert_eq!(count_at_percentile(&[], 0.9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_percentile_panics() {
+        reduce_to_percentile(&mk(&[(0, 1.0)]), 0.0);
+    }
+}

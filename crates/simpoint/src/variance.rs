@@ -1,0 +1,91 @@
+//! Intra-cluster variance sweeps (the Fig. 4 analysis).
+//!
+//! Fig. 4 of the paper shows, per benchmark, how the average variance in
+//! phase similarity within clusters grows as the number of available
+//! clusters shrinks — forcing phases to share clusters costs accuracy.
+
+use crate::bbv::Bbv;
+use crate::kmeans::kmeans_best_of;
+use crate::project::RandomProjection;
+use crate::SimPointOptions;
+
+/// For each `k` in `ks`, clusters the (normalized, projected) BBVs and
+/// reports the average intra-cluster variance. Returns `(k, variance)`
+/// pairs in the order given.
+///
+/// # Panics
+///
+/// Panics if `bbvs` is empty or any `k` is zero.
+pub fn variance_sweep(bbvs: &[Bbv], ks: &[usize], options: &SimPointOptions) -> Vec<(usize, f64)> {
+    assert!(!bbvs.is_empty(), "no slices to analyze");
+    let projection = RandomProjection::new(options.dim, options.seed);
+    let normalized: Vec<Bbv> = bbvs.iter().map(Bbv::normalized).collect();
+    let data = projection.project_all(&normalized);
+    let n = bbvs.len();
+    ks.iter()
+        .map(|&k| {
+            assert!(k > 0, "k must be positive");
+            let r = kmeans_best_of(
+                &data,
+                n,
+                options.dim,
+                k,
+                options.max_iter,
+                options.seed.wrapping_add(k as u64),
+                options.n_init,
+            );
+            (k, r.avg_variance())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbvs() -> Vec<Bbv> {
+        (0..120u32)
+            .map(|i| {
+                let phase = (i % 6) * 10;
+                Bbv::from_counts(vec![(phase, 900), (phase + 1, 100 + i % 3)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn variance_decreases_with_more_clusters() {
+        let sweep = variance_sweep(&bbvs(), &[1, 2, 4, 6], &SimPointOptions::default());
+        assert_eq!(sweep.len(), 4);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "variance should not grow with k: {sweep:?}"
+            );
+        }
+        // At the true phase count the clusters are nearly pure.
+        assert!(sweep[3].1 < sweep[0].1 * 0.25, "{sweep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no slices")]
+    fn empty_panics() {
+        variance_sweep(&[], &[1], &SimPointOptions::default());
+    }
+}
+
+#[cfg(test)]
+mod sweep_extra_tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_requested_ks_in_order() {
+        let bbvs: Vec<Bbv> = (0..30u32)
+            .map(|i| Bbv::from_counts(vec![((i % 3) * 5, 100)]))
+            .collect();
+        let sweep = variance_sweep(&bbvs, &[3, 1, 2], &SimPointOptions::default());
+        assert_eq!(sweep.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![3, 1, 2]);
+        // Three pure behaviours: k=3 clusters perfectly.
+        assert!(sweep[0].1 < 1e-9, "k=3 variance {}", sweep[0].1);
+        assert!(sweep[1].1 > sweep[0].1);
+    }
+}

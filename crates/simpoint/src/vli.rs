@@ -1,0 +1,130 @@
+//! Variable-length intervals (the SimPoint 3.0 extension; Hamerly et al.,
+//! JILP 2005).
+//!
+//! After clustering fixed-size slices, consecutive slices that share a
+//! cluster can be coalesced into variable-length intervals. Replaying one
+//! representative *interval* per cluster amortizes per-region start-up cost
+//! and captures behaviour that straddles slice boundaries.
+
+use crate::select::SimPoint;
+
+/// A maximal run of consecutive slices assigned to the same cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First slice of the run.
+    pub start_slice: u64,
+    /// Number of consecutive slices.
+    pub len: u64,
+    /// The cluster every slice in the run belongs to.
+    pub cluster: u32,
+}
+
+/// Coalesces a per-slice assignment vector into maximal same-cluster runs.
+pub fn coalesce(assignments: &[u32]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut iter = assignments.iter().copied().enumerate();
+    let Some((_, first)) = iter.next() else {
+        return out;
+    };
+    let mut cur = Interval {
+        start_slice: 0,
+        len: 1,
+        cluster: first,
+    };
+    for (i, c) in iter {
+        if c == cur.cluster {
+            cur.len += 1;
+        } else {
+            out.push(cur);
+            cur = Interval {
+                start_slice: i as u64,
+                len: 1,
+                cluster: c,
+            };
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// For each cluster with a simulation point, returns the interval
+/// containing that point — the variable-length region to replay instead of
+/// the single slice. Weights are carried over from the points.
+///
+/// # Panics
+///
+/// Panics if a point's slice is outside the assignment vector or assigned
+/// to a different cluster (inconsistent inputs).
+pub fn representative_intervals(
+    assignments: &[u32],
+    points: &[SimPoint],
+) -> Vec<(Interval, f64)> {
+    let intervals = coalesce(assignments);
+    points
+        .iter()
+        .map(|p| {
+            assert!(
+                (p.slice as usize) < assignments.len(),
+                "point slice out of range"
+            );
+            assert_eq!(
+                assignments[p.slice as usize], p.cluster,
+                "point/assignment cluster mismatch"
+            );
+            let iv = intervals
+                .iter()
+                .find(|iv| {
+                    p.slice >= iv.start_slice && p.slice < iv.start_slice + iv.len
+                })
+                .copied()
+                .expect("every slice lies in some interval");
+            (iv, p.weight)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_runs() {
+        let runs = coalesce(&[0, 0, 1, 1, 1, 0]);
+        assert_eq!(
+            runs,
+            vec![
+                Interval { start_slice: 0, len: 2, cluster: 0 },
+                Interval { start_slice: 2, len: 3, cluster: 1 },
+                Interval { start_slice: 5, len: 1, cluster: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_empty() {
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn representative_interval_contains_point() {
+        let assignments = [0u32, 0, 1, 1, 1, 0];
+        let points = vec![
+            SimPoint { slice: 1, cluster: 0, weight: 0.5 },
+            SimPoint { slice: 3, cluster: 1, weight: 0.5 },
+        ];
+        let ivs = representative_intervals(&assignments, &points);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].0, Interval { start_slice: 0, len: 2, cluster: 0 });
+        assert_eq!(ivs[1].0, Interval { start_slice: 2, len: 3, cluster: 1 });
+        assert_eq!(ivs[1].1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster mismatch")]
+    fn inconsistent_point_panics() {
+        representative_intervals(
+            &[0, 1],
+            &[SimPoint { slice: 0, cluster: 1, weight: 1.0 }],
+        );
+    }
+}

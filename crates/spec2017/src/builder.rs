@@ -1,0 +1,474 @@
+//! Expansion of calibration records into buildable workload specs.
+
+use crate::ids::{BenchmarkId, Domain, Suite};
+use sampsim_util::rng::Xoshiro256StarStar;
+use sampsim_util::scale::Scale;
+use sampsim_workload::spec::{InterleaveSpec, Mix, PhaseSpec, StreamGen, WorkloadSpec};
+use sampsim_workload::Program;
+
+/// The default slice size the suite is calibrated for (the paper's 30 M
+/// instructions, 1/3000-scaled).
+pub const DEFAULT_SLICE: u64 = 10_000;
+
+/// Solves a weight profile for `n` phases such that the heaviest prefix
+/// reaching 90% of total weight has ~`n90` entries, with every weight at
+/// least `min_weight` ("almost insignificant" tail phases still occupy a
+/// few slices so clustering can discover them).
+///
+/// When `dominant` is set, the first phase is pinned to that share (e.g.
+/// `503.bwaves_r`'s single ~60% phase, paper §IV-C) and the geometric
+/// profile is solved over the remaining phases. Weights are geometric
+/// (`w_i ∝ r^i`) with `r` found by bisection; the result is normalized to
+/// sum to 1 and sorted descending, and the minimum is enforced exactly by
+/// waterfilling.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ n90 ≤ n`, `0 < min_weight < 1/n`, and any `dominant`
+/// is in `(min_weight, 0.9)`.
+pub fn solve_weights(n: usize, n90: usize, min_weight: f64) -> Vec<f64> {
+    solve_weights_with_head(n, n90, min_weight, None)
+}
+
+/// [`solve_weights`] with an optional pinned dominant-phase share.
+///
+/// # Panics
+///
+/// See [`solve_weights`].
+pub fn solve_weights_with_head(
+    n: usize,
+    n90: usize,
+    min_weight: f64,
+    dominant: Option<f64>,
+) -> Vec<f64> {
+    assert!(n >= 1, "need at least one phase");
+    assert!((1..=n).contains(&n90), "n90 must be in 1..=n");
+    assert!(
+        min_weight > 0.0 && min_weight < 1.0 / n as f64,
+        "min_weight must be positive and below the uniform weight"
+    );
+    if let Some(d) = dominant {
+        assert!(
+            d > min_weight && d < 0.9,
+            "dominant share must be in (min_weight, 0.9)"
+        );
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let (head, geo_n, geo_mass) = match dominant {
+        Some(d) => (Some(d), n - 1, 1.0 - d),
+        None => (None, n, 1.0),
+    };
+    let weights_for = |r: f64| -> Vec<f64> {
+        let raw: Vec<f64> = (0..geo_n).map(|i| r.powi(i as i32).max(1e-300)).collect();
+        let total: f64 = raw.iter().sum();
+        let mut w: Vec<f64> = match head {
+            Some(d) => std::iter::once(d)
+                .chain(raw.iter().map(|x| x / total * geo_mass))
+                .collect(),
+            None => raw.iter().map(|x| x / total).collect(),
+        };
+        waterfill_min(&mut w, min_weight);
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        w
+    };
+    let count90 = |w: &[f64]| -> usize {
+        let mut acc = 0.0;
+        for (i, &x) in w.iter().enumerate() {
+            acc += x;
+            if acc >= 0.9 - 1e-12 {
+                return i + 1;
+            }
+        }
+        w.len()
+    };
+    // count90 is monotone non-decreasing in r (flatter profile -> more
+    // points needed); bisect for the target.
+    let (mut lo, mut hi) = (0.01f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if count90(&weights_for(mid)) >= n90 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    weights_for(hi)
+}
+
+/// Raises every entry to at least `min`, paying for it by scaling down the
+/// remaining entries, and leaves the vector summing to 1.
+fn waterfill_min(w: &mut [f64], min: f64) {
+    for _ in 0..w.len() {
+        let deficit: f64 = w.iter().filter(|&&x| x < min).map(|&x| min - x).sum();
+        if deficit <= 0.0 {
+            break;
+        }
+        let head_sum: f64 = w.iter().filter(|&&x| x >= min).sum();
+        let scale = (head_sum - deficit) / head_sum;
+        for x in w.iter_mut() {
+            if *x < min {
+                *x = min;
+            } else {
+                *x *= scale;
+            }
+        }
+    }
+}
+
+/// A calibrated, buildable benchmark description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    id: BenchmarkId,
+    workload: WorkloadSpec,
+    points: usize,
+    points_90: usize,
+}
+
+impl BenchmarkSpec {
+    /// Expands the calibration record for `id` into a workload spec.
+    pub fn new(id: BenchmarkId) -> Self {
+        let c = id.calibration();
+        let total_insts = c.whole_minsts * 1_000_000;
+        let total_slices = total_insts / DEFAULT_SLICE;
+        // Tail phases get at least ~24 slices so clustering can discover
+        // them even when their weight is "almost insignificant" (§IV-C).
+        let min_weight = 24.0 / total_slices as f64;
+        let weights = solve_weights_with_head(c.points, c.points_90, min_weight, c.dominant);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(c.seed);
+        let mut builder = WorkloadSpec::builder(c.name, c.seed).total_insts(total_insts);
+        for (i, &w) in weights.iter().enumerate() {
+            builder = builder.phase(phase_for(c.domain, i, w, &mut rng));
+        }
+        // Long, repetitive phase residencies so most slices are phase-pure
+        // (in real workloads phases last tens of millions of instructions).
+        // Benchmarks with very few phases (omnetpp) have especially long
+        // residencies; a transition slice there would otherwise register as
+        // a spurious extra phase.
+        let mean_slices = if c.points <= 6 { 160 } else { 96 };
+        let workload = builder
+            .interleave(InterleaveSpec {
+                mean_segment: mean_slices * DEFAULT_SLICE,
+                jitter: 0.5,
+                align: DEFAULT_SLICE,
+            })
+            .build();
+        Self {
+            id,
+            workload,
+            points: c.points,
+            points_90: c.points_90,
+        }
+    }
+
+    /// The benchmark identity.
+    pub fn id(&self) -> BenchmarkId {
+        self.id
+    }
+
+    /// The SPEC name (e.g. `"505.mcf_r"`).
+    pub fn name(&self) -> &str {
+        self.id.name()
+    }
+
+    /// Sub-suite classification.
+    pub fn suite(&self) -> Suite {
+        self.id.calibration().suite
+    }
+
+    /// Table II's simulation-point count for this benchmark.
+    pub fn table2_points(&self) -> usize {
+        self.points
+    }
+
+    /// Table II's 90th-percentile point count.
+    pub fn table2_points_90(&self) -> usize {
+        self.points_90
+    }
+
+    /// The underlying workload spec.
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+
+    /// Returns a copy with all instruction counts scaled (tests/examples).
+    pub fn scaled(&self, scale: Scale) -> Self {
+        Self {
+            workload: self.workload.scaled(scale),
+            ..self.clone()
+        }
+    }
+
+    /// Builds the program.
+    pub fn build(&self) -> Program {
+        self.workload.build()
+    }
+}
+
+/// Produces the `i`-th phase of a benchmark in `domain` with share `weight`.
+///
+/// Phases of one benchmark share the domain's character but differ in
+/// instruction mix, working-set size and branch behaviour, so sampling
+/// error is measurable on every reported metric.
+fn phase_for(domain: Domain, index: usize, weight: f64, rng: &mut Xoshiro256StarStar) -> PhaseSpec {
+    // Per-phase deterministic variation.
+    let jit = |rng: &mut Xoshiro256StarStar, lo: f64, hi: f64| lo + (hi - lo) * rng.next_f64();
+    let kb = 1u64 << 10;
+    let mb = 1u64 << 20;
+    match domain {
+        Domain::Scripting => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.30, 0.42), jit(rng, 0.10, 0.16), 0.015),
+            n_blocks: 8 + (index % 5),
+            block_len: (5, 12),
+            streams: vec![
+                StreamGen::random((8 + 2 * (index as u64 % 8)) * kb).with_weight(0.86),
+                StreamGen::random((96 + 32 * (index as u64 % 3)) * kb).with_weight(0.13),
+                StreamGen::random(32 * mb).with_weight(0.01),
+            ],
+            branch_entropy: jit(rng, 0.06, 0.14),
+            block_skew: 0.6,
+        },
+        Domain::Compiler => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.32, 0.42), jit(rng, 0.11, 0.17), 0.02),
+            n_blocks: 10 + (index % 6),
+            block_len: (4, 11),
+            streams: vec![
+                StreamGen::random((10 + 4 * (index as u64 % 4)) * kb).with_weight(0.82),
+                StreamGen::random((128 + 64 * (index as u64 % 2)) * kb).with_weight(0.14),
+                StreamGen::random(32 * mb).with_weight(0.04),
+            ],
+            branch_entropy: jit(rng, 0.08, 0.18),
+            block_skew: 0.5,
+        },
+        Domain::GraphSparse => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.40, 0.50), jit(rng, 0.08, 0.13), 0.01),
+            n_blocks: 6 + (index % 4),
+            block_len: (4, 9),
+            streams: vec![
+                StreamGen::random((12 + 4 * (index as u64 % 5)) * kb).with_weight(0.68),
+                StreamGen::chase((32 + 8 * (index as u64 % 5)) * mb).with_weight(0.04),
+                StreamGen::random(192 * kb).with_weight(0.20),
+                StreamGen::random((32 + 16 * (index as u64 % 3)) * mb).with_weight(0.08),
+            ],
+            branch_entropy: jit(rng, 0.06, 0.12),
+            block_skew: 0.4,
+        },
+        Domain::DiscreteEvent => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.36, 0.46), jit(rng, 0.12, 0.18), 0.015),
+            n_blocks: 7 + (index % 3),
+            block_len: (4, 10),
+            streams: vec![
+                StreamGen::random((10 + 4 * index as u64) * kb).with_weight(0.80),
+                StreamGen::chase((32 + 16 * index as u64) * mb).with_weight(0.03),
+                StreamGen::random((128 + 64 * index as u64) * kb).with_weight(0.17),
+            ],
+            branch_entropy: jit(rng, 0.08, 0.16),
+            block_skew: 0.5,
+        },
+        Domain::Markup => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.34, 0.46), jit(rng, 0.10, 0.16), 0.02),
+            n_blocks: 9 + (index % 5),
+            block_len: (4, 10),
+            streams: vec![
+                StreamGen::random((8 + 3 * (index as u64 % 6)) * kb).with_weight(0.78),
+                StreamGen::chase((32 + 8 * (index as u64 % 6)) * mb).with_weight(0.025),
+                StreamGen::random((160 + 32 * (index as u64 % 4)) * kb).with_weight(0.15),
+                StreamGen::random(32 * mb).with_weight(0.045),
+            ],
+            branch_entropy: jit(rng, 0.1, 0.2),
+            block_skew: 0.5,
+        },
+        Domain::Media => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.30, 0.40), jit(rng, 0.12, 0.20), 0.03),
+            n_blocks: 8 + (index % 6),
+            block_len: (8, 16),
+            streams: vec![
+                StreamGen::random((12 + 4 * (index as u64 % 4)) * kb).with_weight(0.72),
+                StreamGen::streaming((32 + 8 * (index as u64 % 4)) * mb).with_weight(0.16),
+                StreamGen::random((96 + 32 * (index as u64 % 3)) * kb).with_weight(0.12),
+            ],
+            branch_entropy: jit(rng, 0.03, 0.08),
+            block_skew: 0.7,
+        },
+        Domain::GameTree => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.18, 0.30), jit(rng, 0.05, 0.10), 0.005),
+            n_blocks: 9 + (index % 7),
+            block_len: (5, 12),
+            streams: vec![
+                StreamGen::random((8 + 4 * (index as u64 % 4)) * kb).with_weight(0.88),
+                StreamGen::chase((64 + 32 * (index as u64 % 3)) * kb).with_weight(0.12),
+            ],
+            branch_entropy: jit(rng, 0.12, 0.25),
+            block_skew: 0.6,
+        },
+        Domain::Compression => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.33, 0.43), jit(rng, 0.14, 0.20), 0.02),
+            n_blocks: 7 + (index % 4),
+            block_len: (6, 13),
+            streams: vec![
+                StreamGen::random((12 + 6 * (index as u64 % 8)) * kb).with_weight(0.74),
+                StreamGen::random((160 + 64 * (index as u64 % 3)) * kb).with_weight(0.14),
+                StreamGen::streaming((32 + 16 * (index as u64 % 8)) * mb).with_weight(0.12),
+            ],
+            branch_entropy: jit(rng, 0.06, 0.14),
+            block_skew: 0.5,
+        },
+        Domain::FpStreaming => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.36, 0.48), jit(rng, 0.12, 0.20), 0.01),
+            n_blocks: 6 + (index % 4),
+            block_len: (10, 18),
+            streams: vec![
+                StreamGen::streaming((32 + 16 * (index as u64 % 6)) * mb).with_weight(0.30),
+                StreamGen::random((10 + 2 * (index as u64 % 6)) * kb).with_weight(0.58),
+                StreamGen::random((160 + 32 * (index as u64 % 4)) * kb).with_weight(0.12),
+            ],
+            branch_entropy: jit(rng, 0.01, 0.05),
+            block_skew: 0.8,
+        },
+        Domain::FpCompute => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.24, 0.34), jit(rng, 0.07, 0.12), 0.005),
+            n_blocks: 8 + (index % 5),
+            block_len: (10, 18),
+            streams: vec![
+                StreamGen::streaming((12 + 4 * (index as u64 % 4)) * kb).with_weight(0.88),
+                StreamGen::random((128 + 64 * (index as u64 % 3)) * kb).with_weight(0.12),
+            ],
+            branch_entropy: jit(rng, 0.02, 0.06),
+            block_skew: 0.7,
+        },
+        Domain::FpMixed => PhaseSpec {
+            weight,
+            mix: Mix::new(jit(rng, 0.30, 0.42), jit(rng, 0.10, 0.16), 0.01),
+            n_blocks: 8 + (index % 6),
+            block_len: (8, 15),
+            streams: vec![
+                StreamGen::random((10 + 4 * (index as u64 % 4)) * kb).with_weight(0.72),
+                StreamGen::streaming((32 + 8 * (index as u64 % 4)) * mb).with_weight(0.14),
+                StreamGen::random((128 + 64 * (index as u64 % 3)) * kb).with_weight(0.08),
+                StreamGen::chase((64 + 32 * (index as u64 % 2)) * kb).with_weight(0.06),
+            ],
+            branch_entropy: jit(rng, 0.04, 0.12),
+            block_skew: 0.6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_weights_hits_target() {
+        for (n, n90) in [(18usize, 11usize), (26, 7), (25, 4), (23, 19), (4, 3), (12, 10)] {
+            let w = solve_weights(n, n90, 1e-4);
+            assert_eq!(w.len(), n);
+            let total: f64 = w.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(w.windows(2).all(|p| p[0] >= p[1] - 1e-12), "sorted desc");
+            let mut acc = 0.0;
+            let mut count = 0;
+            for &x in &w {
+                acc += x;
+                count += 1;
+                if acc >= 0.9 - 1e-12 {
+                    break;
+                }
+            }
+            assert!(
+                (count as i64 - n90 as i64).abs() <= 1,
+                "n={n} n90={n90} got {count}: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_weights_respects_min() {
+        let w = solve_weights(25, 4, 1e-3);
+        assert!(w.iter().all(|&x| x >= 1e-3 - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "n90 must be in")]
+    fn bad_n90_panics() {
+        solve_weights(5, 6, 1e-4);
+    }
+
+    #[test]
+    fn specs_build_at_test_scale() {
+        for id in [
+            BenchmarkId::McfR,
+            BenchmarkId::BwavesR,
+            BenchmarkId::Exchange2S,
+            BenchmarkId::OmnetppS,
+        ] {
+            let spec = BenchmarkSpec::new(id).scaled(Scale::TEST);
+            let p = spec.build();
+            assert_eq!(p.name(), id.name());
+            assert_eq!(p.phases().len(), spec.table2_points());
+            assert!(p.total_insts() > 100_000, "{id}: {}", p.total_insts());
+        }
+    }
+
+    #[test]
+    fn spec_is_deterministic() {
+        let a = BenchmarkSpec::new(BenchmarkId::GccR).build();
+        let b = BenchmarkSpec::new(BenchmarkId::GccR).build();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn phase_weights_match_solved_profile() {
+        let spec = BenchmarkSpec::new(BenchmarkId::BwavesR);
+        let p = spec.scaled(Scale::new(0.05)).build();
+        // The dominant phase of bwaves should hold ~60% of execution
+        // (paper §IV-C observes exactly this).
+        let total: u64 = p.total_insts();
+        let dominant = (0..p.phases().len() as u32)
+            .map(|i| p.schedule().phase_insts(i))
+            .max()
+            .unwrap();
+        let share = dominant as f64 / total as f64;
+        assert!(
+            (0.4..0.8).contains(&share),
+            "dominant bwaves phase share {share}"
+        );
+    }
+
+    #[test]
+    fn full_suite_builds_scaled() {
+        for spec in crate::suite() {
+            let p = spec.scaled(Scale::new(0.02)).build();
+            assert!(p.total_insts() > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod noise_rule_tests {
+    use super::*;
+
+    #[test]
+    fn dominant_phases_get_low_selection_noise() {
+        // bwaves pins a ~60% dominant phase; its block selection must be
+        // near-deterministic so clustering does not subdivide it.
+        let p = BenchmarkSpec::new(BenchmarkId::BwavesR)
+            .scaled(sampsim_util::scale::Scale::new(0.05))
+            .build();
+        let noises: Vec<f64> = p.phases().iter().map(|ph| ph.selection_noise).collect();
+        let min = noises.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = noises.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min <= 0.04, "dominant phase noise {min}");
+        assert!(max >= 0.14, "tail phase noise {max}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Interval-style out-of-order core model.
+
+/// Core parameters (defaults mirror Table III of the paper — an Intel
+/// i7-3770 as modelled in Sniper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Sustainable dispatch width (µops/cycle) — sets the base CPI floor.
+    pub dispatch_width: u32,
+    /// Reorder-buffer entries (bounds how much miss latency can overlap).
+    pub rob_entries: u32,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: u32,
+    /// Memory-level parallelism: average outstanding independent misses the
+    /// core can sustain; independent miss latency is divided by this.
+    pub mlp: f64,
+    /// Core frequency in GHz (converts cycles to time).
+    pub frequency_ghz: f64,
+}
+
+impl CoreConfig {
+    /// Table III: 8-core Intel i7-3770 at 3.4 GHz, 19-stage out-of-order
+    /// pipeline, 4-wide rename/commit, 168-entry ROB, 8-cycle branch
+    /// misprediction penalty.
+    pub fn table3() -> Self {
+        Self {
+            dispatch_width: 4,
+            rob_entries: 168,
+            branch_penalty: 8,
+            mlp: 4.0,
+            frequency_ghz: 3.4,
+        }
+    }
+
+    /// Base cycles contributed by one instruction.
+    #[inline]
+    pub fn base_cpi(&self) -> f64 {
+        1.0 / f64::from(self.dispatch_width)
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::table3()
+    }
+}
+
+/// Cycle accounting broken down by cause — a CPI stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CpiStack {
+    /// Issue-bound base cycles.
+    pub base: f64,
+    /// Branch misprediction penalty cycles.
+    pub branch: f64,
+    /// Instruction-fetch stall cycles (L1I misses).
+    pub ifetch: f64,
+    /// Data cycles satisfied by L2.
+    pub l2: f64,
+    /// Data cycles satisfied by L3.
+    pub l3: f64,
+    /// Data cycles that went to main memory.
+    pub mem: f64,
+}
+
+impl CpiStack {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.base + self.branch + self.ifetch + self.l2 + self.l3 + self.mem
+    }
+
+    /// Adds another stack (used by weighted aggregation).
+    pub fn merge_scaled(&mut self, other: &CpiStack, scale: f64) {
+        self.base += other.base * scale;
+        self.branch += other.branch * scale;
+        self.ifetch += other.ifetch * scale;
+        self.l2 += other.l2 * scale;
+        self.l3 += other.l3 * scale;
+        self.mem += other.mem * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let c = CoreConfig::table3();
+        assert_eq!(c.dispatch_width, 4);
+        assert_eq!(c.rob_entries, 168);
+        assert_eq!(c.branch_penalty, 8);
+        assert_eq!(c.base_cpi(), 0.25);
+        assert_eq!(c.frequency_ghz, 3.4);
+    }
+
+    #[test]
+    fn stack_total_and_merge() {
+        let mut a = CpiStack {
+            base: 1.0,
+            branch: 0.5,
+            ..Default::default()
+        };
+        let b = CpiStack {
+            mem: 2.0,
+            ..Default::default()
+        };
+        a.merge_scaled(&b, 0.5);
+        assert!((a.total() - 2.5).abs() < 1e-12);
+    }
+}
+
+impl sampsim_util::codec::Encode for CpiStack {
+    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
+        for v in [self.base, self.branch, self.ifetch, self.l2, self.l3, self.mem] {
+            enc.put_f64(v);
+        }
+    }
+}
+
+impl sampsim_util::codec::Decode for CpiStack {
+    fn decode(
+        dec: &mut sampsim_util::codec::Decoder<'_>,
+    ) -> Result<Self, sampsim_util::codec::DecodeError> {
+        Ok(Self {
+            base: dec.take_f64()?,
+            branch: dec.take_f64()?,
+            ifetch: dec.take_f64()?,
+            l2: dec.take_f64()?,
+            l3: dec.take_f64()?,
+            mem: dec.take_f64()?,
+        })
+    }
+}
+
+impl CoreConfig {
+    /// A scalar in-order core (dispatch width 1, no memory-level
+    /// parallelism): the "simple core" end of the design space, used by
+    /// the core-model sensitivity checks.
+    pub fn in_order() -> Self {
+        Self {
+            dispatch_width: 1,
+            rob_entries: 1,
+            branch_penalty: 5,
+            mlp: 1.0,
+            frequency_ghz: 2.0,
+        }
+    }
+
+    /// An aggressive 8-wide core with deep speculation.
+    pub fn wide() -> Self {
+        Self {
+            dispatch_width: 8,
+            rob_entries: 512,
+            branch_penalty: 14,
+            mlp: 8.0,
+            frequency_ghz: 3.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_aggressiveness() {
+        assert!(CoreConfig::in_order().base_cpi() > CoreConfig::table3().base_cpi());
+        assert!(CoreConfig::table3().base_cpi() > CoreConfig::wide().base_cpi());
+        assert!(CoreConfig::in_order().mlp < CoreConfig::wide().mlp);
+    }
+}

@@ -1,0 +1,195 @@
+//! "Native hardware" reference execution.
+//!
+//! The paper's Fig. 12 compares CPI from `perf` on a real i7-3770 against
+//! Sniper running simulation points. We have no real hardware, so the
+//! native side is the *same machine model executed on the whole program*
+//! plus the perturbations that distinguish bare metal from a simulator:
+//!
+//! * OS noise — timer interrupts and scheduler preemptions steal cycles at
+//!   a configurable rate;
+//! * run-to-run nondeterminism — a small multiplicative jitter on the
+//!   final cycle count (frequency governors, memory layout, SMT
+//!   interference);
+//! * counter quantization — `perf` reads counters at a granularity, not
+//!   exactly.
+//!
+//! The sampling error measured by the experiment (whole execution vs
+//! weighted simulation points) is preserved, which is the behaviour the
+//! substitution must keep (DESIGN.md §2).
+
+use crate::core::CoreConfig;
+use crate::sniper::Sniper;
+use sampsim_cache::HierarchyConfig;
+use sampsim_pin::engine;
+use sampsim_util::rng::Xoshiro256StarStar;
+use sampsim_workload::{Executor, Program};
+
+/// Perturbation parameters of the native machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeConfig {
+    /// Core model (the machine being measured).
+    pub core: CoreConfig,
+    /// Cycles stolen by the OS per interrupt.
+    pub interrupt_cycles: f64,
+    /// Mean instructions between interrupts.
+    pub interrupt_period: u64,
+    /// Standard deviation of the multiplicative run-to-run jitter
+    /// (e.g. 0.005 = 0.5%).
+    pub jitter_sigma: f64,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        Self {
+            core: CoreConfig::table3(),
+            interrupt_cycles: 6_000.0,
+            interrupt_period: 400_000,
+            jitter_sigma: 0.005,
+        }
+    }
+}
+
+/// `perf`-style counters from a native execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfCounters {
+    /// `instructions` event.
+    pub instructions: u64,
+    /// `cpu-cycles` event.
+    pub cpu_cycles: u64,
+}
+
+impl PerfCounters {
+    /// Cycles per instruction — the paper's comparison metric (it notes
+    /// CPI, unlike IPC, is safe to average across regions).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cpu_cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Runs `program` start-to-finish on the native machine and reports perf
+/// counters. `run_seed` captures run-to-run nondeterminism: different
+/// seeds model different native runs of the same binary.
+pub fn run_native(
+    program: &Program,
+    hierarchy: HierarchyConfig,
+    config: &NativeConfig,
+    run_seed: u64,
+) -> PerfCounters {
+    let mut exec = Executor::new(program);
+    let mut sim = Sniper::new(config.core, hierarchy);
+    engine::run_one(&mut exec, u64::MAX, &mut sim);
+    perturb(&sim.stats(), config, run_seed, program.digest())
+}
+
+/// Applies the native-machine perturbations to an existing whole-run
+/// timing result — lets callers that already simulated the whole program
+/// derive the `perf` view without a second timing pass.
+pub fn perturb(
+    stats: &crate::sniper::TimingStats,
+    config: &NativeConfig,
+    run_seed: u64,
+    program_digest: u64,
+) -> PerfCounters {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(run_seed ^ program_digest);
+    // OS noise: expected number of interrupts, each stealing cycles.
+    let interrupts = if config.interrupt_period == 0 {
+        0.0
+    } else {
+        stats.instructions as f64 / config.interrupt_period as f64
+    };
+    let stolen = interrupts * config.interrupt_cycles;
+    // Multiplicative jitter: sum of 12 uniforms ≈ Gaussian (Irwin–Hall).
+    let gauss: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+    let jitter = 1.0 + gauss * config.jitter_sigma;
+    let cycles = ((stats.cycles + stolen) * jitter).max(0.0);
+    PerfCounters {
+        instructions: stats.instructions,
+        cpu_cycles: cycles.round() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_cache::configs;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+
+    fn program() -> Program {
+        WorkloadSpec::builder("native-test", 4)
+            .total_insts(40_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .phase(PhaseSpec::memory_bound(0.5))
+            .build()
+            .build()
+    }
+
+    #[test]
+    fn native_close_to_pure_simulation() {
+        let p = program();
+        let perf = run_native(&p, configs::i7_table3(), &NativeConfig::default(), 1);
+        let mut exec = Executor::new(&p);
+        let mut sim = Sniper::new(CoreConfig::table3(), configs::i7_table3());
+        engine::run_one(&mut exec, u64::MAX, &mut sim);
+        let pure = sim.stats().cpi();
+        let native = perf.cpi();
+        let rel = (native - pure).abs() / pure;
+        assert!(rel < 0.1, "native {native} vs pure {pure}");
+        assert!(native > pure * 0.99, "noise should not speed the machine up much");
+    }
+
+    #[test]
+    fn different_runs_differ_slightly() {
+        let p = program();
+        let a = run_native(&p, configs::i7_table3(), &NativeConfig::default(), 1);
+        let b = run_native(&p, configs::i7_table3(), &NativeConfig::default(), 2);
+        assert_eq!(a.instructions, b.instructions);
+        assert_ne!(a.cpu_cycles, b.cpu_cycles);
+        let rel = (a.cpi() - b.cpi()).abs() / a.cpi();
+        assert!(rel < 0.05, "run-to-run spread too large: {rel}");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let p = program();
+        let a = run_native(&p, configs::i7_table3(), &NativeConfig::default(), 9);
+        let b = run_native(&p, configs::i7_table3(), &NativeConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_period_means_no_interrupt_noise() {
+        let p = program();
+        let cfg = NativeConfig {
+            interrupt_period: 0,
+            jitter_sigma: 0.0,
+            ..Default::default()
+        };
+        let perf = run_native(&p, configs::i7_table3(), &cfg, 1);
+        let mut exec = Executor::new(&p);
+        let mut sim = Sniper::new(CoreConfig::table3(), configs::i7_table3());
+        engine::run_one(&mut exec, u64::MAX, &mut sim);
+        assert_eq!(perf.cpu_cycles, sim.stats().cycles.round() as u64);
+    }
+}
+
+impl sampsim_util::codec::Encode for PerfCounters {
+    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
+        enc.put_u64(self.instructions);
+        enc.put_u64(self.cpu_cycles);
+    }
+}
+
+impl sampsim_util::codec::Decode for PerfCounters {
+    fn decode(
+        dec: &mut sampsim_util::codec::Decoder<'_>,
+    ) -> Result<Self, sampsim_util::codec::DecodeError> {
+        Ok(Self {
+            instructions: dec.take_u64()?,
+            cpu_cycles: dec.take_u64()?,
+        })
+    }
+}

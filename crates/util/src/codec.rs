@@ -1,0 +1,545 @@
+//! Minimal, versioned binary serialization.
+//!
+//! Pinballs and experiment artifacts are persisted to disk and reloaded by
+//! separate benchmark binaries, so the format must be stable and
+//! self-checking. This module provides a little-endian, length-prefixed
+//! codec with a magic/version header — deliberately small instead of pulling
+//! in a serde format crate (see DESIGN.md §6).
+//!
+//! # Example
+//!
+//! ```
+//! use sampsim_util::codec::{Decode, Decoder, Encode, Encoder};
+//!
+//! let mut enc = Encoder::new();
+//! 42u64.encode(&mut enc);
+//! "hello".to_string().encode(&mut enc);
+//! let bytes = enc.into_bytes();
+//!
+//! let mut dec = Decoder::new(&bytes);
+//! assert_eq!(u64::decode(&mut dec).unwrap(), 42);
+//! assert_eq!(String::decode(&mut dec).unwrap(), "hello");
+//! ```
+
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd {
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A length prefix or discriminant had an invalid value.
+    Invalid(&'static str),
+    /// The file header did not match the expected magic/version.
+    BadHeader {
+        /// Expected magic value.
+        expected: u32,
+        /// Found magic value.
+        found: u32,
+    },
+    /// String bytes were not valid UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            DecodeError::BadHeader { expected, found } => write!(
+                f,
+                "bad header: expected magic {expected:#010x}, found {found:#010x}"
+            ),
+            DecodeError::Utf8 => write!(f, "string bytes were not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Growable byte buffer that values are encoded into.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an encoder that starts with a magic/version header, matched
+    /// by [`Decoder::with_header`].
+    pub fn with_header(magic: u32, version: u16) -> Self {
+        let mut enc = Self::new();
+        enc.put_u32(magic);
+        enc.put_u16(version);
+        enc
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor over bytes that values are decoded from.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Creates a decoder that first validates a magic/version header written
+    /// by [`Encoder::with_header`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadHeader`] on a magic mismatch and
+    /// [`DecodeError::Invalid`] on a version mismatch.
+    pub fn with_header(buf: &'a [u8], magic: u32, version: u16) -> Result<Self, DecodeError> {
+        let mut dec = Self::new(buf);
+        let found = dec.take_u32()?;
+        if found != magic {
+            return Err(DecodeError::BadHeader {
+                expected: magic,
+                found,
+            });
+        }
+        let v = dec.take_u16()?;
+        if v != version {
+            return Err(DecodeError::Invalid("unsupported format version"));
+        }
+        Ok(dec)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEnd {
+                needed: n,
+                remaining: self.buf.len() - self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Types that can serialize themselves into an [`Encoder`].
+pub trait Encode {
+    /// Appends this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// Types that can deserialize themselves from a [`Decoder`].
+pub trait Decode: Sized {
+    /// Reads a value from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the input is truncated or malformed.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+macro_rules! impl_codec_primitive {
+    ($ty:ty, $put:ident, $take:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.$put(*self);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                dec.$take()
+            }
+        }
+    };
+}
+
+impl_codec_primitive!(u8, put_u8, take_u8);
+impl_codec_primitive!(u16, put_u16, take_u16);
+impl_codec_primitive!(u32, put_u32, take_u32);
+impl_codec_primitive!(u64, put_u64, take_u64);
+impl_codec_primitive!(f64, put_f64, take_f64);
+
+impl Encode for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let v = dec.take_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid("usize overflow"))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool discriminant")),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        enc.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.take_u32()? as usize;
+        let bytes = dec.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Utf8)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.take_u32()? as usize;
+        // Guard against absurd length prefixes in corrupt files without
+        // over-allocating up front.
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            _ => Err(DecodeError::Invalid("option discriminant")),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<const N: usize> Encode for [u64; N] {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in self {
+            enc.put_u64(*v);
+        }
+    }
+}
+
+impl<const N: usize> Decode for [u64; N] {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut out = [0u64; N];
+        for slot in &mut out {
+            *slot = dec.take_u64()?;
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decodes a `T` from `bytes`, requiring that all bytes are consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the input is truncated, malformed, or has
+/// trailing bytes.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let value = T::decode(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bytes"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut enc = Encoder::new();
+        1u8.encode(&mut enc);
+        2u16.encode(&mut enc);
+        3u32.encode(&mut enc);
+        4u64.encode(&mut enc);
+        5usize.encode(&mut enc);
+        true.encode(&mut enc);
+        (-1.5f64).encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(u8::decode(&mut dec).unwrap(), 1);
+        assert_eq!(u16::decode(&mut dec).unwrap(), 2);
+        assert_eq!(u32::decode(&mut dec).unwrap(), 3);
+        assert_eq!(u64::decode(&mut dec).unwrap(), 4);
+        assert_eq!(usize::decode(&mut dec).unwrap(), 5);
+        assert!(bool::decode(&mut dec).unwrap());
+        assert_eq!(f64::decode(&mut dec).unwrap(), -1.5);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let value: (String, Vec<Option<u64>>) =
+            ("abc".to_string(), vec![Some(1), None, Some(3)]);
+        let bytes = to_bytes(&value);
+        let back: (String, Vec<Option<u64>>) = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn roundtrip_u64_array() {
+        let state = [1u64, 2, 3, 4];
+        let bytes = to_bytes(&state);
+        let back: [u64; 4] = from_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&12345u64);
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u8);
+        bytes.push(0xFF);
+        assert_eq!(
+            from_bytes::<u8>(&bytes).unwrap_err(),
+            DecodeError::Invalid("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn header_validation() {
+        let enc = Encoder::with_header(0xC0FFEE00, 3);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::with_header(&bytes, 0xC0FFEE00, 3).is_ok());
+        assert!(matches!(
+            Decoder::with_header(&bytes, 0xDEADBEEF, 3),
+            Err(DecodeError::BadHeader { .. })
+        ));
+        assert!(Decoder::with_header(&bytes, 0xC0FFEE00, 4).is_err());
+    }
+
+    #[test]
+    fn bad_bool_discriminant() {
+        assert_eq!(
+            from_bytes::<bool>(&[7]).unwrap_err(),
+            DecodeError::Invalid("bool discriminant")
+        );
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let errs = [
+            DecodeError::UnexpectedEnd {
+                needed: 8,
+                remaining: 2,
+            },
+            DecodeError::Invalid("x"),
+            DecodeError::BadHeader {
+                expected: 1,
+                found: 2,
+            },
+            DecodeError::Utf8,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn nested_collections_roundtrip() {
+        let value: Vec<Vec<(u32, f64)>> = vec![
+            vec![(1, 0.5), (2, 1.5)],
+            vec![],
+            vec![(9, -3.25)],
+        ];
+        let bytes = to_bytes(&value);
+        let back: Vec<Vec<(u32, f64)>> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn f64_bit_patterns_preserved() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE, 1e300] {
+            let bytes = to_bytes(&v);
+            let back: f64 = from_bytes(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // NaN keeps its payload bits too.
+        let nan = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let back: f64 = from_bytes(&to_bytes(&nan)).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn empty_string_and_unicode() {
+        for s in ["", "héllo wörld", "日本語", "a\0b"] {
+            let bytes = to_bytes(&s.to_string());
+            let back: String = from_bytes(&bytes).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn decoder_remaining_tracks_position() {
+        let bytes = to_bytes(&(1u64, 2u64));
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.remaining(), 16);
+        let _ = dec.take_u64().unwrap();
+        assert_eq!(dec.remaining(), 8);
+        let _ = dec.take_u64().unwrap();
+        assert!(dec.is_exhausted());
+    }
+}

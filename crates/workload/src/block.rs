@@ -1,0 +1,242 @@
+//! Static code: instructions and basic blocks.
+//!
+//! A [`BasicBlock`] is a straight-line sequence of [`StaticInst`]s ending in
+//! a conditional branch (the classical definition). Blocks carry a synthetic
+//! program counter so that instruction-fetch behaviour can be modelled; the
+//! code footprint of a program is laid out contiguously from
+//! [`CODE_BASE`].
+
+use crate::mem::MemClass;
+use sampsim_util::hash::Fnv64;
+
+/// Base address of the synthetic code segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Bytes per synthetic instruction (fixed-width encoding).
+pub const INST_BYTES: u64 = 4;
+
+/// One static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Register-only ALU operation (`NO_MEM`).
+    Alu,
+    /// Load from the phase-local stream with the given index (`MEM_R`).
+    Load {
+        /// Index into the owning phase's stream table.
+        stream: u16,
+    },
+    /// Store to the stream (`MEM_W`).
+    Store {
+        /// Index into the owning phase's stream table.
+        stream: u16,
+    },
+    /// Read-modify-write on the stream (`MEM_RW`, e.g. x86 `movs`).
+    LoadStore {
+        /// Index into the owning phase's stream table.
+        stream: u16,
+    },
+    /// Conditional branch terminating the block; `bias` is the probability
+    /// the branch is taken (a per-branch static property learned by
+    /// predictors).
+    Branch {
+        /// Taken probability in fixed-point 1/65536ths.
+        bias: u16,
+    },
+}
+
+/// A static instruction (currently just its kind; a newtype-style wrapper
+/// keeps room for per-instruction metadata without churning the API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticInst {
+    /// Operation kind.
+    pub kind: InstKind,
+}
+
+impl StaticInst {
+    /// The `ldstmix` category of this instruction.
+    pub fn mem_class(&self) -> MemClass {
+        match self.kind {
+            InstKind::Alu | InstKind::Branch { .. } => MemClass::NoMem,
+            InstKind::Load { .. } => MemClass::Read,
+            InstKind::Store { .. } => MemClass::Write,
+            InstKind::LoadStore { .. } => MemClass::ReadWrite,
+        }
+    }
+
+    /// The stream index, if this instruction touches memory.
+    pub fn stream(&self) -> Option<u16> {
+        match self.kind {
+            InstKind::Load { stream }
+            | InstKind::Store { stream }
+            | InstKind::LoadStore { stream } => Some(stream),
+            _ => None,
+        }
+    }
+
+    fn hash_into(&self, h: &mut Fnv64) {
+        match self.kind {
+            InstKind::Alu => h.write_u64(0),
+            InstKind::Load { stream } => {
+                h.write_u64(1);
+                h.write_u64(u64::from(stream));
+            }
+            InstKind::Store { stream } => {
+                h.write_u64(2);
+                h.write_u64(u64::from(stream));
+            }
+            InstKind::LoadStore { stream } => {
+                h.write_u64(3);
+                h.write_u64(u64::from(stream));
+            }
+            InstKind::Branch { bias } => {
+                h.write_u64(4);
+                h.write_u64(u64::from(bias));
+            }
+        }
+    }
+}
+
+/// A basic block: straight-line instructions ending in a branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Instructions; the last is always [`InstKind::Branch`].
+    pub insts: Vec<StaticInst>,
+    /// Program counter of the first instruction.
+    pub pc: u64,
+}
+
+impl BasicBlock {
+    /// Creates a block at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty or does not end in a branch.
+    pub fn new(pc: u64, insts: Vec<StaticInst>) -> Self {
+        assert!(!insts.is_empty(), "basic block must be non-empty");
+        assert!(
+            matches!(insts.last().unwrap().kind, InstKind::Branch { .. }),
+            "basic block must end in a branch"
+        );
+        Self { insts, pc }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// A block always has at least one instruction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Program counter of instruction `idx`.
+    #[inline]
+    pub fn pc_of(&self, idx: usize) -> u64 {
+        self.pc + idx as u64 * INST_BYTES
+    }
+
+    /// Feeds the block into a program digest.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.pc);
+        h.write_u64(self.insts.len() as u64);
+        for inst in &self.insts {
+            inst.hash_into(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn branch() -> StaticInst {
+        StaticInst {
+            kind: InstKind::Branch { bias: 32768 },
+        }
+    }
+
+    #[test]
+    fn block_pc_layout() {
+        let b = BasicBlock::new(
+            CODE_BASE,
+            vec![StaticInst { kind: InstKind::Alu }, branch()],
+        );
+        assert_eq!(b.pc_of(0), CODE_BASE);
+        assert_eq!(b.pc_of(1), CODE_BASE + INST_BYTES);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end in a branch")]
+    fn block_must_end_in_branch() {
+        BasicBlock::new(0, vec![StaticInst { kind: InstKind::Alu }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn block_must_be_nonempty() {
+        BasicBlock::new(0, vec![]);
+    }
+
+    #[test]
+    fn mem_class_mapping() {
+        assert_eq!(
+            StaticInst { kind: InstKind::Alu }.mem_class(),
+            MemClass::NoMem
+        );
+        assert_eq!(
+            StaticInst {
+                kind: InstKind::Load { stream: 0 }
+            }
+            .mem_class(),
+            MemClass::Read
+        );
+        assert_eq!(
+            StaticInst {
+                kind: InstKind::Store { stream: 1 }
+            }
+            .mem_class(),
+            MemClass::Write
+        );
+        assert_eq!(
+            StaticInst {
+                kind: InstKind::LoadStore { stream: 2 }
+            }
+            .mem_class(),
+            MemClass::ReadWrite
+        );
+        assert_eq!(branch().mem_class(), MemClass::NoMem);
+    }
+
+    #[test]
+    fn stream_extraction() {
+        assert_eq!(
+            StaticInst {
+                kind: InstKind::Load { stream: 7 }
+            }
+            .stream(),
+            Some(7)
+        );
+        assert_eq!(StaticInst { kind: InstKind::Alu }.stream(), None);
+    }
+
+    #[test]
+    fn digests_differ_for_different_blocks() {
+        let a = BasicBlock::new(0, vec![StaticInst { kind: InstKind::Alu }, branch()]);
+        let b = BasicBlock::new(
+            0,
+            vec![
+                StaticInst {
+                    kind: InstKind::Load { stream: 0 },
+                },
+                branch(),
+            ],
+        );
+        let mut ha = Fnv64::new();
+        a.hash_into(&mut ha);
+        let mut hb = Fnv64::new();
+        b.hash_into(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+}

@@ -1,0 +1,63 @@
+//! Phase-structured synthetic program model and deterministic executor.
+//!
+//! This crate is the stand-in for SPEC CPU2017 binaries + Pin's view of
+//! their execution (DESIGN.md §2). A [`Program`] is a static artifact —
+//! basic blocks, address streams, phases and a phase schedule — and an
+//! [`Executor`] deterministically *retires* one instruction at a time,
+//! exposing exactly what a dynamic binary instrumentation framework
+//! observes: the basic block, the instruction's memory class and effective
+//! address, and branch outcomes.
+//!
+//! The SimPoint methodology only ever sees this retired-instruction stream,
+//! so a synthetic program with realistic phase structure exercises the
+//! sampling pipeline identically to a native binary.
+//!
+//! Key properties:
+//!
+//! * **Determinism** — the same [`Program`] always produces the identical
+//!   instruction stream; all randomness flows from the program seed.
+//! * **Checkpointability** — execution state is a small [`Cursor`] value;
+//!   resuming from a captured cursor continues the stream bit-exactly
+//!   (this is what makes pinballs possible; property-tested).
+//! * **Phase behaviour** — the schedule interleaves phases with distinct
+//!   instruction mixes, working sets and branch behaviour, producing the
+//!   long repetitive phases that SimPoint exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use sampsim_workload::spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::builder("demo", 42)
+//!     .total_insts(50_000)
+//!     .phase(PhaseSpec::balanced(1.0))
+//!     .phase(PhaseSpec::memory_bound(1.0))
+//!     .interleave(InterleaveSpec::default())
+//!     .build();
+//! let program = spec.build();
+//! let mut exec = sampsim_workload::Executor::new(&program);
+//! let mut n = 0u64;
+//! while let Some(_inst) = exec.next_inst() {
+//!     n += 1;
+//! }
+//! assert_eq!(n, program.total_insts());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod exec;
+pub mod mem;
+pub mod phase;
+pub mod program;
+pub mod schedule;
+pub mod spec;
+
+pub use block::{BasicBlock, InstKind, StaticInst};
+pub use exec::{Cursor, Executor, Retired};
+pub use mem::{AddressPattern, MemClass, MemRegion, StreamSpec};
+pub use phase::Phase;
+pub use program::Program;
+pub use schedule::{Schedule, Segment};
+pub use spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};

@@ -1,0 +1,344 @@
+//! Memory classes, regions and address-stream generators.
+//!
+//! Each phase of a program owns a handful of *address streams*; every memory
+//! instruction in the phase draws its effective address from one of them. A
+//! stream pairs a [`MemRegion`] (the working set it touches) with an
+//! [`AddressPattern`] (how it walks that region). Streams carry a small
+//! runtime state ([`StreamState`]) that is captured inside checkpoints.
+
+use sampsim_util::hash::Fnv64;
+use sampsim_util::rng::Xoshiro256StarStar;
+
+/// The four instruction categories reported by the paper's `ldstmix`
+/// Pintool (Fig. 7): compute-only, memory-read, memory-write and
+/// memory-read-and-write (e.g. x86 `movs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemClass {
+    /// No memory operand (`NO_MEM`).
+    #[default]
+    NoMem,
+    /// At least one source operand in memory (`MEM_R`).
+    Read,
+    /// Destination operand in memory (`MEM_W`).
+    Write,
+    /// Both source and destination in memory (`MEM_RW`).
+    ReadWrite,
+}
+
+impl MemClass {
+    /// All four categories, in the paper's reporting order.
+    pub const ALL: [MemClass; 4] = [
+        MemClass::NoMem,
+        MemClass::Read,
+        MemClass::Write,
+        MemClass::ReadWrite,
+    ];
+
+    /// Stable index (0..4) used by counters.
+    pub fn index(self) -> usize {
+        match self {
+            MemClass::NoMem => 0,
+            MemClass::Read => 1,
+            MemClass::Write => 2,
+            MemClass::ReadWrite => 3,
+        }
+    }
+
+    /// Short uppercase label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemClass::NoMem => "NO_MEM",
+            MemClass::Read => "MEM_R",
+            MemClass::Write => "MEM_W",
+            MemClass::ReadWrite => "MEM_RW",
+        }
+    }
+
+    /// Whether the instruction reads memory.
+    pub fn reads(self) -> bool {
+        matches!(self, MemClass::Read | MemClass::ReadWrite)
+    }
+
+    /// Whether the instruction writes memory.
+    pub fn writes(self) -> bool {
+        matches!(self, MemClass::Write | MemClass::ReadWrite)
+    }
+}
+
+/// A contiguous range of the synthetic address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRegion {
+    /// First byte address.
+    pub base: u64,
+    /// Size in bytes (must be positive).
+    pub size: u64,
+}
+
+impl MemRegion {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(size > 0, "region size must be positive");
+        Self { base, size }
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+}
+
+/// How a stream walks its region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressPattern {
+    /// Sequential walk with the given byte stride, wrapping at the region
+    /// end. Large regions + unit stride model streaming (compulsory-miss)
+    /// behaviour; small regions model cache-resident hot data.
+    Stride {
+        /// Byte distance between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniformly random accesses over the region.
+    Random,
+    /// Serialized dependent walk (pointer chasing): the next address is a
+    /// pseudo-random function of the current one, modelling linked-data
+    /// traversals. Loads from such streams are flagged as dependent, which
+    /// the timing model uses to suppress memory-level parallelism.
+    PointerChase,
+    /// Power-law-skewed random accesses: offset = ⌊size · u^theta⌋ for
+    /// uniform `u`, so low addresses are touched far more often — a
+    /// Zipf-like hot/cold split inside one stream (hash tables, symbol
+    /// tables). `theta_x10 = 10` degenerates to uniform.
+    SkewedRandom {
+        /// Skew exponent × 10 (e.g. 30 ⇒ θ = 3.0). Kept integral so the
+        /// pattern stays `Eq`/hashable.
+        theta_x10: u16,
+    },
+}
+
+/// Static description of one address stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    /// The working set the stream touches.
+    pub region: MemRegion,
+    /// The walk pattern.
+    pub pattern: AddressPattern,
+}
+
+impl StreamSpec {
+    /// Feeds this spec into a program digest.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.region.base);
+        h.write_u64(self.region.size);
+        match self.pattern {
+            AddressPattern::Stride { stride } => {
+                h.write_u64(1);
+                h.write_u64(stride);
+            }
+            AddressPattern::Random => h.write_u64(2),
+            AddressPattern::PointerChase => h.write_u64(3),
+            AddressPattern::SkewedRandom { theta_x10 } => {
+                h.write_u64(4);
+                h.write_u64(u64::from(theta_x10));
+            }
+        }
+    }
+
+    /// Whether loads from this stream are serialized (pointer chasing).
+    pub fn is_dependent(&self) -> bool {
+        matches!(self.pattern, AddressPattern::PointerChase)
+    }
+}
+
+/// Per-stream runtime state. One `u64` per stream, captured verbatim inside
+/// execution checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StreamState {
+    /// Pattern-specific position (byte offset for strides, current address
+    /// offset for pointer chases, unused for random).
+    pub pos: u64,
+}
+
+impl StreamState {
+    /// Produces the next effective address for `spec`, advancing the state.
+    ///
+    /// `rng` is only consulted by [`AddressPattern::Random`]; stride and
+    /// chase streams evolve purely from their own state so that different
+    /// patterns do not perturb each other's sequences through the shared
+    /// generator more than necessary.
+    #[inline]
+    pub fn next_addr(&mut self, spec: &StreamSpec, rng: &mut Xoshiro256StarStar) -> u64 {
+        let region = spec.region;
+        match spec.pattern {
+            AddressPattern::Stride { stride } => {
+                let addr = region.base + self.pos;
+                self.pos += stride;
+                if self.pos >= region.size {
+                    self.pos %= region.size;
+                }
+                addr
+            }
+            AddressPattern::Random => region.base + rng.next_below(region.size),
+            AddressPattern::SkewedRandom { theta_x10 } => {
+                let theta = f64::from(theta_x10) / 10.0;
+                let u = rng.next_f64();
+                let offset = (region.size as f64 * u.powf(theta)) as u64;
+                region.base + offset.min(region.size - 1)
+            }
+            AddressPattern::PointerChase => {
+                // The full 64-bit state is scrambled SplitMix-style each
+                // step (cycle length ~2^64); only the address is reduced to
+                // the region, aligned to 8 bytes like a pointer field.
+                let addr = region.base + ((self.pos % region.size) & !7);
+                let mut z = self.pos.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                self.pos = z ^ (z >> 27);
+                addr
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(1)
+    }
+
+    #[test]
+    fn memclass_indices_are_dense() {
+        for (i, c) in MemClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn memclass_read_write_flags() {
+        assert!(!MemClass::NoMem.reads() && !MemClass::NoMem.writes());
+        assert!(MemClass::Read.reads() && !MemClass::Read.writes());
+        assert!(!MemClass::Write.reads() && MemClass::Write.writes());
+        assert!(MemClass::ReadWrite.reads() && MemClass::ReadWrite.writes());
+    }
+
+    #[test]
+    fn stride_wraps_in_region() {
+        let spec = StreamSpec {
+            region: MemRegion::new(1000, 64),
+            pattern: AddressPattern::Stride { stride: 16 },
+        };
+        let mut st = StreamState::default();
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..6).map(|_| st.next_addr(&spec, &mut r)).collect();
+        assert_eq!(addrs, vec![1000, 1016, 1032, 1048, 1000, 1016]);
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let spec = StreamSpec {
+            region: MemRegion::new(4096, 1 << 20),
+            pattern: AddressPattern::Random,
+        };
+        let mut st = StreamState::default();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = st.next_addr(&spec, &mut r);
+            assert!(spec.region.contains(a));
+        }
+    }
+
+    #[test]
+    fn chase_is_deterministic_and_in_region() {
+        let spec = StreamSpec {
+            region: MemRegion::new(0, 4096),
+            pattern: AddressPattern::PointerChase,
+        };
+        let mut a = StreamState::default();
+        let mut b = StreamState::default();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..100 {
+            let x = a.next_addr(&spec, &mut r1);
+            let y = b.next_addr(&spec, &mut r2);
+            assert_eq!(x, y);
+            assert!(spec.region.contains(x));
+        }
+    }
+
+    #[test]
+    fn chase_covers_many_addresses() {
+        let spec = StreamSpec {
+            region: MemRegion::new(0, 1 << 16),
+            pattern: AddressPattern::PointerChase,
+        };
+        let mut st = StreamState::default();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(st.next_addr(&spec, &mut r));
+        }
+        assert!(seen.len() > 400, "chase should not cycle early: {}", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "region size must be positive")]
+    fn zero_region_panics() {
+        MemRegion::new(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod skew_tests {
+    use super::*;
+    use sampsim_util::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn skewed_random_favors_low_addresses() {
+        let spec = StreamSpec {
+            region: MemRegion::new(0, 1 << 20),
+            pattern: AddressPattern::SkewedRandom { theta_x10: 30 },
+        };
+        let mut st = StreamState::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let n = 20_000;
+        let in_first_tenth = (0..n)
+            .filter(|_| st.next_addr(&spec, &mut rng) < (1 << 20) / 10)
+            .count();
+        // With theta=3, P(offset < 0.1*size) = 0.1^(1/3) ≈ 46%.
+        let frac = in_first_tenth as f64 / n as f64;
+        assert!((0.38..0.55).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn theta_ten_is_uniformish() {
+        let spec = StreamSpec {
+            region: MemRegion::new(0, 1 << 20),
+            pattern: AddressPattern::SkewedRandom { theta_x10: 10 },
+        };
+        let mut st = StreamState::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let n = 20_000;
+        let low = (0..n)
+            .filter(|_| st.next_addr(&spec, &mut rng) < (1 << 19))
+            .count();
+        let frac = low as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "lower-half fraction {frac}");
+    }
+
+    #[test]
+    fn skewed_stays_in_region() {
+        let spec = StreamSpec {
+            region: MemRegion::new(4096, 8192),
+            pattern: AddressPattern::SkewedRandom { theta_x10: 25 },
+        };
+        let mut st = StreamState::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(spec.region.contains(st.next_addr(&spec, &mut rng)));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Phases: recurring execution behaviours.
+//!
+//! A [`Phase`] owns a set of basic blocks (its inner-loop bodies), a table
+//! of address streams, and a stationary block-selection distribution. While
+//! a phase is active the executor repeatedly runs blocks drawn from that
+//! distribution — producing the long, repetitive, self-similar behaviour
+//! that SimPoint's basic-block vectors pick up.
+
+use crate::mem::StreamSpec;
+use sampsim_util::hash::Fnv64;
+
+/// One recurring behaviour of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Global ids of the blocks this phase executes.
+    pub blocks: Vec<u32>,
+    /// Selection weights, parallel to `blocks` (need not be normalized).
+    pub block_weights: Vec<f64>,
+    /// Address streams referenced by this phase's memory instructions
+    /// (instructions index into this table).
+    pub streams: Vec<StreamSpec>,
+    /// Global index of this phase's first stream in the program-wide stream
+    /// state table.
+    pub stream_base: u32,
+    /// Fraction of block selections drawn at random; the rest follow a
+    /// low-discrepancy (Weyl) sequence over the weight distribution, so
+    /// within-phase slices are highly self-similar, as in real
+    /// phase-stable code.
+    pub selection_noise: f64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, the weight table length mismatches, or
+    /// any weight is non-positive.
+    pub fn new(
+        blocks: Vec<u32>,
+        block_weights: Vec<f64>,
+        streams: Vec<StreamSpec>,
+        stream_base: u32,
+    ) -> Self {
+        assert!(!blocks.is_empty(), "phase must have at least one block");
+        assert_eq!(
+            blocks.len(),
+            block_weights.len(),
+            "block/weight length mismatch"
+        );
+        assert!(
+            block_weights.iter().all(|&w| w > 0.0),
+            "block weights must be positive"
+        );
+        Self {
+            blocks,
+            block_weights,
+            streams,
+            stream_base,
+            selection_noise: 0.15,
+        }
+    }
+
+    /// Overrides the random fraction of block selections (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `noise` is in `[0, 1]`.
+    pub fn with_selection_noise(mut self, noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+        self.selection_noise = noise;
+        self
+    }
+
+    /// Cumulative weight table used for fast weighted selection.
+    pub fn cumulative_weights(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.block_weights
+            .iter()
+            .map(|w| {
+                acc += w;
+                acc
+            })
+            .collect()
+    }
+
+    /// Feeds the phase into a program digest.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.blocks.len() as u64);
+        for (&b, &w) in self.blocks.iter().zip(&self.block_weights) {
+            h.write_u64(u64::from(b));
+            h.write_f64(w);
+        }
+        h.write_u64(self.streams.len() as u64);
+        for s in &self.streams {
+            s.hash_into(h);
+        }
+        h.write_u64(u64::from(self.stream_base));
+        h.write_f64(self.selection_noise);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{AddressPattern, MemRegion};
+
+    #[test]
+    fn cumulative_weights_monotone() {
+        let p = Phase::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0], vec![], 0);
+        assert_eq!(p.cumulative_weights(), vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_phase_panics() {
+        Phase::new(vec![], vec![], vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weight_mismatch_panics() {
+        Phase::new(vec![0], vec![], vec![], 0);
+    }
+
+    #[test]
+    fn hash_includes_streams() {
+        let s = StreamSpec {
+            region: MemRegion::new(0, 64),
+            pattern: AddressPattern::Random,
+        };
+        let a = Phase::new(vec![0], vec![1.0], vec![s], 0);
+        let b = Phase::new(vec![0], vec![1.0], vec![], 0);
+        let mut ha = Fnv64::new();
+        a.hash_into(&mut ha);
+        let mut hb = Fnv64::new();
+        b.hash_into(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+}

@@ -1,0 +1,207 @@
+//! The static program artifact.
+//!
+//! A [`Program`] bundles the basic blocks, phases, global stream table and
+//! schedule generated from a [`crate::spec::WorkloadSpec`]. Programs are
+//! immutable once built; their content digest identifies them inside
+//! pinball checkpoints.
+
+use crate::block::BasicBlock;
+use crate::phase::Phase;
+use crate::schedule::Schedule;
+use sampsim_util::hash::Fnv64;
+
+/// An immutable synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    phases: Vec<Phase>,
+    schedule: Schedule,
+    seed: u64,
+    num_streams: u32,
+    digest: u64,
+}
+
+impl Program {
+    /// Assembles a program and computes its digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references a phase out of range, a phase
+    /// references a block out of range, or stream bases are inconsistent.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        phases: Vec<Phase>,
+        schedule: Schedule,
+        seed: u64,
+    ) -> Self {
+        let name = name.into();
+        for seg in schedule.segments() {
+            assert!(
+                (seg.phase as usize) < phases.len(),
+                "schedule references phase {} of {}",
+                seg.phase,
+                phases.len()
+            );
+        }
+        let mut num_streams = 0u32;
+        for phase in &phases {
+            for &b in &phase.blocks {
+                assert!(
+                    (b as usize) < blocks.len(),
+                    "phase references block {b} of {}",
+                    blocks.len()
+                );
+            }
+            assert_eq!(
+                phase.stream_base, num_streams,
+                "phase stream bases must be densely packed"
+            );
+            num_streams += phase.streams.len() as u32;
+            for block_id in &phase.blocks {
+                for inst in &blocks[*block_id as usize].insts {
+                    if let Some(s) = inst.stream() {
+                        assert!(
+                            (s as usize) < phase.streams.len(),
+                            "instruction references stream {s} of {}",
+                            phase.streams.len()
+                        );
+                    }
+                }
+            }
+        }
+        let mut h = Fnv64::new();
+        h.write_str(&name);
+        h.write_u64(seed);
+        h.write_u64(blocks.len() as u64);
+        for b in &blocks {
+            b.hash_into(&mut h);
+        }
+        h.write_u64(phases.len() as u64);
+        for p in &phases {
+            p.hash_into(&mut h);
+        }
+        schedule.hash_into(&mut h);
+        let digest = h.finish();
+        Self {
+            name,
+            blocks,
+            phases,
+            schedule,
+            seed,
+            num_streams,
+            digest,
+        }
+    }
+
+    /// Program name (benchmark name for suite programs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All basic blocks; indices are global block ids.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The phase schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The seed the executor derives its RNG from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total number of address streams across all phases.
+    pub fn num_streams(&self) -> u32 {
+        self.num_streams
+    }
+
+    /// Total dynamic instruction count of a whole run.
+    pub fn total_insts(&self) -> u64 {
+        self.schedule.total_insts()
+    }
+
+    /// Content digest identifying this program inside checkpoints.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{InstKind, StaticInst};
+    use crate::schedule::Segment;
+
+    fn tiny_blocks() -> Vec<BasicBlock> {
+        vec![BasicBlock::new(
+            0x400000,
+            vec![
+                StaticInst { kind: InstKind::Alu },
+                StaticInst {
+                    kind: InstKind::Branch { bias: 60000 },
+                },
+            ],
+        )]
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let p1 = Program::new(
+            "a",
+            tiny_blocks(),
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            Schedule::new(vec![Segment { phase: 0, insts: 10 }]),
+            1,
+        );
+        let p2 = Program::new(
+            "a",
+            tiny_blocks(),
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            Schedule::new(vec![Segment { phase: 0, insts: 10 }]),
+            1,
+        );
+        assert_eq!(p1.digest(), p2.digest());
+        let p3 = Program::new(
+            "a",
+            tiny_blocks(),
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            Schedule::new(vec![Segment { phase: 0, insts: 11 }]),
+            1,
+        );
+        assert_ne!(p1.digest(), p3.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "references phase")]
+    fn schedule_phase_bounds_checked() {
+        Program::new(
+            "a",
+            tiny_blocks(),
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            Schedule::new(vec![Segment { phase: 5, insts: 10 }]),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "references block")]
+    fn phase_block_bounds_checked() {
+        Program::new(
+            "a",
+            tiny_blocks(),
+            vec![Phase::new(vec![9], vec![1.0], vec![], 0)],
+            Schedule::new(vec![]),
+            1,
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The phase schedule: which phase runs when.
+//!
+//! A [`Schedule`] is an explicit sequence of [`Segment`]s, each pinning one
+//! phase for a number of instructions. It is generated once at program
+//! build time so execution is trivially seekable and checkpointable.
+
+use sampsim_util::hash::Fnv64;
+
+/// A contiguous stretch of execution within one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Phase index.
+    pub phase: u32,
+    /// Number of instructions retired in this segment.
+    pub insts: u64,
+}
+
+/// The full phase schedule of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    segments: Vec<Segment>,
+    total: u64,
+}
+
+impl Schedule {
+    /// Creates a schedule from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment is empty.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        assert!(
+            segments.iter().all(|s| s.insts > 0),
+            "segments must be non-empty"
+        );
+        let total = segments.iter().map(|s| s.insts).sum();
+        Self { segments, total }
+    }
+
+    /// The segments in execution order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total dynamic instruction count.
+    pub fn total_insts(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total instructions attributed to `phase`.
+    pub fn phase_insts(&self, phase: u32) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.insts)
+            .sum()
+    }
+
+    /// Feeds the schedule into a program digest.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.segments.len() as u64);
+        for s in &self.segments {
+            h.write_u64(u64::from(s.phase));
+            h.write_u64(s.insts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = Schedule::new(vec![
+            Segment { phase: 0, insts: 10 },
+            Segment { phase: 1, insts: 20 },
+            Segment { phase: 0, insts: 5 },
+        ]);
+        assert_eq!(s.total_insts(), 35);
+        assert_eq!(s.phase_insts(0), 15);
+        assert_eq!(s.phase_insts(1), 20);
+        assert_eq!(s.phase_insts(2), 0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_segment_panics() {
+        Schedule::new(vec![Segment { phase: 0, insts: 0 }]);
+    }
+
+    #[test]
+    fn empty_schedule_is_valid() {
+        let s = Schedule::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.total_insts(), 0);
+    }
+}

@@ -1,0 +1,596 @@
+//! Workload specifications: the generator that turns a compact description
+//! of a benchmark's character into a concrete [`Program`].
+//!
+//! A [`WorkloadSpec`] says *what the workload is like* — how many phases,
+//! each phase's instruction mix, working sets, branch behaviour and share of
+//! execution — and [`WorkloadSpec::build`] deterministically expands it into
+//! basic blocks, address streams and an interleaved phase schedule. The
+//! synthetic SPEC CPU2017 suite (`sampsim-spec2017`) is a set of 30 such
+//! specifications.
+
+use crate::block::{BasicBlock, InstKind, StaticInst, CODE_BASE, INST_BYTES};
+use crate::mem::{AddressPattern, MemRegion, StreamSpec};
+use crate::phase::Phase;
+use crate::program::Program;
+use crate::schedule::{Schedule, Segment};
+use sampsim_util::rng::Xoshiro256StarStar;
+use sampsim_util::scale::Scale;
+
+/// Base address of the synthetic data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Alignment gap between stream regions.
+const REGION_ALIGN: u64 = 1 << 20;
+
+/// Target dynamic instruction-mix fractions for a phase (the remainder,
+/// after branches, is compute-only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Fraction of `MEM_R` instructions.
+    pub read: f64,
+    /// Fraction of `MEM_W` instructions.
+    pub write: f64,
+    /// Fraction of `MEM_RW` instructions.
+    pub read_write: f64,
+}
+
+impl Mix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or they sum to ≥ 1.
+    pub fn new(read: f64, write: f64, read_write: f64) -> Self {
+        assert!(
+            read >= 0.0 && write >= 0.0 && read_write >= 0.0,
+            "mix fractions must be non-negative"
+        );
+        assert!(
+            read + write + read_write < 1.0,
+            "memory fractions must leave room for compute instructions"
+        );
+        Self {
+            read,
+            write,
+            read_write,
+        }
+    }
+
+    /// The suite-average mix reported by the paper (§IV-D): 36.7% reads,
+    /// 12.9% writes, ~1.3% read-writes.
+    pub fn paper_average() -> Self {
+        Self::new(0.367, 0.129, 0.013)
+    }
+}
+
+/// How a generated stream should walk its working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Sequential streaming with the given byte stride.
+    Stride {
+        /// Byte stride between accesses.
+        stride: u64,
+    },
+    /// Uniform random within the working set.
+    Random,
+    /// Serialized pointer chase.
+    PointerChase,
+    /// Power-law-skewed random (Zipf-like hot/cold split); exponent is
+    /// `theta_x10 / 10`.
+    SkewedRandom {
+        /// Skew exponent × 10.
+        theta_x10: u16,
+    },
+}
+
+/// Generator description of one address stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamGen {
+    /// Walk pattern.
+    pub kind: StreamKind,
+    /// Working-set size in bytes.
+    pub ws_bytes: u64,
+    /// Share of the phase's memory instructions assigned to this stream
+    /// (normalized across the phase's streams at build time). Real
+    /// workloads concentrate most accesses on hot data, so give the small
+    /// working sets the large weights.
+    pub weight: f64,
+}
+
+impl StreamGen {
+    /// Sequential streaming over `ws_bytes` (8-byte elements).
+    pub fn streaming(ws_bytes: u64) -> Self {
+        Self {
+            kind: StreamKind::Stride { stride: 8 },
+            ws_bytes,
+            weight: 1.0,
+        }
+    }
+
+    /// Random accesses over `ws_bytes`.
+    pub fn random(ws_bytes: u64) -> Self {
+        Self {
+            kind: StreamKind::Random,
+            ws_bytes,
+            weight: 1.0,
+        }
+    }
+
+    /// Pointer chasing over `ws_bytes`.
+    pub fn chase(ws_bytes: u64) -> Self {
+        Self {
+            kind: StreamKind::PointerChase,
+            ws_bytes,
+            weight: 1.0,
+        }
+    }
+
+    /// Zipf-like skewed random accesses over `ws_bytes` with exponent
+    /// `theta` (clamped to `[1.0, 6.5]`).
+    pub fn skewed(ws_bytes: u64, theta: f64) -> Self {
+        let theta_x10 = (theta.clamp(1.0, 6.5) * 10.0).round() as u16;
+        Self {
+            kind: StreamKind::SkewedRandom { theta_x10 },
+            ws_bytes,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the access share (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is positive and finite.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "stream weight must be positive"
+        );
+        self.weight = weight;
+        self
+    }
+}
+
+/// Generator description of one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Share of total execution attributed to this phase (normalized across
+    /// phases at build time).
+    pub weight: f64,
+    /// Target instruction mix.
+    pub mix: Mix,
+    /// Number of distinct basic blocks.
+    pub n_blocks: usize,
+    /// Inclusive range of block lengths (instructions incl. the branch).
+    pub block_len: (usize, usize),
+    /// Address streams.
+    pub streams: Vec<StreamGen>,
+    /// Branch entropy in `[0, 1]`: 0 ⇒ highly biased (predictable)
+    /// branches, 1 ⇒ 50/50 (unpredictable) branches.
+    pub branch_entropy: f64,
+    /// Zipf-style skew of the block-selection distribution (0 = uniform).
+    pub block_skew: f64,
+}
+
+impl PhaseSpec {
+    /// A balanced compute/memory phase with a modest working set.
+    pub fn balanced(weight: f64) -> Self {
+        Self {
+            weight,
+            mix: Mix::paper_average(),
+            n_blocks: 8,
+            block_len: (6, 14),
+            streams: vec![
+                StreamGen::random(16 << 10).with_weight(0.80),
+                StreamGen::random(160 << 10).with_weight(0.15),
+                StreamGen::chase(96 << 10).with_weight(0.05),
+            ],
+            branch_entropy: 0.2,
+            block_skew: 0.6,
+        }
+    }
+
+    /// A memory-bound phase: large random working set, many loads.
+    pub fn memory_bound(weight: f64) -> Self {
+        Self {
+            weight,
+            mix: Mix::new(0.45, 0.15, 0.02),
+            n_blocks: 6,
+            block_len: (5, 10),
+            streams: vec![
+                StreamGen::random(16 << 10).with_weight(0.55),
+                StreamGen::streaming(32 << 20).with_weight(0.30),
+                StreamGen::random(48 << 20).with_weight(0.15),
+            ],
+            branch_entropy: 0.15,
+            block_skew: 0.4,
+        }
+    }
+
+    /// A compute-bound phase: small hot working set, few memory ops.
+    pub fn compute_bound(weight: f64) -> Self {
+        Self {
+            weight,
+            mix: Mix::new(0.18, 0.06, 0.005),
+            n_blocks: 10,
+            block_len: (8, 16),
+            streams: vec![StreamGen::streaming(32 << 10)],
+            branch_entropy: 0.1,
+            block_skew: 0.8,
+        }
+    }
+
+    /// A pointer-chasing phase (graph/tree traversal character).
+    pub fn pointer_chasing(weight: f64) -> Self {
+        Self {
+            weight,
+            mix: Mix::new(0.40, 0.10, 0.01),
+            n_blocks: 7,
+            block_len: (4, 9),
+            streams: vec![
+                StreamGen::random(16 << 10).with_weight(0.70),
+                StreamGen::chase(32 << 20).with_weight(0.12),
+                StreamGen::random(192 << 10).with_weight(0.18),
+            ],
+            branch_entropy: 0.5,
+            block_skew: 0.3,
+        }
+    }
+}
+
+/// How phase segments are interleaved in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterleaveSpec {
+    /// Mean segment length in instructions (before jitter).
+    pub mean_segment: u64,
+    /// Relative jitter in `[0, 1)`: each segment length is drawn uniformly
+    /// from `mean * [1-jitter, 1+jitter]`.
+    pub jitter: f64,
+    /// When non-zero, segment lengths are rounded to a multiple of this
+    /// value. The scaled-down workloads over-represent phase transitions
+    /// relative to real runs (where phases persist for billions of
+    /// instructions); aligning segments to the default analysis-slice grid
+    /// compensates (DESIGN.md scaling policy).
+    pub align: u64,
+}
+
+impl Default for InterleaveSpec {
+    /// Segments average 50 k instructions (≈5 default slices) with ±50%
+    /// jitter and no alignment.
+    fn default() -> Self {
+        Self {
+            mean_segment: 50_000,
+            jitter: 0.5,
+            align: 0,
+        }
+    }
+}
+
+/// A complete, buildable workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload (benchmark) name.
+    pub name: String,
+    /// Master seed; all generated structure and the execution stream derive
+    /// from it.
+    pub seed: u64,
+    /// Total dynamic instructions of a whole run.
+    pub total_insts: u64,
+    /// Phase descriptions.
+    pub phases: Vec<PhaseSpec>,
+    /// Schedule interleaving parameters.
+    pub interleave: InterleaveSpec,
+}
+
+impl WorkloadSpec {
+    /// Starts building a spec.
+    pub fn builder(name: impl Into<String>, seed: u64) -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder {
+            spec: WorkloadSpec {
+                name: name.into(),
+                seed,
+                total_insts: 1_000_000,
+                phases: Vec::new(),
+                interleave: InterleaveSpec::default(),
+            },
+        }
+    }
+
+    /// Returns a copy with instruction counts (total and segment lengths)
+    /// multiplied by `scale`, preserving all ratios.
+    pub fn scaled(&self, scale: Scale) -> Self {
+        let mut out = self.clone();
+        out.total_insts = scale.apply(self.total_insts);
+        out.interleave.mean_segment = scale.apply(self.interleave.mean_segment);
+        if self.interleave.align > 0 {
+            out.interleave.align = scale.apply(self.interleave.align);
+        }
+        out
+    }
+
+    /// Deterministically expands the spec into a [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no phases.
+    pub fn build(&self) -> Program {
+        assert!(!self.phases.is_empty(), "workload must have phases");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed ^ 0xBAD5_EED0);
+        let total_weight: f64 = self.phases.iter().map(|p| p.weight).sum();
+        let mut blocks = Vec::new();
+        let mut phases = Vec::new();
+        let mut next_region_base = DATA_BASE;
+        let mut stream_base = 0u32;
+        let mut next_pc = CODE_BASE;
+        for spec in &self.phases {
+            // Allocate stream regions.
+            let streams: Vec<StreamSpec> = spec
+                .streams
+                .iter()
+                .map(|g| {
+                    let size = g.ws_bytes.max(64);
+                    let region = MemRegion::new(next_region_base, size);
+                    next_region_base += size.div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN;
+                    let pattern = match g.kind {
+                        StreamKind::Stride { stride } => AddressPattern::Stride { stride },
+                        StreamKind::Random => AddressPattern::Random,
+                        StreamKind::PointerChase => AddressPattern::PointerChase,
+                        StreamKind::SkewedRandom { theta_x10 } => {
+                            AddressPattern::SkewedRandom { theta_x10 }
+                        }
+                    };
+                    StreamSpec { region, pattern }
+                })
+                .collect();
+            // Generate blocks.
+            let mut ids = Vec::with_capacity(spec.n_blocks);
+            for _ in 0..spec.n_blocks.max(1) {
+                let (lo, hi) = spec.block_len;
+                assert!(lo >= 2 && hi >= lo, "block_len must be at least (2, lo)");
+                let len = lo + rng.next_below((hi - lo + 1) as u64) as usize;
+                let mut insts = Vec::with_capacity(len);
+                // Compensate mix for the guaranteed trailing branch.
+                let adj = len as f64 / (len - 1) as f64;
+                let stream_weights: Vec<f64> = spec.streams.iter().map(|g| g.weight).collect();
+                for _ in 0..len - 1 {
+                    let r = rng.next_f64();
+                    let kind = if streams.is_empty() {
+                        InstKind::Alu
+                    } else {
+                        let stream = rng.weighted_index(&stream_weights) as u16;
+                        if r < spec.mix.read * adj {
+                            InstKind::Load { stream }
+                        } else if r < (spec.mix.read + spec.mix.write) * adj {
+                            InstKind::Store { stream }
+                        } else if r < (spec.mix.read + spec.mix.write + spec.mix.read_write) * adj {
+                            InstKind::LoadStore { stream }
+                        } else {
+                            InstKind::Alu
+                        }
+                    };
+                    insts.push(StaticInst { kind });
+                }
+                // Branch bias: interpolate between a strongly biased branch
+                // and a coin flip according to the phase's entropy.
+                let extreme = if rng.chance(0.5) { 0.97 } else { 0.03 };
+                let p = spec.branch_entropy * 0.5 + (1.0 - spec.branch_entropy) * extreme;
+                let bias = (p * 65536.0).clamp(0.0, 65535.0) as u16;
+                insts.push(StaticInst {
+                    kind: InstKind::Branch { bias },
+                });
+                let id = blocks.len() as u32;
+                blocks.push(BasicBlock::new(next_pc, insts));
+                next_pc += len as u64 * INST_BYTES;
+                // Pad block starts to 64 B so i-footprint resembles real code.
+                next_pc = next_pc.div_ceil(64) * 64;
+                ids.push(id);
+            }
+            // Zipf-ish block weights.
+            let weights: Vec<f64> = (0..ids.len())
+                .map(|i| 1.0 / ((i + 1) as f64).powf(spec.block_skew))
+                .collect();
+            // Long-resident phases are extremely self-similar in real code
+            // (their inner loops repeat billions of times), so the random
+            // fraction of block selection shrinks with the phase's share of
+            // execution — this keeps clustering from subdividing dominant
+            // phases on sampling noise.
+            let share = spec.weight / total_weight;
+            let noise = (0.02 / share.max(1e-9)).clamp(0.03, 0.15);
+            phases.push(
+                Phase::new(ids, weights, streams, stream_base).with_selection_noise(noise),
+            );
+            stream_base += spec.streams.len() as u32;
+        }
+        let schedule = self.build_schedule(&mut rng);
+        Program::new(self.name.clone(), blocks, phases, schedule, self.seed)
+    }
+
+    fn build_schedule(&self, rng: &mut Xoshiro256StarStar) -> Schedule {
+        let total_weight: f64 = self.phases.iter().map(|p| p.weight).sum();
+        assert!(total_weight > 0.0, "phase weights must sum to a positive value");
+        let mean = self.interleave.mean_segment.max(1024);
+        let jitter = self.interleave.jitter.clamp(0.0, 0.99);
+        let mut segments = Vec::new();
+        for (idx, phase) in self.phases.iter().enumerate() {
+            let mut budget =
+                (self.total_insts as f64 * phase.weight / total_weight).round() as u64;
+            // Tiny phases still get one segment so every phase exists.
+            budget = budget.max(1);
+            while budget > 0 {
+                let f = 1.0 + jitter * (2.0 * rng.next_f64() - 1.0);
+                let mut len = ((mean as f64 * f) as u64).max(1024);
+                if self.interleave.align > 1 {
+                    len = (len.div_ceil(self.interleave.align)) * self.interleave.align;
+                }
+                if len >= budget || budget - len < 1024 {
+                    len = budget;
+                }
+                segments.push(Segment {
+                    phase: idx as u32,
+                    insts: len,
+                });
+                budget -= len;
+            }
+        }
+        rng.shuffle(&mut segments);
+        Schedule::new(segments)
+    }
+}
+
+/// Builder for [`WorkloadSpec`] (see [`WorkloadSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadSpecBuilder {
+    /// Sets the whole-run dynamic instruction count.
+    pub fn total_insts(mut self, n: u64) -> Self {
+        self.spec.total_insts = n;
+        self
+    }
+
+    /// Adds a phase.
+    pub fn phase(mut self, phase: PhaseSpec) -> Self {
+        self.spec.phases.push(phase);
+        self
+    }
+
+    /// Sets the interleaving parameters.
+    pub fn interleave(mut self, interleave: InterleaveSpec) -> Self {
+        self.spec.interleave = interleave;
+        self
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase was added.
+    pub fn build(self) -> WorkloadSpec {
+        assert!(!self.spec.phases.is_empty(), "workload must have phases");
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::mem::MemClass;
+
+    fn two_phase_spec() -> WorkloadSpec {
+        WorkloadSpec::builder("spec-test", 11)
+            .total_insts(300_000)
+            .phase(PhaseSpec::balanced(2.0))
+            .phase(PhaseSpec::memory_bound(1.0))
+            .interleave(InterleaveSpec {
+                mean_segment: 10_000,
+                jitter: 0.4,
+                align: 0,
+            })
+            .build()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = two_phase_spec();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = two_phase_spec();
+        let a = spec.build();
+        spec.seed = 12;
+        let b = spec.build();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn total_insts_respected_approximately() {
+        let spec = two_phase_spec();
+        let p = spec.build();
+        let total = p.total_insts();
+        // Rounding may shift totals by a few instructions per phase.
+        assert!(
+            (total as i64 - 300_000i64).abs() < 10,
+            "total {total} too far from 300000"
+        );
+    }
+
+    #[test]
+    fn phase_shares_respected() {
+        let spec = two_phase_spec();
+        let p = spec.build();
+        let p0 = p.schedule().phase_insts(0) as f64;
+        let p1 = p.schedule().phase_insts(1) as f64;
+        let share = p0 / (p0 + p1);
+        assert!((share - 2.0 / 3.0).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn realized_mix_close_to_target() {
+        let spec = WorkloadSpec::builder("mix-test", 3)
+            .total_insts(400_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build();
+        let p = spec.build();
+        let mut exec = Executor::new(&p);
+        let mut counts = [0u64; 4];
+        while let Some(i) = exec.next_inst() {
+            counts[i.mem.index()] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        let read = counts[MemClass::Read.index()] as f64 / total as f64;
+        let write = counts[MemClass::Write.index()] as f64 / total as f64;
+        assert!((read - 0.367).abs() < 0.06, "read share {read}");
+        assert!((write - 0.129).abs() < 0.04, "write share {write}");
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let spec = two_phase_spec();
+        let scaled = spec.scaled(Scale::new(0.1));
+        assert_eq!(scaled.total_insts, 30_000);
+        assert_eq!(scaled.phases.len(), spec.phases.len());
+        let p = scaled.build();
+        assert!(p.total_insts() >= 25_000 && p.total_insts() <= 35_000);
+    }
+
+    #[test]
+    fn segments_interleave_phases() {
+        let spec = two_phase_spec();
+        let p = spec.build();
+        let segs = p.schedule().segments();
+        assert!(segs.len() > 10, "expected many segments, got {}", segs.len());
+        // Both phases appear, and not as one contiguous run each.
+        let first_phase = segs[0].phase;
+        assert!(
+            segs.iter().any(|s| s.phase != first_phase),
+            "phases never alternate"
+        );
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let spec = two_phase_spec();
+        let p = spec.build();
+        let mut regions: Vec<(u64, u64)> = p
+            .phases()
+            .iter()
+            .flat_map(|ph| ph.streams.iter().map(|s| (s.region.base, s.region.size)))
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "regions overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workload must have phases")]
+    fn empty_builder_panics() {
+        let _ = WorkloadSpec::builder("x", 0).build();
+    }
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates every paper exhibit and ablation, saving outputs to
+# docs/results/. Run from the repository root after `cargo build --release`.
+set -e
+BIN=./target/release
+OUT=docs/results
+mkdir -p "$OUT"
+for fig in table2 fig3a fig3b fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig12 \
+           cpi_stacks suite_overview; do
+    echo "== $fig =="
+    "$BIN/$fig" --quiet "$@" | tee "$OUT/$fig.txt"
+done
+for abl in baseline_sampling smarts_compare ablation_warmup \
+           ablation_clustering ablation_hierarchy ablation_vli \
+           ablation_core_models methodology_costs; do
+    echo "== $abl =="
+    "$BIN/$abl" --quiet "$@" | tee "$OUT/$abl.txt"
+done

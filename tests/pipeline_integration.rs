@@ -1,0 +1,161 @@
+//! End-to-end integration tests across crates: workload → pin → pinball →
+//! simpoint → core, on reduced-scale programs.
+
+use sampsim::cache::configs;
+use sampsim::core::metrics::{aggregate_weighted, whole_as_aggregate};
+use sampsim::core::runs::{
+    run_region_functional, run_regions_functional, run_whole_functional, WarmupMode,
+};
+use sampsim::core::{PinPointsConfig, Pipeline};
+use sampsim::pin::engine;
+use sampsim::pin::tools::TraceRecorder;
+use sampsim::simpoint::SimPointOptions;
+use sampsim::spec2017::{benchmark, BenchmarkId};
+use sampsim::util::scale::Scale;
+use sampsim::workload::spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};
+use sampsim::workload::{Executor, Program};
+
+fn small_program() -> Program {
+    WorkloadSpec::builder("integration", 77)
+        .total_insts(200_000)
+        .phase(PhaseSpec::balanced(1.5))
+        .phase(PhaseSpec::compute_bound(1.0))
+        .phase(PhaseSpec::pointer_chasing(0.5))
+        .interleave(InterleaveSpec {
+            mean_segment: 10_000,
+            jitter: 0.4,
+            align: 1_000,
+        })
+        .build()
+        .build()
+}
+
+fn small_config() -> PinPointsConfig {
+    PinPointsConfig {
+        slice_size: 1_000,
+        simpoint: SimPointOptions {
+            max_k: 10,
+            ..Default::default()
+        },
+        warmup_slices: 10,
+        profile_cache: None,
+    }
+}
+
+#[test]
+fn regional_replay_equals_direct_execution() {
+    // The pinball promise: replaying a regional checkpoint reproduces the
+    // original instruction stream bit-for-bit.
+    let program = small_program();
+    let result = Pipeline::new(small_config()).run(&program).unwrap();
+    for pb in result.regional.iter().take(4) {
+        // Reference: execute from the start and record the region's slice.
+        let mut reference = Executor::new(&program);
+        reference.skip(pb.slice_index * 1_000);
+        let mut want = TraceRecorder::new(1_000);
+        engine::run_one(&mut reference, 1_000, &mut want);
+        // Replay from the checkpoint.
+        let mut replayed = pb.attach(&program).unwrap();
+        let mut got = TraceRecorder::new(1_000);
+        engine::run_one(&mut replayed, 1_000, &mut got);
+        assert_eq!(got.trace(), want.trace(), "slice {}", pb.slice_index);
+    }
+}
+
+#[test]
+fn sampled_mix_tracks_whole_run() {
+    let program = small_program();
+    let result = Pipeline::new(small_config()).run(&program).unwrap();
+    let whole = run_whole_functional(&program, configs::allcache_table1());
+    let regions = run_regions_functional(
+        &program,
+        &result.regional,
+        configs::allcache_table1(),
+        WarmupMode::None,
+    )
+    .unwrap();
+    let sampled = aggregate_weighted(&regions);
+    let reference = whole_as_aggregate(&whole);
+    for (s, w) in sampled.mix_pct.iter().zip(&reference.mix_pct) {
+        assert!(
+            (s - w).abs() < 3.0,
+            "sampled {s:.2} vs whole {w:.2} (distribution error too large)"
+        );
+    }
+}
+
+#[test]
+fn cold_regions_inflate_llc_misses_and_warmup_helps() {
+    // The paper's §IV-D finding, end to end.
+    let program = small_program();
+    let mut config = small_config();
+    config.warmup_slices = 20;
+    let result = Pipeline::new(config).run(&program).unwrap();
+    let whole = run_whole_functional(&program, configs::allcache_table1());
+    let whole_l3 = whole.cache.as_ref().unwrap().l3.miss_rate_pct();
+    let agg = |mode| {
+        let regions =
+            run_regions_functional(&program, &result.regional, configs::allcache_table1(), mode)
+                .unwrap();
+        aggregate_weighted(&regions).miss_rates.unwrap().l3
+    };
+    let cold_l3 = agg(WarmupMode::None);
+    let warm_l3 = agg(WarmupMode::Checkpointed);
+    assert!(
+        cold_l3 >= whole_l3 - 1e-9,
+        "cold regions must not under-report L3 misses (cold {cold_l3:.2}, whole {whole_l3:.2})"
+    );
+    assert!(
+        (warm_l3 - whole_l3).abs() <= (cold_l3 - whole_l3).abs() + 1e-9,
+        "warmup must not increase the L3 error (cold {cold_l3:.2}, warm {warm_l3:.2}, whole {whole_l3:.2})"
+    );
+}
+
+#[test]
+fn weights_sum_to_one_and_match_cluster_sizes() {
+    let program = small_program();
+    let result = Pipeline::new(small_config()).run(&program).unwrap();
+    let total: f64 = result.regional.iter().map(|pb| pb.weight).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // Each weight equals the cluster population divided by slice count.
+    let n = result.simpoints.assignments.len() as f64;
+    for pb in &result.regional {
+        let members = result
+            .simpoints
+            .assignments
+            .iter()
+            .filter(|&&a| a == pb.cluster)
+            .count() as f64;
+        assert!((pb.weight - members / n).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn suite_benchmark_end_to_end_at_test_scale() {
+    let spec = benchmark(BenchmarkId::LeelaS).scaled(Scale::new(0.02));
+    let program = spec.build();
+    let mut config = PinPointsConfig::default();
+    config.slice_size = Scale::new(0.02).apply(10_000);
+    config.simpoint.max_k = 25;
+    let result = Pipeline::new(config).run(&program).unwrap();
+    assert!(result.regional.len() >= 5, "found {}", result.regional.len());
+    // A single region replays fine and reports its slice length.
+    let m = run_region_functional(
+        &program,
+        &result.regional[0],
+        configs::allcache_table1(),
+        WarmupMode::Checkpointed,
+    )
+    .unwrap();
+    assert_eq!(m.instructions, result.regional[0].length);
+}
+
+#[test]
+fn deterministic_across_identical_pipelines() {
+    let program = small_program();
+    let a = Pipeline::new(small_config()).run(&program).unwrap();
+    let b = Pipeline::new(small_config()).run(&program).unwrap();
+    assert_eq!(a.simpoints, b.simpoints);
+    assert_eq!(a.regional, b.regional);
+    assert_eq!(a.whole_metrics.mix, b.whole_metrics.mix);
+}

@@ -1,0 +1,131 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+use sampsim::pinball::{Logger, RegionalPinball};
+use sampsim::simpoint::bbv::Bbv;
+use sampsim::simpoint::kmeans::kmeans;
+use sampsim::simpoint::select::{reduce_to_percentile, SimPoint};
+use sampsim::util::codec;
+use sampsim::workload::spec::{InterleaveSpec, Mix, PhaseSpec, StreamGen, WorkloadSpec};
+use sampsim::workload::{Cursor, Executor, Program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint/resume at ANY instruction boundary is bit-exact.
+    #[test]
+    fn checkpoint_resume_bit_exact(seed in 0u64..500, split in 1u64..20_000) {
+        let program = program_for(seed);
+        let split = split % program.total_insts().max(2);
+        let mut reference = Executor::new(&program);
+        reference.skip(split);
+        let cursor = reference.cursor();
+        let bytes = codec::to_bytes(&cursor);
+        let decoded: Cursor = codec::from_bytes(&bytes).unwrap();
+        let mut resumed = Executor::with_cursor(&program, decoded);
+        for _ in 0..1_000 {
+            prop_assert_eq!(resumed.next_inst(), reference.next_inst());
+        }
+    }
+
+    /// Slice-start cursors partition the execution exactly.
+    #[test]
+    fn slice_starts_partition_execution(seed in 0u64..500, slice in 100u64..5_000) {
+        let program = program_for(seed);
+        let starts = Logger::new(&program).slice_starts(slice);
+        let expected = program.total_insts().div_ceil(slice);
+        prop_assert_eq!(starts.len() as u64, expected);
+        for (i, c) in starts.iter().enumerate() {
+            prop_assert_eq!(c.retired, i as u64 * slice);
+        }
+    }
+
+    /// A regional pinball roundtrips through the codec losslessly.
+    #[test]
+    fn pinball_codec_roundtrip(seed in 0u64..500, idx in 0usize..10) {
+        let program = program_for(seed);
+        let starts = Logger::new(&program).slice_starts(1_000);
+        let idx = idx % starts.len();
+        let pb = RegionalPinball::new(&program, idx as u64, starts[idx].clone(), 1_000, 0.5, 1);
+        let bytes = codec::to_bytes(&pb);
+        let back: RegionalPinball = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, pb);
+    }
+
+    /// k-means invariants: assignments in range, inertia non-negative and
+    /// non-increasing in k (with best-of restarts).
+    #[test]
+    fn kmeans_invariants(seed in 0u64..200, n in 10usize..80, k in 1usize..8) {
+        let mut rng = sampsim::util::rng::Xoshiro256StarStar::seed_from_u64(seed);
+        let dim = 3;
+        let data: Vec<f64> = (0..n * dim).map(|_| rng.next_f64() * 10.0).collect();
+        let r = kmeans(&data, n, dim, k, 50, seed);
+        prop_assert!(r.inertia >= 0.0);
+        prop_assert_eq!(r.assignments.len(), n);
+        prop_assert!(r.assignments.iter().all(|&a| (a as usize) < r.k));
+        let sizes = r.cluster_sizes();
+        prop_assert_eq!(sizes.iter().sum::<u64>(), n as u64);
+    }
+
+    /// Percentile reduction keeps weights normalized, returns a subset, and
+    /// is monotone in the percentile.
+    #[test]
+    fn reduction_invariants(weights in proptest::collection::vec(0.01f64..1.0, 1..30)) {
+        let total: f64 = weights.iter().sum();
+        let points: Vec<SimPoint> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| SimPoint { slice: i as u64, cluster: i as u32, weight: w / total })
+            .collect();
+        let p50 = reduce_to_percentile(&points, 0.5);
+        let p90 = reduce_to_percentile(&points, 0.9);
+        let p100 = reduce_to_percentile(&points, 1.0);
+        prop_assert!(p50.len() <= p90.len());
+        prop_assert!(p90.len() <= p100.len());
+        prop_assert_eq!(p100.len(), points.len());
+        for reduced in [&p50, &p90, &p100] {
+            let w: f64 = reduced.iter().map(|p| p.weight).sum();
+            prop_assert!((w - 1.0).abs() < 1e-9);
+            // Every reduced point is one of the originals.
+            for p in reduced.iter() {
+                prop_assert!(points.iter().any(|q| q.slice == p.slice));
+            }
+        }
+    }
+
+    /// Normalized BBVs have unit L1 norm and distances bounded by 2.
+    #[test]
+    fn bbv_norm_bounds(counts in proptest::collection::vec((0u32..500, 1u32..1000), 1..40)) {
+        let mut sorted: Vec<(u32, u32)> = counts;
+        sorted.sort_by_key(|&(b, _)| b);
+        sorted.dedup_by_key(|&mut (b, _)| b);
+        let a = Bbv::from_counts(sorted).normalized();
+        prop_assert!((a.l1_norm() - 1.0).abs() < 1e-9);
+        let b = Bbv::from_counts(vec![(1000, 1)]).normalized();
+        let d = a.manhattan(&b);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&d));
+    }
+}
+
+/// Deterministic mini-program family indexed by seed.
+fn program_for(seed: u64) -> Program {
+    WorkloadSpec::builder("prop", seed)
+        .total_insts(20_000 + (seed % 7) * 1_000)
+        .phase(PhaseSpec::balanced(1.0))
+        .phase(PhaseSpec {
+            weight: 0.5,
+            mix: Mix::new(0.3, 0.1, 0.01),
+            n_blocks: 4 + (seed % 3) as usize,
+            block_len: (3, 8),
+            streams: vec![StreamGen::random(32 << 10), StreamGen::chase(64 << 10)],
+            branch_entropy: 0.2,
+            block_skew: 0.5,
+        })
+        .interleave(InterleaveSpec {
+            mean_segment: 4_000,
+            jitter: 0.5,
+            align: 0,
+        })
+        .build()
+        .build()
+}
