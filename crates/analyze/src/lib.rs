@@ -1,0 +1,33 @@
+//! # sampsim-analyze
+//!
+//! Static analysis for the sampling pipeline: lints over workload IR,
+//! sampling configurations and cache hierarchies, plus post-hoc audits of
+//! SimPoint results and regional pinballs.
+//!
+//! Every finding is a [`Diagnostic`] carrying a stable rule code
+//! (`SA0xx`), a [`Severity`], a [`Location`] and fixed help text; passes
+//! collect them into a [`Report`] which renders as human-readable text
+//! ([`render_human`]) or JSON lines ([`render_json_lines`]).
+//!
+//! Rule families:
+//!
+//! * `SA001`–`SA012` — workload IR ([`lint_program`])
+//! * `SA020`–`SA028` — sampling configuration ([`lint_sampling_config`])
+//! * `SA030`–`SA034` — cache-hierarchy geometry ([`lint_hierarchy`])
+//! * `SA040`–`SA049` — artifact audits ([`audit_simpoints`],
+//!   [`audit_regions`], [`audit_bbvs`])
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod config;
+pub mod diag;
+pub mod render;
+pub mod workload;
+
+pub use artifact::{audit_bbvs, audit_regions, audit_simpoints, WEIGHT_SUM_TOLERANCE};
+pub use config::{lint_hierarchy, lint_sampling_config, lint_simpoint_options, SamplingConfig};
+pub use diag::{Diagnostic, Location, Report, Rule, Severity};
+pub use render::{diagnostic_json, render_human, render_json_lines};
+pub use workload::{lint_program, lint_program_parts};

@@ -1,0 +1,154 @@
+//! Human-readable and JSON-lines renderers for [`Report`]s.
+//!
+//! The JSON renderer emits one object per line (JSON-lines), hand-rolled so
+//! the crate stays dependency-free. The shape is stable and golden-tested:
+//!
+//! ```json
+//! {"code":"SA001","severity":"error","location":{"kind":"workload",
+//!  "workload":"505.mcf_r","item":"phase 3"},"message":"...","help":"..."}
+//! ```
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use std::fmt::Write;
+
+/// Renders a report in `rustc`-style human-readable form.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.rule, d.message);
+        let _ = writeln!(out, "  --> {}", d.location);
+        let _ = writeln!(out, "  help: {}", d.help);
+    }
+    if !report.is_empty() {
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s), {} note(s)",
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+            report.count(Severity::Note),
+        );
+    }
+    out
+}
+
+/// Renders a report as JSON lines, one diagnostic per line.
+pub fn render_json_lines(report: &Report) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        out.push_str(&diagnostic_json(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one diagnostic as a single-line JSON object.
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"code\":");
+    json_string(&mut s, d.rule.code());
+    s.push_str(",\"severity\":");
+    json_string(&mut s, d.severity.label());
+    s.push_str(",\"location\":");
+    location_json(&mut s, &d.location);
+    s.push_str(",\"message\":");
+    json_string(&mut s, &d.message);
+    s.push_str(",\"help\":");
+    json_string(&mut s, d.help);
+    s.push('}');
+    s
+}
+
+fn location_json(s: &mut String, loc: &Location) {
+    match loc {
+        Location::Workload { workload, item } => {
+            s.push_str("{\"kind\":\"workload\",\"workload\":");
+            json_string(s, workload);
+            s.push_str(",\"item\":");
+            json_string(s, item);
+            s.push('}');
+        }
+        Location::Config { field } => {
+            s.push_str("{\"kind\":\"config\",\"field\":");
+            json_string(s, field);
+            s.push('}');
+        }
+        Location::Artifact { path } => {
+            s.push_str("{\"kind\":\"artifact\",\"path\":");
+            json_string(s, path);
+            s.push('}');
+        }
+    }
+}
+
+/// Appends `value` as a JSON string literal (RFC 8259 escaping).
+fn json_string(s: &mut String, value: &str) {
+    s.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Location, Rule};
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Rule::DanglingBlockRef,
+            Location::workload_item("demo", "phase 0"),
+            "block 9 of 1",
+        ));
+        r.push(Diagnostic::new(
+            Rule::UnreachablePhase,
+            Location::workload_item("demo", "phase 2"),
+            "never scheduled",
+        ));
+        r
+    }
+
+    #[test]
+    fn human_rendering_mentions_code_location_help() {
+        let text = render_human(&sample());
+        assert!(text.contains("error[SA001]: block 9 of 1"));
+        assert!(text.contains("--> workload `demo`, phase 0"));
+        assert!(text.contains("warning[SA003]"));
+        assert!(text.contains("help: "));
+        assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert_eq!(render_human(&Report::new()), "");
+        assert_eq!(render_json_lines(&Report::new()), "");
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn json_lines_one_object_per_diagnostic() {
+        let text = render_json_lines(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"code\":\"SA001\""));
+        assert!(lines[0].ends_with("}"));
+        assert!(lines[1].contains("\"severity\":\"warning\""));
+    }
+}

@@ -1,0 +1,254 @@
+//! Workload IR lints (`SA001`–`SA012`): structural validity of basic
+//! blocks, phases and the schedule.
+//!
+//! [`lint_program`] checks a fully built [`Program`];
+//! [`lint_program_parts`] runs the same rules over loose parts, which lets
+//! callers (and tests) validate IR that `Program::new` itself would reject
+//! with a panic.
+
+use crate::diag::{Diagnostic, Location, Report, Rule};
+use sampsim_workload::{BasicBlock, Phase, Program, Schedule};
+
+/// Lints a built program.
+pub fn lint_program(program: &Program) -> Report {
+    lint_program_parts(
+        program.name(),
+        program.blocks(),
+        program.phases(),
+        program.schedule(),
+    )
+}
+
+/// Lints loose program parts (the same rules as [`lint_program`]).
+pub fn lint_program_parts(
+    name: &str,
+    blocks: &[BasicBlock],
+    phases: &[Phase],
+    schedule: &Schedule,
+) -> Report {
+    let mut report = Report::new();
+    let loc = |item: String| Location::workload_item(name, item);
+
+    // SA010: empty blocks.
+    for (b, block) in blocks.iter().enumerate() {
+        if block.insts.is_empty() {
+            report.push(Diagnostic::new(
+                Rule::EmptyBlock,
+                loc(format!("block {b}")),
+                format!("block {b} contains no instructions"),
+            ));
+        }
+    }
+
+    let mut expected_stream_base = 0u32;
+    for (p, phase) in phases.iter().enumerate() {
+        // SA004: empty phases.
+        if phase.blocks.is_empty() {
+            report.push(Diagnostic::new(
+                Rule::EmptyPhase,
+                loc(format!("phase {p}")),
+                format!("phase {p} owns no basic blocks"),
+            ));
+        }
+
+        // SA001: dangling block references.
+        for &b in &phase.blocks {
+            if (b as usize) >= blocks.len() {
+                report.push(Diagnostic::new(
+                    Rule::DanglingBlockRef,
+                    loc(format!("phase {p}")),
+                    format!(
+                        "phase {p} references block {b}, but the program has \
+                         {} block(s)",
+                        blocks.len()
+                    ),
+                ));
+            }
+        }
+
+        // SA005: the block-selection probability row.
+        if phase.block_weights.len() != phase.blocks.len() {
+            report.push(Diagnostic::new(
+                Rule::BadBlockWeights,
+                loc(format!("phase {p}")),
+                format!(
+                    "phase {p} has {} block(s) but {} weight(s)",
+                    phase.blocks.len(),
+                    phase.block_weights.len()
+                ),
+            ));
+        } else if !phase.blocks.is_empty() {
+            let bad = phase
+                .block_weights
+                .iter()
+                .any(|w| !w.is_finite() || *w <= 0.0);
+            let total: f64 = phase.block_weights.iter().sum();
+            if bad || !(total.is_finite() && total > 0.0) {
+                report.push(Diagnostic::new(
+                    Rule::BadBlockWeights,
+                    loc(format!("phase {p}")),
+                    format!(
+                        "phase {p} selection weights {:?} do not normalize to \
+                         a probability row summing to 1.0",
+                        phase.block_weights
+                    ),
+                ));
+            }
+        }
+
+        // SA006: selection noise.
+        if !(0.0..=1.0).contains(&phase.selection_noise) || phase.selection_noise.is_nan() {
+            report.push(Diagnostic::new(
+                Rule::BadSelectionNoise,
+                loc(format!("phase {p}")),
+                format!(
+                    "phase {p} selection_noise is {}, outside [0, 1]",
+                    phase.selection_noise
+                ),
+            ));
+        }
+
+        // SA007: dangling stream references from memory instructions.
+        for &b in &phase.blocks {
+            let Some(block) = blocks.get(b as usize) else {
+                continue; // already reported as SA001
+            };
+            for inst in &block.insts {
+                if let Some(s) = inst.stream() {
+                    if (s as usize) >= phase.streams.len() {
+                        report.push(Diagnostic::new(
+                            Rule::DanglingStreamRef,
+                            loc(format!("phase {p}, block {b}")),
+                            format!(
+                                "instruction references stream {s}, but phase \
+                                 {p} owns {} stream(s)",
+                                phase.streams.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // SA011: densely packed stream bases.
+        if phase.stream_base != expected_stream_base {
+            report.push(Diagnostic::new(
+                Rule::StreamBaseMismatch,
+                loc(format!("phase {p}")),
+                format!(
+                    "phase {p} stream_base is {}, expected {} (running stream \
+                     count)",
+                    phase.stream_base, expected_stream_base
+                ),
+            ));
+        }
+        expected_stream_base = expected_stream_base.saturating_add(phase.streams.len() as u32);
+
+        // SA012: zero-size regions.
+        for (s, stream) in phase.streams.iter().enumerate() {
+            if stream.region.size == 0 {
+                report.push(Diagnostic::new(
+                    Rule::ZeroSizeRegion,
+                    loc(format!("phase {p}, stream {s}")),
+                    format!(
+                        "stream {s} of phase {p} covers a zero-size region at \
+                         {:#x}",
+                        stream.region.base
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SA008: overlapping stream working sets (across all phases).
+    let mut regions: Vec<(u64, u64, usize, usize)> = phases
+        .iter()
+        .enumerate()
+        .flat_map(|(p, phase)| {
+            phase
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.region.size > 0)
+                .map(move |(s, stream)| (stream.region.base, stream.region.size, p, s))
+        })
+        .collect();
+    regions.sort_unstable();
+    for w in regions.windows(2) {
+        let (a_base, a_size, a_p, a_s) = w[0];
+        let (b_base, _, b_p, b_s) = w[1];
+        if a_base.saturating_add(a_size) > b_base {
+            report.push(Diagnostic::new(
+                Rule::OverlappingStreamRegions,
+                loc(format!("phase {a_p}, stream {a_s}")),
+                format!(
+                    "region [{a_base:#x}, +{a_size:#x}) of phase {a_p} stream \
+                     {a_s} overlaps region at {b_base:#x} of phase {b_p} \
+                     stream {b_s}"
+                ),
+            ));
+        }
+    }
+
+    // SA002: dangling phase references from the schedule.
+    for (i, seg) in schedule.segments().iter().enumerate() {
+        if (seg.phase as usize) >= phases.len() {
+            report.push(Diagnostic::new(
+                Rule::DanglingPhaseRef,
+                loc(format!("schedule segment {i}")),
+                format!(
+                    "segment {i} references phase {}, but the program has {} \
+                     phase(s)",
+                    seg.phase,
+                    phases.len()
+                ),
+            ));
+        }
+    }
+
+    // SA003: unreachable phases.
+    let mut scheduled = vec![false; phases.len()];
+    for seg in schedule.segments() {
+        if let Some(flag) = scheduled.get_mut(seg.phase as usize) {
+            *flag = true;
+        }
+    }
+    for (p, seen) in scheduled.iter().enumerate() {
+        if !seen {
+            report.push(Diagnostic::new(
+                Rule::UnreachablePhase,
+                loc(format!("phase {p}")),
+                format!("phase {p} never appears in the schedule"),
+            ));
+        }
+    }
+
+    // SA009: empty schedule.
+    if schedule.is_empty() || schedule.total_insts() == 0 {
+        report.push(Diagnostic::new(
+            Rule::EmptySchedule,
+            loc("schedule".into()),
+            "the schedule contains no instructions".to_string(),
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+
+    #[test]
+    fn built_workload_is_clean() {
+        let program = WorkloadSpec::builder("clean", 5)
+            .total_insts(100_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .phase(PhaseSpec::memory_bound(1.0))
+            .build()
+            .build();
+        let report = lint_program(&program);
+        assert!(report.is_empty(), "{:?}", report.diagnostics());
+    }
+}

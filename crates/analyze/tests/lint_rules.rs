@@ -1,0 +1,589 @@
+//! Per-rule fixtures: every `SA0xx` rule has one triggering fixture and
+//! one clean counterpart, plus a golden test of the JSON renderer shape.
+
+use sampsim_analyze::{
+    audit_bbvs, audit_regions, audit_simpoints, lint_hierarchy, lint_program, lint_program_parts,
+    lint_sampling_config, lint_simpoint_options, render_json_lines, Diagnostic, Location, Report,
+    Rule, SamplingConfig,
+};
+use sampsim_cache::{configs, HierarchyConfig};
+use sampsim_pinball::RegionalPinball;
+use sampsim_simpoint::bbv::Bbv;
+use sampsim_simpoint::{SimPoint, SimPointOptions, SimPointsResult};
+use sampsim_workload::spec::{PhaseSpec, WorkloadSpec};
+use sampsim_workload::{
+    AddressPattern, BasicBlock, Cursor, InstKind, MemRegion, Phase, Program, Schedule, Segment,
+    StaticInst, StreamSpec,
+};
+
+// ---------------------------------------------------------------- helpers
+
+fn alu_block(pc: u64) -> BasicBlock {
+    BasicBlock {
+        insts: vec![
+            StaticInst {
+                kind: InstKind::Alu,
+            },
+            StaticInst {
+                kind: InstKind::Alu,
+            },
+            StaticInst {
+                kind: InstKind::Branch { bias: 32_768 },
+            },
+        ],
+        pc,
+    }
+}
+
+fn mem_block(pc: u64, stream: u16) -> BasicBlock {
+    BasicBlock {
+        insts: vec![
+            StaticInst {
+                kind: InstKind::Load { stream },
+            },
+            StaticInst {
+                kind: InstKind::Branch { bias: 32_768 },
+            },
+        ],
+        pc,
+    }
+}
+
+fn stream(base: u64, size: u64) -> StreamSpec {
+    StreamSpec {
+        region: MemRegion { base, size },
+        pattern: AddressPattern::Stride { stride: 64 },
+    }
+}
+
+fn phase(blocks: Vec<u32>) -> Phase {
+    let weights = vec![1.0; blocks.len()];
+    Phase {
+        blocks,
+        block_weights: weights,
+        streams: Vec::new(),
+        stream_base: 0,
+        selection_noise: 0.1,
+    }
+}
+
+fn schedule(phases: &[u32]) -> Schedule {
+    Schedule::new(
+        phases
+            .iter()
+            .map(|&p| Segment {
+                phase: p,
+                insts: 1_000,
+            })
+            .collect(),
+    )
+}
+
+/// A minimal structurally valid (blocks, phases, schedule) triple.
+fn clean_parts() -> (Vec<BasicBlock>, Vec<Phase>, Schedule) {
+    (
+        vec![alu_block(0x1000)],
+        vec![phase(vec![0])],
+        schedule(&[0]),
+    )
+}
+
+fn lint_parts(blocks: &[BasicBlock], phases: &[Phase], sched: &Schedule) -> Report {
+    lint_program_parts("fixture", blocks, phases, sched)
+}
+
+fn built_program() -> Program {
+    WorkloadSpec::builder("audit-fixture", 7)
+        .total_insts(100_000)
+        .phase(PhaseSpec::balanced(1.0))
+        .build()
+        .build()
+}
+
+fn region(program: &Program, slice_index: u64, length: u64, weight: f64) -> RegionalPinball {
+    let mut cursor = Cursor::start(program);
+    cursor.retired = slice_index * length;
+    RegionalPinball::new(
+        program,
+        slice_index,
+        cursor,
+        length,
+        weight,
+        slice_index as u32,
+    )
+}
+
+fn simpoints_result() -> SimPointsResult {
+    SimPointsResult {
+        k: 2,
+        slice_size: 1_000,
+        assignments: vec![0, 1, 0, 1],
+        points: vec![
+            SimPoint {
+                slice: 0,
+                cluster: 0,
+                weight: 0.5,
+            },
+            SimPoint {
+                slice: 1,
+                cluster: 1,
+                weight: 0.5,
+            },
+        ],
+        bic_scores: vec![(1, 0.5), (2, 1.0)],
+        avg_variance: 0.1,
+    }
+}
+
+// ---------------------------------------------------------- workload rules
+
+#[test]
+fn clean_parts_have_no_findings() {
+    let (blocks, phases, sched) = clean_parts();
+    let report = lint_parts(&blocks, &phases, &sched);
+    assert!(report.is_empty(), "{:?}", report.diagnostics());
+}
+
+#[test]
+fn sa001_dangling_block_ref() {
+    let (blocks, mut phases, sched) = clean_parts();
+    phases[0].blocks = vec![0, 7];
+    phases[0].block_weights = vec![1.0, 1.0];
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::DanglingBlockRef));
+}
+
+#[test]
+fn sa002_dangling_phase_ref() {
+    let (blocks, phases, _) = clean_parts();
+    let sched = schedule(&[0, 3]);
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::DanglingPhaseRef));
+}
+
+#[test]
+fn sa003_unreachable_phase() {
+    let (blocks, mut phases, sched) = clean_parts();
+    phases.push(phase(vec![0])); // phase 1 never scheduled
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::UnreachablePhase));
+}
+
+#[test]
+fn sa004_empty_phase() {
+    let (blocks, mut phases, sched) = clean_parts();
+    phases[0].blocks.clear();
+    phases[0].block_weights.clear();
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::EmptyPhase));
+}
+
+#[test]
+fn sa005_bad_block_weights() {
+    let (blocks, mut phases, sched) = clean_parts();
+    phases[0].block_weights = vec![1.0, 2.0]; // length mismatch
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::BadBlockWeights));
+    phases[0].block_weights = vec![-1.0]; // non-positive
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::BadBlockWeights));
+    phases[0].block_weights = vec![f64::NAN];
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::BadBlockWeights));
+}
+
+#[test]
+fn sa006_bad_selection_noise() {
+    let (blocks, mut phases, sched) = clean_parts();
+    phases[0].selection_noise = 1.5;
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::BadSelectionNoise));
+}
+
+#[test]
+fn sa007_dangling_stream_ref() {
+    let (_, mut phases, sched) = clean_parts();
+    let blocks = vec![mem_block(0x1000, 2)]; // stream 2 of 1
+    phases[0].streams = vec![stream(0x1_0000, 4096)];
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::DanglingStreamRef));
+    // Clean counterpart: stream 0 exists.
+    let blocks = vec![mem_block(0x1000, 0)];
+    assert!(lint_parts(&blocks, &phases, &sched).is_empty());
+}
+
+#[test]
+fn sa008_overlapping_stream_regions() {
+    let (_, mut phases, sched) = clean_parts();
+    let blocks = vec![mem_block(0x1000, 0)];
+    phases[0].streams = vec![stream(0x1_0000, 4096), stream(0x1_0800, 4096)];
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::OverlappingStreamRegions));
+    // Adjacent-but-disjoint regions are fine.
+    phases[0].streams = vec![stream(0x1_0000, 4096), stream(0x1_1000, 4096)];
+    assert!(!lint_parts(&blocks, &phases, &sched).fired(Rule::OverlappingStreamRegions));
+}
+
+#[test]
+fn sa009_empty_schedule() {
+    let (blocks, mut phases, _) = clean_parts();
+    let sched = Schedule::new(Vec::new());
+    phases[0].blocks = vec![0];
+    let report = lint_parts(&blocks, &phases, &sched);
+    assert!(report.fired(Rule::EmptySchedule));
+}
+
+#[test]
+fn sa010_empty_block() {
+    let (mut blocks, phases, sched) = clean_parts();
+    blocks.push(BasicBlock {
+        insts: Vec::new(),
+        pc: 0x2000,
+    });
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::EmptyBlock));
+}
+
+#[test]
+fn sa011_stream_base_mismatch() {
+    let (_, mut phases, _) = clean_parts();
+    let blocks = vec![mem_block(0x1000, 0)];
+    let sched = schedule(&[0, 1]);
+    phases[0].streams = vec![stream(0x1_0000, 4096)];
+    let mut second = phase(vec![0]);
+    second.stream_base = 5; // should be 1 (phase 0 owns one stream)
+    phases.push(second);
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::StreamBaseMismatch));
+    phases[1].stream_base = 1;
+    assert!(!lint_parts(&blocks, &phases, &sched).fired(Rule::StreamBaseMismatch));
+}
+
+#[test]
+fn sa012_zero_size_region() {
+    let (_, mut phases, sched) = clean_parts();
+    let blocks = vec![mem_block(0x1000, 0)];
+    phases[0].streams = vec![stream(0x1_0000, 0)];
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::ZeroSizeRegion));
+}
+
+#[test]
+fn built_suite_program_is_clean() {
+    assert!(lint_program(&built_program()).is_empty());
+}
+
+// ------------------------------------------------------------ config rules
+
+fn config_with<'a>(simpoint: &'a SimPointOptions) -> SamplingConfig<'a> {
+    SamplingConfig {
+        slice_size: 10_000,
+        warmup_slices: 48,
+        simpoint,
+        profile_cache: None,
+        expected_slices: Some(1_000),
+    }
+}
+
+#[test]
+fn default_config_is_clean() {
+    let options = SimPointOptions::default();
+    assert!(lint_sampling_config(&config_with(&options)).is_empty());
+}
+
+#[test]
+fn sa020_zero_slice_size() {
+    let options = SimPointOptions::default();
+    let mut config = config_with(&options);
+    config.slice_size = 0;
+    assert!(lint_sampling_config(&config).fired(Rule::ZeroSliceSize));
+}
+
+#[test]
+fn sa021_bad_max_k() {
+    let options = SimPointOptions {
+        max_k: 0,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::BadMaxK));
+}
+
+#[test]
+fn sa022_max_k_exceeds_slices() {
+    let options = SimPointOptions::default();
+    let mut config = config_with(&options);
+    config.expected_slices = Some(10); // MaxK 35 >= 10 slices
+    assert!(lint_sampling_config(&config).fired(Rule::MaxKExceedsSlices));
+}
+
+#[test]
+fn sa023_bad_projection_dim() {
+    let options = SimPointOptions {
+        dim: 0,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::BadProjectionDim));
+}
+
+#[test]
+fn sa024_zero_init() {
+    let options = SimPointOptions {
+        n_init: 0,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::ZeroInit));
+}
+
+#[test]
+fn sa025_zero_max_iter() {
+    let options = SimPointOptions {
+        max_iter: 0,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::ZeroMaxIter));
+}
+
+#[test]
+fn sa026_bad_bic_threshold() {
+    let options = SimPointOptions {
+        bic_threshold: 1.5,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::BadBicThreshold));
+}
+
+#[test]
+fn sa027_zero_sample_size() {
+    let options = SimPointOptions {
+        sample_size: 0,
+        ..Default::default()
+    };
+    assert!(lint_simpoint_options(&options).fired(Rule::ZeroSampleSize));
+}
+
+#[test]
+fn sa028_excessive_warmup() {
+    let options = SimPointOptions::default();
+    let mut config = config_with(&options);
+    config.warmup_slices = 1_000; // covers the whole 1000-slice run
+    assert!(lint_sampling_config(&config).fired(Rule::ExcessiveWarmup));
+}
+
+// ------------------------------------------------------- hierarchy rules
+
+fn hierarchy() -> HierarchyConfig {
+    configs::allcache_table1()
+}
+
+#[test]
+fn paper_hierarchies_are_clean() {
+    for h in [configs::allcache_table1(), configs::i7_table3()] {
+        assert!(lint_hierarchy(&h, "cache").is_empty());
+    }
+}
+
+#[test]
+fn sa030_line_not_pow2() {
+    let mut h = hierarchy();
+    h.l1d.line_bytes = 48;
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::LineNotPow2));
+}
+
+#[test]
+fn sa031_bad_cache_geometry() {
+    let mut h = hierarchy();
+    h.l2.ways = 0;
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::BadCacheGeometry));
+    let mut h = hierarchy();
+    h.l3.size_bytes += 1; // no longer a multiple of ways * line
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::BadCacheGeometry));
+}
+
+#[test]
+fn sa032_latency_inversion() {
+    let mut h = hierarchy();
+    h.l2.latency = h.l3.latency + 10;
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::LatencyInversion));
+}
+
+#[test]
+fn sa033_line_size_mismatch() {
+    let mut h = hierarchy();
+    h.l1d.line_bytes = 128;
+    h.l1d.size_bytes = 32 * 1024; // keep the geometry valid: 32K/8/128 = 32 sets
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::LineSizeMismatch));
+}
+
+#[test]
+fn sa034_bad_tlb() {
+    let mut h = hierarchy();
+    h.dtlb.entries = 0;
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::BadTlb));
+    let mut h = hierarchy();
+    h.itlb.page_bytes = 5_000;
+    assert!(lint_hierarchy(&h, "cache").fired(Rule::BadTlb));
+}
+
+// ------------------------------------------------------- artifact rules
+
+#[test]
+fn valid_artifacts_are_clean() {
+    assert!(audit_simpoints(&simpoints_result(), "fixture").is_empty());
+    let program = built_program();
+    let regions = vec![region(&program, 2, 1_000, 1.0)];
+    assert!(audit_regions(&regions, &program, "fixture").is_empty());
+    let bbvs = vec![Bbv::from_counts(vec![(0, 10), (3, 5)])];
+    assert!(audit_bbvs(&bbvs, 4, "fixture").is_empty());
+}
+
+#[test]
+fn sa040_weight_sum_drift() {
+    let mut r = simpoints_result();
+    r.points[0].weight = 0.25; // sums to 0.75
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::WeightSumDrift));
+}
+
+#[test]
+fn sa041_bad_weight() {
+    let mut r = simpoints_result();
+    r.points[0].weight = -0.5;
+    r.points[1].weight = 1.5;
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::BadWeight));
+}
+
+#[test]
+fn sa042_point_out_of_range() {
+    let mut r = simpoints_result();
+    r.points[1].slice = 99; // only 4 slices
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::PointOutOfRange));
+}
+
+#[test]
+fn sa043_bad_assignment() {
+    let mut r = simpoints_result();
+    r.assignments[2] = 9; // outside k = 2
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::BadAssignment));
+    let mut r = simpoints_result();
+    r.points[0].cluster = 5;
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::BadAssignment));
+}
+
+#[test]
+fn sa044_empty_cluster() {
+    let mut r = simpoints_result();
+    r.assignments = vec![0, 0, 0, 0]; // cluster 1 empty
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::EmptyCluster));
+}
+
+#[test]
+fn sa045_bbv_dim_mismatch() {
+    let bbvs = vec![Bbv::from_counts(vec![(9, 10)])];
+    assert!(audit_bbvs(&bbvs, 4, "fixture").fired(Rule::BbvDimMismatch));
+}
+
+#[test]
+fn sa046_empty_bbv() {
+    let bbvs = vec![Bbv::from_counts(Vec::new())];
+    assert!(audit_bbvs(&bbvs, 4, "fixture").fired(Rule::EmptyBbv));
+}
+
+#[test]
+fn sa047_digest_mismatch() {
+    let program = built_program();
+    let mut pb = region(&program, 2, 1_000, 1.0);
+    pb.program_digest ^= 0xBAD;
+    assert!(audit_regions(&[pb], &program, "fixture").fired(Rule::DigestMismatch));
+}
+
+#[test]
+fn sa048_misaligned_region() {
+    let program = built_program();
+    let mut pb = region(&program, 2, 1_000, 1.0);
+    pb.start.retired = 2_500; // not slice-aligned
+    assert!(audit_regions(&[pb], &program, "fixture").fired(Rule::MisalignedRegion));
+    // Beyond the program end.
+    let mut pb = region(&program, 2, 1_000, 1.0);
+    pb.slice_index = 200; // 200 * 1000 > 100 000 total
+    pb.start.retired = 200_000;
+    assert!(audit_regions(&[pb], &program, "fixture").fired(Rule::MisalignedRegion));
+}
+
+#[test]
+fn sa049_duplicate_points() {
+    let program = built_program();
+    let regions = vec![
+        region(&program, 2, 1_000, 0.5),
+        region(&program, 2, 1_000, 0.5),
+    ];
+    assert!(audit_regions(&regions, &program, "fixture").fired(Rule::DuplicatePoints));
+    let mut r = simpoints_result();
+    r.points[1].slice = 0; // duplicate slice among points
+    assert!(audit_simpoints(&r, "fixture").fired(Rule::DuplicatePoints));
+}
+
+// --------------------------------------------------------------- renderer
+
+#[test]
+fn json_renderer_golden_shape() {
+    let mut report = Report::new();
+    report.push(Diagnostic::new(
+        Rule::DanglingBlockRef,
+        Location::workload_item("505.mcf_r", "phase 3"),
+        "phase 3 references block 9, but the program has 4 block(s)",
+    ));
+    report.push(Diagnostic::new(
+        Rule::ZeroSliceSize,
+        Location::config("slice_size"),
+        "slice_size is 0",
+    ));
+    report.push(Diagnostic::new(
+        Rule::DigestMismatch,
+        Location::artifact("out/505.mcf_r.pb"),
+        "digest \"mismatch\"",
+    ));
+    let lines: Vec<String> = render_json_lines(&report)
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(
+        lines[0],
+        "{\"code\":\"SA001\",\"severity\":\"error\",\
+         \"location\":{\"kind\":\"workload\",\"workload\":\"505.mcf_r\",\
+         \"item\":\"phase 3\"},\
+         \"message\":\"phase 3 references block 9, but the program has 4 block(s)\",\
+         \"help\":\"%HELP%\"}"
+            .replace("%HELP%", Rule::DanglingBlockRef.help())
+    );
+    assert_eq!(
+        lines[1],
+        "{\"code\":\"SA020\",\"severity\":\"error\",\
+         \"location\":{\"kind\":\"config\",\"field\":\"slice_size\"},\
+         \"message\":\"slice_size is 0\",\"help\":\"%HELP%\"}"
+            .replace("%HELP%", Rule::ZeroSliceSize.help())
+    );
+    // Escaping inside messages survives round-tripping into the line.
+    assert!(lines[2].contains("\"message\":\"digest \\\"mismatch\\\"\""));
+    assert!(lines[2].contains("\"kind\":\"artifact\",\"path\":\"out/505.mcf_r.pb\""));
+}
+
+#[test]
+fn at_least_eight_distinct_rules_fire_in_this_suite() {
+    // Meta-check mirroring the acceptance criterion: count the distinct
+    // rules exercised by a representative subset of the fixtures above.
+    let mut fired = Vec::new();
+    let (blocks, mut phases, sched) = clean_parts();
+    phases[0].blocks = vec![0, 7];
+    phases[0].block_weights = vec![1.0];
+    phases[0].selection_noise = -1.0;
+    phases.push(phase(Vec::new()));
+    for d in lint_parts(&blocks, &phases, &sched).diagnostics() {
+        fired.push(d.rule);
+    }
+    let options = SimPointOptions {
+        max_k: 0,
+        dim: 0,
+        n_init: 0,
+        max_iter: 0,
+        bic_threshold: -1.0,
+        sample_size: 0,
+        ..Default::default()
+    };
+    for d in lint_simpoint_options(&options).diagnostics() {
+        fired.push(d.rule);
+    }
+    fired.sort_by_key(|r| r.code());
+    fired.dedup();
+    assert!(
+        fired.len() >= 8,
+        "only {} distinct rules fired: {fired:?}",
+        fired.len()
+    );
+}

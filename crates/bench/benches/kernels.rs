@@ -2,7 +2,9 @@
 //! cache hierarchy, k-means clustering, and the end-to-end pipeline at a
 //! reduced scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion, Throughput,
+};
 use sampsim_cache::{configs, Hierarchy};
 use sampsim_core::{PinPointsConfig, Pipeline};
 use sampsim_pin::engine;
@@ -96,7 +98,7 @@ fn bench_kmeans(c: &mut Criterion) {
     let mut g = c.benchmark_group("kmeans");
     for k in [5usize, 20] {
         g.bench_with_input(CriterionId::new("lloyd", k), &k, |b, &k| {
-            b.iter(|| kmeans(&data, n, dim, k, 30, 1).inertia)
+            b.iter(|| kmeans(&data, n, dim, k, 30, 1).unwrap().inertia)
         });
     }
     g.finish();
@@ -116,7 +118,13 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("end_to_end_300k", |b| {
-        b.iter(|| Pipeline::new(config.clone()).run(&p).unwrap().regional.len())
+        b.iter(|| {
+            Pipeline::new(config.clone())
+                .run(&p)
+                .unwrap()
+                .regional
+                .len()
+        })
     });
     g.finish();
 }
@@ -129,7 +137,6 @@ criterion_group!(
     bench_kmeans,
     bench_pipeline
 );
-
 
 // Additional kernels appended after the initial release: predictors, the
 // projection front end, and the checkpoint codec.
@@ -213,7 +220,9 @@ fn bench_codec(c: &mut Criterion) {
     let cursor = exec.cursor();
     let bytes = codec::to_bytes(&cursor);
     let mut g = c.benchmark_group("codec");
-    g.bench_function("cursor_encode", |b| b.iter(|| codec::to_bytes(&cursor).len()));
+    g.bench_function("cursor_encode", |b| {
+        b.iter(|| codec::to_bytes(&cursor).len())
+    });
     g.bench_function("cursor_decode", |b| {
         b.iter(|| codec::from_bytes::<Cursor>(&bytes).unwrap().retired)
     });

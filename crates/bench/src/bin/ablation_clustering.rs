@@ -23,7 +23,8 @@ fn kmeans_random_init(data: &[f64], n: usize, dim: usize, k: usize, seed: u64) -
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut best: Option<KmeansResult> = None;
     for _ in 0..3 {
-        let r = kmeans_best_of(data, n, dim, k, 60, rng.next_u64(), 1);
+        let r =
+            kmeans_best_of(data, n, dim, k, 60, rng.next_u64(), 1).expect("valid ablation input");
         if best.as_ref().is_none_or(|b| r.inertia < b.inertia) {
             best = Some(r);
         }
@@ -59,7 +60,8 @@ fn main() {
         let projection = RandomProjection::new(dim, 7);
         let data = projection.project_all(&normalized);
         let t = Instant::now();
-        let r = kmeans_best_of(&data, normalized.len(), dim, k, 60, 1, 2);
+        let r = kmeans_best_of(&data, normalized.len(), dim, k, 60, 1, 2)
+            .expect("valid ablation input");
         table.row(vec![
             format!("projected dim={dim}, kmeans++"),
             fmt_f(r.inertia / normalized.len() as f64 * 1e3, 3),
@@ -71,7 +73,8 @@ fn main() {
     let projection = RandomProjection::new(15, 7);
     let data = projection.project_all(&normalized);
     let t = Instant::now();
-    let pp_init = kmeans_best_of(&data, normalized.len(), 15, k, 60, 1, 2);
+    let pp_init =
+        kmeans_best_of(&data, normalized.len(), 15, k, 60, 1, 2).expect("valid ablation input");
     let pp_ms = t.elapsed().as_secs_f64() * 1e3;
     let t = Instant::now();
     let rand_init = kmeans_random_init(&data, normalized.len(), 15, k, 99);

@@ -49,7 +49,7 @@ fn main() {
     let program = benchmark(id).scaled(cli.scale).build();
     let mut pp = config.pinpoints.clone();
     pp.profile_cache = None;
-    let result = unwrap_or_die(Pipeline::new(pp).run(&program).map_err(Into::into));
+    let result = unwrap_or_die(Pipeline::new(pp).run(&program));
 
     let mut table = Table::new(vec![
         "Design".into(),
@@ -66,7 +66,12 @@ fn main() {
     let mut warm_scores = Vec::new();
     for (label, cfg) in designs() {
         let whole = runs::run_whole_functional(&program, cfg);
-        let whole_l2 = whole.cache.as_ref().expect("cache stats").l2.miss_rate_pct();
+        let whole_l2 = whole
+            .cache
+            .as_ref()
+            .expect("cache stats")
+            .l2
+            .miss_rate_pct();
         let cold = aggregate_weighted(&unwrap_or_die(runs::run_regions_functional(
             &program,
             &result.regional,
@@ -103,11 +108,19 @@ fn main() {
     println!("  whole run:    {whole_rank:?}");
     println!(
         "  cold regions: {cold_rank:?}  {}",
-        if cold_rank == whole_rank { "(matches)" } else { "(DISAGREES!)" }
+        if cold_rank == whole_rank {
+            "(matches)"
+        } else {
+            "(DISAGREES!)"
+        }
     );
     println!(
         "  warm regions: {warm_rank:?}  {}",
-        if warm_rank == whole_rank { "(matches)" } else { "(DISAGREES!)" }
+        if warm_rank == whole_rank {
+            "(matches)"
+        } else {
+            "(DISAGREES!)"
+        }
     );
     println!("\n(the paper's cautionary point: conclusions drawn from cold simulation");
     println!(" points can invert design rankings; warming restores them)");

@@ -33,7 +33,7 @@ fn main() {
         let program = benchmark(id).scaled(cli.scale).build();
         let mut pp = config.pinpoints.clone();
         pp.profile_cache = None;
-        let result = unwrap_or_die(Pipeline::new(pp).run(&program).map_err(Into::into));
+        let result = unwrap_or_die(Pipeline::new(pp).run(&program));
         let assignments = &result.simpoints.assignments;
         let intervals = coalesce(assignments);
         let reps = representative_intervals(assignments, &result.simpoints.points);

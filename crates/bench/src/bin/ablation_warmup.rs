@@ -19,7 +19,12 @@ fn main() {
         &program,
         config.pinpoints.profile_cache.expect("cache configured"),
     );
-    let whole_l3 = whole.cache.as_ref().expect("cache stats").l3.miss_rate_pct();
+    let whole_l3 = whole
+        .cache
+        .as_ref()
+        .expect("cache stats")
+        .l3
+        .miss_rate_pct();
 
     let mut table = Table::new(vec![
         "Warmup config".into(),
@@ -36,7 +41,7 @@ fn main() {
         pp.warmup_slices = warmup_slices;
         pp.profile_cache = None;
         let pipeline = Pipeline::new(pp.clone());
-        let result = unwrap_or_die(pipeline.run(&program).map_err(Into::into));
+        let result = unwrap_or_die(pipeline.run(&program));
         let mode = if warmup_slices == 0 {
             WarmupMode::None
         } else {
@@ -48,7 +53,10 @@ fn main() {
             config.pinpoints.profile_cache.expect("cache configured"),
             mode,
         ));
-        let l3 = aggregate_weighted(&regions).miss_rates.expect("cache stats").l3;
+        let l3 = aggregate_weighted(&regions)
+            .miss_rates
+            .expect("cache stats")
+            .l3;
         table.row(vec![
             if warmup_slices == 0 {
                 "cold (no warmup)".into()
@@ -65,7 +73,7 @@ fn main() {
         pp.warmup_slices = 0;
         pp.profile_cache = None;
         let pipeline = Pipeline::new(pp);
-        let result = unwrap_or_die(pipeline.run(&program).map_err(Into::into));
+        let result = unwrap_or_die(pipeline.run(&program));
         for rounds in [1u32, 3] {
             let regions = unwrap_or_die(runs::run_regions_functional(
                 &program,
@@ -73,7 +81,10 @@ fn main() {
                 config.pinpoints.profile_cache.expect("cache configured"),
                 WarmupMode::Replayed { rounds },
             ));
-            let l3 = aggregate_weighted(&regions).miss_rates.expect("cache stats").l3;
+            let l3 = aggregate_weighted(&regions)
+                .miss_rates
+                .expect("cache stats")
+                .l3;
             table.row(vec![
                 format!("self-replay x{rounds}"),
                 fmt_f(l3, 2),

@@ -49,7 +49,7 @@ fn main() {
         let mut pp: PinPointsConfig = scaled.pinpoints.clone();
         pp.profile_cache = None;
         let pipeline = Pipeline::new(pp);
-        let result = unwrap_or_die(pipeline.run(&program).map_err(Into::into));
+        let result = unwrap_or_die(pipeline.run(&program));
         let budget = result.regional.len();
         let num_slices = result.num_slices;
 
@@ -85,5 +85,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\n(periodic/random points get uniform weights; SimPoint weights come from clustering)");
+    println!(
+        "\n(periodic/random points get uniform weights; SimPoint weights come from clustering)"
+    );
 }

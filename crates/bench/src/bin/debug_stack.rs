@@ -7,10 +7,20 @@ use sampsim_spec2017::{benchmark, BenchmarkId};
 use sampsim_util::scale::Scale;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "631.deepsjeng_s".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "631.deepsjeng_s".into());
     let id = BenchmarkId::from_name(&name).expect("benchmark name");
-    let scale = Scale::new(std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0));
-    let warmup: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(17);
+    let scale = Scale::new(
+        std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0),
+    );
+    let warmup: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
     let mut cfg = StudyConfig::default().scaled(scale);
     cfg.pinpoints.warmup_slices = warmup;
     let program = benchmark(id).scaled(scale).build();
@@ -19,11 +29,26 @@ fn main() {
     let whole = runs::run_whole_timing(&program, cfg.core, cfg.timing_hierarchy);
     let wt = whole.timing.unwrap();
     let wn = wt.instructions as f64;
-    println!("whole  CPI {:.3}: base {:.3} br {:.3} if {:.3} l2 {:.3} l3 {:.3} mem {:.3} (bmiss {:.1}%)",
-        wt.cpi(), wt.stack.base/wn, wt.stack.branch/wn, wt.stack.ifetch/wn,
-        wt.stack.l2/wn, wt.stack.l3/wn, wt.stack.mem/wn, wt.branches.mispredict_rate_pct());
+    println!(
+        "whole  CPI {:.3}: base {:.3} br {:.3} if {:.3} l2 {:.3} l3 {:.3} mem {:.3} (bmiss {:.1}%)",
+        wt.cpi(),
+        wt.stack.base / wn,
+        wt.stack.branch / wn,
+        wt.stack.ifetch / wn,
+        wt.stack.l2 / wn,
+        wt.stack.l3 / wn,
+        wt.stack.mem / wn,
+        wt.branches.mispredict_rate_pct()
+    );
     {
-        let regions = runs::run_regions_timing(&program, &result.regional, cfg.core, cfg.timing_hierarchy, WarmupMode::Checkpointed).unwrap();
+        let regions = runs::run_regions_timing(
+            &program,
+            &result.regional,
+            cfg.core,
+            cfg.timing_hierarchy,
+            WarmupMode::Checkpointed,
+        )
+        .unwrap();
         for ((m, w), pb) in regions.iter().zip(&result.regional) {
             let t = m.timing.as_ref().unwrap();
             let n = t.instructions as f64;
@@ -33,11 +58,30 @@ fn main() {
                 t.cpi(), t.stack.mem / n);
         }
     }
-    for (label, mode) in [("cold", WarmupMode::None), ("warm", WarmupMode::Checkpointed), ("rply", WarmupMode::Replayed { rounds: 2 })] {
-        let regions = runs::run_regions_timing(&program, &result.regional, cfg.core, cfg.timing_hierarchy, mode).unwrap();
+    for (label, mode) in [
+        ("cold", WarmupMode::None),
+        ("warm", WarmupMode::Checkpointed),
+        ("rply", WarmupMode::Replayed { rounds: 2 }),
+    ] {
+        let regions = runs::run_regions_timing(
+            &program,
+            &result.regional,
+            cfg.core,
+            cfg.timing_hierarchy,
+            mode,
+        )
+        .unwrap();
         let agg = aggregate_weighted(&regions);
         let s = agg.cpi_stack.unwrap();
-        println!("{label}   CPI {:.3}: base {:.3} br {:.3} if {:.3} l2 {:.3} l3 {:.3} mem {:.3}",
-            agg.cpi.unwrap(), s.base, s.branch, s.ifetch, s.l2, s.l3, s.mem);
+        println!(
+            "{label}   CPI {:.3}: base {:.3} br {:.3} if {:.3} l2 {:.3} l3 {:.3} mem {:.3}",
+            agg.cpi.unwrap(),
+            s.base,
+            s.branch,
+            s.ifetch,
+            s.l2,
+            s.l3,
+            s.mem
+        );
     }
 }

@@ -20,7 +20,13 @@ fn main() {
     table.title("Fig 10: L3 cache accesses per run kind (Table I hierarchy)");
     let (mut w, mut r_sum, mut d_sum) = (0u64, 0u64, 0u64);
     for r in &results {
-        let whole = r.whole.cache.as_ref().expect("whole cache stats").l3.accesses;
+        let whole = r
+            .whole
+            .cache
+            .as_ref()
+            .expect("whole cache stats")
+            .l3
+            .accesses;
         let reg = r.regional_aggregate().total_l3_accesses;
         let red = r.reduced_aggregate(0.9).total_l3_accesses;
         w += whole;

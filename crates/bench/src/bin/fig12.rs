@@ -52,7 +52,10 @@ fn main() {
         reg_err_sum / n,
         red_err_sum / n,
     );
-    println!("Largest Reduced-run deviation: {} ({:.1}%)", worst.1, worst.0);
+    println!(
+        "Largest Reduced-run deviation: {} ({:.1}%)",
+        worst.1, worst.0
+    );
     println!("\n(paper: 2.59% average CPI error for Regional; 13.9% average deviation for");
     println!(" Reduced Regional, with outliers like 507.cactuBSSN_r)");
 }

@@ -44,11 +44,21 @@ fn main() {
                     None => (s, n),
                 }
             });
-            if n == 0 { 0.0 } else { sum / f64::from(n) }
+            if n == 0 {
+                0.0
+            } else {
+                sum / f64::from(n)
+            }
         })
         .collect();
-    println!("\nsuite-average variance (x1e3) vs cluster budget ({:?}):\n", ks);
-    print!("{}", sampsim_util::plot::line_chart(&[("avg variance", &avg)], 8));
+    println!(
+        "\nsuite-average variance (x1e3) vs cluster budget ({:?}):\n",
+        ks
+    );
+    print!(
+        "{}",
+        sampsim_util::plot::line_chart(&[("avg variance", &avg)], 8)
+    );
     println!("\n(values are mean squared distance to centroid x1e3 in projected BBV space;");
     println!(" paper: variance grows as the number of available clusters decreases)");
 }

@@ -38,7 +38,10 @@ fn main() {
             *acc += v;
         }
         let err = |a: &[f64; 4], b: &[f64; 4]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max)
         };
         let reg_err = err(&reg.mix_pct, &whole.mix_pct);
         let red_err = err(&red.mix_pct, &whole.mix_pct);

@@ -11,11 +11,7 @@ use sampsim_util::table::{fmt_f, Table};
 fn main() {
     let cli = Cli::parse();
     let results = unwrap_or_die(cli.results());
-    for (level, pick) in [
-        ("L1D", 0usize),
-        ("L2", 1),
-        ("L3", 2),
-    ] {
+    for (level, pick) in [("L1D", 0usize), ("L2", 1), ("L3", 2)] {
         let mut table = Table::new(vec![
             "Benchmark".into(),
             "Whole".into(),
@@ -59,5 +55,7 @@ fn main() {
         );
     }
     println!("(paper: avg error vs whole — L1D +0.18, L2 +0.10, L3 +25.16 pp for Regional;");
-    println!(" L1D +2.23, L2 +0.33, L3 +25.53 pp for Reduced; warmup cuts L3 error 25.16 -> 9.08 pp)");
+    println!(
+        " L1D +2.23, L2 +0.33, L3 +25.53 pp for Reduced; warmup cuts L3 error 25.16 -> 9.08 pp)"
+    );
 }

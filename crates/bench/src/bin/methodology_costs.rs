@@ -9,9 +9,9 @@
 
 use sampsim_bench::Cli;
 use sampsim_cache::configs;
+use sampsim_core::bench_result::StudyConfig;
 use sampsim_core::pipeline::Pipeline;
 use sampsim_core::runs::{self, WarmupMode};
-use sampsim_core::bench_result::StudyConfig;
 use sampsim_simpoint::SimPointAnalysis;
 use sampsim_spec2017::{benchmark, BenchmarkId};
 use sampsim_util::table::{fmt_f, fmt_x, Table};
@@ -104,9 +104,9 @@ fn main() {
         logging + clustering,
     );
     println!(
-        "{} of the instructions in {} of the whole-run-with-tools time",
-        format!("1/{:.0}", insts / replayed as f64),
-        format!("1/{:.0}", logging / replay),
+        "1/{:.0} of the instructions in 1/{:.0} of the whole-run-with-tools time",
+        insts / replayed as f64,
+        logging / replay,
     );
     println!("\n(paper: PinPlay logging is 100-200x slower than native — checkpointing");
     println!(" bwaves_s took over a month — while regional replay is the cheap,");

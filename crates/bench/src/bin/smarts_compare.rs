@@ -37,7 +37,7 @@ fn main() {
     // SimPoint side.
     let mut pp = config.pinpoints.clone();
     pp.profile_cache = None;
-    let pipeline_result = unwrap_or_die(Pipeline::new(pp.clone()).run(&program).map_err(Into::into));
+    let pipeline_result = unwrap_or_die(Pipeline::new(pp.clone()).run(&program));
     let sp_regions = unwrap_or_die(runs::run_regions_timing(
         &program,
         &pipeline_result.regional,
@@ -117,15 +117,17 @@ fn main() {
     table.print();
     println!(
         "\nSMARTS 95% CI covers the whole-run CPI: {}",
-        if cpi_est.covers(whole_cpi) { "yes" } else { "no" }
+        if cpi_est.covers(whole_cpi) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!(
         "units for 5% relative error at 95% (from measured CoV {:.2}): {}",
         cpi_est.stddev / cpi_est.mean,
         smarts::required_units(cpi_est.stddev / cpi_est.mean, 0.95, 0.05)
     );
-    println!(
-        "\n(note: SMARTS' accuracy rides on continuous functional warming between units,");
-    println!(
-        " which costs a full functional pass — the constraint SimFlex/CoolSim attack)");
+    println!("\n(note: SMARTS' accuracy rides on continuous functional warming between units,");
+    println!(" which costs a full functional pass — the constraint SimFlex/CoolSim attack)");
 }

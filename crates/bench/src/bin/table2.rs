@@ -24,9 +24,8 @@ fn main() {
     let (mut sp_sum, mut p90_sum) = (0usize, 0usize);
     let (mut paper_sp_sum, mut paper_p90_sum) = (0usize, 0usize);
     for r in &results {
-        let spec = benchmark(
-            BenchmarkId::from_name(&r.name).expect("result name is a suite benchmark"),
-        );
+        let spec =
+            benchmark(BenchmarkId::from_name(&r.name).expect("result name is a suite benchmark"));
         let points = r.num_points();
         let p90 = r.num_points_at(0.9);
         sp_sum += points;

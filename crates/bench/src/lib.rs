@@ -195,6 +195,9 @@ mod tests {
     fn geo_mean_basic() {
         assert!((geo_mean([4.0, 16.0]) - 8.0).abs() < 1e-12);
         assert_eq!(geo_mean(std::iter::empty::<f64>()), 0.0);
-        assert!((geo_mean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12, "zeros skipped");
+        assert!(
+            (geo_mean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12,
+            "zeros skipped"
+        );
     }
 }

@@ -26,10 +26,13 @@ impl CacheConfig {
     /// Panics unless `line_bytes` is a power of two, `ways ≥ 1`, and the
     /// capacity is an exact multiple of `ways * line_bytes`.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, latency: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "associativity must be at least 1");
         assert!(
-            size_bytes % (u64::from(ways) * line_bytes) == 0 && size_bytes > 0,
+            size_bytes.is_multiple_of(u64::from(ways) * line_bytes) && size_bytes > 0,
             "capacity must be a positive multiple of ways * line size"
         );
         let sets = size_bytes / (u64::from(ways) * line_bytes);
@@ -374,7 +377,7 @@ mod policy_tests {
     #[test]
     fn random_policy_works_and_hits_resident_lines() {
         let mut c = filled(ReplacementPolicy::Random);
-        assert!(c.access(0, true) || c.peek(0) || true); // no panic path
+        c.access(0, true); // exercising the random-eviction path must not panic
         let s = c.stats();
         assert!(s.accesses >= 4);
     }

@@ -372,8 +372,10 @@ mod prefetch_tests {
 
     #[test]
     fn prefetch_stats_roundtrip_codec() {
-        let mut s = HierarchyStats::default();
-        s.prefetches = 42;
+        let s = HierarchyStats {
+            prefetches: 42,
+            ..HierarchyStats::default()
+        };
         let bytes = sampsim_util::codec::to_bytes(&s);
         let back: HierarchyStats = sampsim_util::codec::from_bytes(&bytes).unwrap();
         assert_eq!(back.prefetches, 42);

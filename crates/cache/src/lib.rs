@@ -38,6 +38,6 @@ pub mod policy;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use policy::ReplacementPolicy;
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, Level};
+pub use policy::ReplacementPolicy;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

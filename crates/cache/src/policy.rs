@@ -76,9 +76,7 @@ impl PolicyState {
     pub fn victim(&mut self, set: usize, ways: usize) -> Option<usize> {
         match self.policy {
             ReplacementPolicy::Lru | ReplacementPolicy::Fifo => None,
-            ReplacementPolicy::Random => {
-                Some((self.rng.next_u64() % ways as u64) as usize)
-            }
+            ReplacementPolicy::Random => Some((self.rng.next_u64() % ways as u64) as usize),
             ReplacementPolicy::TreePlru => Some(plru_victim(self.trees[set], ways)),
         }
     }

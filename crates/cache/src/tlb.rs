@@ -21,7 +21,10 @@ impl TlbConfig {
     /// Panics unless `entries ≥ 1` and `page_bytes` is a power of two.
     pub fn new(entries: u32, page_bytes: u64) -> Self {
         assert!(entries >= 1, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             entries,
             page_bytes,

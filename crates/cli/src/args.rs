@@ -13,12 +13,18 @@ commands:
   replay <FILE>                replay saved regional pinballs with tools
   report <bench>               whole vs regional vs reduced vs warmup report
   trace <bench> -o FILE        write an execution trace (--limit N insts)
+  lint [bench]                 static checks over workloads and the config
   help                         show this text
 
 flags:
   --scale <f>    workload scale factor (default: $SAMPSIM_SCALE or 1.0)
   --slice <n>    slice size in instructions (default: 10000, scaled)
   --maxk <n>     maximum cluster count (default: 35)
+
+lint flags:
+  --format <human|json>   output format (default: human)
+  --deny-warnings         exit non-zero on warnings too
+  --artifacts <DIR>       also audit saved .pb pinball files in DIR
 
 <bench> is a SPEC name (e.g. 505.mcf_r) or a unique substring (mcf_r).";
 
@@ -88,8 +94,29 @@ pub enum Command {
         /// Instruction cap (`None` = whole run).
         limit: Option<u64>,
     },
+    /// `sampsim lint [bench]`
+    Lint {
+        /// Benchmark name or substring (`None` = whole suite).
+        bench: Option<String>,
+        /// Output format.
+        format: LintFormat,
+        /// Treat warnings as errors when computing the exit code.
+        deny_warnings: bool,
+        /// Directory of saved `.pb` pinball files to audit.
+        artifacts: Option<String>,
+    },
     /// `sampsim help`
     Help,
+}
+
+/// Output format of `sampsim lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// `rustc`-style human-readable diagnostics.
+    #[default]
+    Human,
+    /// One JSON object per diagnostic (JSON lines).
+    Json,
 }
 
 /// Parses an argument iterator.
@@ -103,6 +130,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut positionals: Vec<String> = Vec::new();
     let mut out: Option<String> = None;
     let mut limit: Option<u64> = None;
+    let mut format = LintFormat::default();
+    let mut deny_warnings = false;
+    let mut artifacts: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -116,8 +146,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             }
             "--slice" => {
                 let v = iter.next().ok_or("--slice needs a value")?;
-                options.slice =
-                    Some(v.parse().map_err(|_| format!("bad --slice value: {v}"))?);
+                options.slice = Some(v.parse().map_err(|_| format!("bad --slice value: {v}"))?);
             }
             "--maxk" => {
                 let v = iter.next().ok_or("--maxk needs a value")?;
@@ -129,6 +158,18 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             "--limit" => {
                 let v = iter.next().ok_or("--limit needs a value")?;
                 limit = Some(v.parse().map_err(|_| format!("bad --limit value: {v}"))?);
+            }
+            "--format" => {
+                let v = iter.next().ok_or("--format needs a value")?;
+                format = match v.as_str() {
+                    "human" => LintFormat::Human,
+                    "json" => LintFormat::Json,
+                    other => return Err(format!("bad --format value: {other}")),
+                };
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--artifacts" => {
+                artifacts = Some(iter.next().ok_or("--artifacts needs a path")?);
             }
             "--help" | "-h" => positionals.insert(0, "help".into()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
@@ -157,6 +198,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             out: out.take().ok_or("trace needs -o FILE")?,
             limit,
         },
+        Some("lint") => Command::Lint {
+            bench: positionals.next(),
+            format,
+            deny_warnings,
+            artifacts,
+        },
         Some(other) => return Err(format!("unknown command: {other}")),
     };
     if let Some(extra) = positionals.next() {
@@ -178,15 +225,22 @@ mod tests {
         assert_eq!(parse_str("list").unwrap().command, Command::List);
         assert_eq!(
             parse_str("profile mcf_r").unwrap().command,
-            Command::Profile { bench: "mcf_r".into() }
+            Command::Profile {
+                bench: "mcf_r".into()
+            }
         );
         assert_eq!(
             parse_str("simpoints mcf_r -o out").unwrap().command,
-            Command::SimPoints { bench: "mcf_r".into(), out: Some("out".into()) }
+            Command::SimPoints {
+                bench: "mcf_r".into(),
+                out: Some("out".into())
+            }
         );
         assert_eq!(
             parse_str("replay out/x.pb").unwrap().command,
-            Command::Replay { path: "out/x.pb".into() }
+            Command::Replay {
+                path: "out/x.pb".into()
+            }
         );
         assert_eq!(parse_str("").unwrap().command, Command::Help);
         assert_eq!(parse_str("-h").unwrap().command, Command::Help);
@@ -212,6 +266,32 @@ mod tests {
             }
         );
         assert!(parse_str("trace mcf_r").is_err(), "missing -o");
+    }
+
+    #[test]
+    fn parses_lint() {
+        assert_eq!(
+            parse_str("lint").unwrap().command,
+            Command::Lint {
+                bench: None,
+                format: LintFormat::Human,
+                deny_warnings: false,
+                artifacts: None,
+            }
+        );
+        assert_eq!(
+            parse_str("lint mcf_r --format json --deny-warnings --artifacts out")
+                .unwrap()
+                .command,
+            Command::Lint {
+                bench: Some("mcf_r".into()),
+                format: LintFormat::Json,
+                deny_warnings: true,
+                artifacts: Some("out".into()),
+            }
+        );
+        assert!(parse_str("lint --format yaml").is_err());
+        assert!(parse_str("lint --artifacts").is_err());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! `sampsim lint` — static checks over workloads, the pipeline
+//! configuration and (optionally) saved pinball artifacts.
+
+use crate::args::{LintFormat, Options};
+use sampsim_analyze::{audit_regions, lint_program, render_human, render_json_lines, Report, Rule};
+use sampsim_pinball::store;
+use sampsim_spec2017::BenchmarkSpec;
+use std::path::Path;
+
+/// Runs the lint pass and returns the process exit code (0 clean, 1 when
+/// errors — or, with `--deny-warnings`, warnings — were reported).
+pub fn lint(
+    bench: Option<&str>,
+    format: LintFormat,
+    deny_warnings: bool,
+    artifacts: Option<&str>,
+    options: &Options,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    let specs: Vec<BenchmarkSpec> = match bench {
+        Some(pattern) => vec![super::find_benchmark(pattern)?],
+        None => sampsim_spec2017::suite(),
+    };
+    let config = super::pipeline_config(options);
+    let mut report = Report::new();
+
+    // The configuration itself, once (run-length independent rules).
+    report.merge(config.lint(None));
+
+    for spec in &specs {
+        let program = spec.scaled(options.scale).build();
+        report.merge(lint_program(&program));
+        // Run-length proportionality rules (SA022/SA028) depend on the
+        // program; keep only those here so config-wide findings are not
+        // repeated once per benchmark.
+        if config.slice_size > 0 {
+            let expected = program.total_insts().div_ceil(config.slice_size);
+            let proportional: Report = config
+                .lint(Some(expected))
+                .into_diagnostics()
+                .into_iter()
+                .filter(|d| matches!(d.rule, Rule::MaxKExceedsSlices | Rule::ExcessiveWarmup))
+                .map(|mut d| {
+                    d.message = format!("{} ({})", d.message, spec.name());
+                    d
+                })
+                .collect();
+            report.merge(proportional);
+        }
+    }
+
+    if let Some(dir) = artifacts {
+        report.merge(audit_artifact_dir(Path::new(dir), options)?);
+    }
+
+    match format {
+        LintFormat::Human => {
+            print!("{}", render_human(&report));
+            if report.is_empty() {
+                println!("no findings");
+            }
+        }
+        LintFormat::Json => print!("{}", render_json_lines(&report)),
+    }
+    Ok(report.exit_code(deny_warnings))
+}
+
+/// Audits every regional-pinball file (`*.pb`, excluding `*.whole.pb`) in
+/// `dir` against the benchmark named inside it.
+fn audit_artifact_dir(dir: &Path, options: &Options) -> Result<Report, Box<dyn std::error::Error>> {
+    let mut report = Report::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "pb") && !p.to_string_lossy().ends_with(".whole.pb")
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let regions = store::load_regions(&path)?;
+        let Some(first) = regions.first() else {
+            continue;
+        };
+        let spec = super::find_benchmark(&first.program_name)?;
+        let program = spec.scaled(options.scale).build();
+        report.merge(audit_regions(
+            &regions,
+            &program,
+            &path.display().to_string(),
+        ));
+    }
+    Ok(report)
+}

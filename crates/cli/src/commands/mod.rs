@@ -1,5 +1,9 @@
 //! Subcommand implementations.
 
+mod lint;
+
+pub use lint::lint;
+
 use crate::args::Options;
 use sampsim_cache::configs;
 use sampsim_core::metrics::{aggregate_weighted, whole_as_aggregate, AggregatedMetrics};
@@ -41,10 +45,10 @@ fn find_benchmark(pattern: &str) -> Result<BenchmarkSpec, String> {
 }
 
 fn pipeline_config(options: &Options) -> PinPointsConfig {
-    let mut config = PinPointsConfig::default();
-    config.slice_size = options
-        .slice
-        .unwrap_or_else(|| options.scale.apply(10_000));
+    let mut config = PinPointsConfig {
+        slice_size: options.slice.unwrap_or_else(|| options.scale.apply(10_000)),
+        ..PinPointsConfig::default()
+    };
     if let Some(maxk) = options.maxk {
         config.simpoint = SimPointOptions {
             max_k: maxk,
@@ -156,9 +160,7 @@ pub fn simpoints(bench: &str, out: Option<&str>, options: &Options) -> CmdResult
 /// `sampsim replay <FILE>`.
 pub fn replay(path: &str, options: &Options) -> CmdResult {
     let regions = store::load_regions(Path::new(path))?;
-    let first = regions
-        .first()
-        .ok_or("pinball file contains no regions")?;
+    let first = regions.first().ok_or("pinball file contains no regions")?;
     let spec = find_benchmark(&first.program_name)?;
     let program = build(&spec, options);
     eprintln!(
@@ -187,7 +189,10 @@ pub fn report(bench: &str, options: &Options) -> CmdResult {
     let spec = find_benchmark(bench)?;
     let program = build(&spec, options);
     let config = pipeline_config(options);
-    eprintln!("running the full study for {} (whole + regions)...", spec.name());
+    eprintln!(
+        "running the full study for {} (whole + regions)...",
+        spec.name()
+    );
     let mut pp = config;
     pp.profile_cache = Some(configs::allcache_table1());
     let pipeline = Pipeline::new(pp.clone());
@@ -250,7 +255,11 @@ pub fn trace(bench: &str, out: &str, limit: Option<u64>, options: &Options) -> C
     eprintln!(
         "tracing {} ({} instructions max) to {out}...",
         spec.name(),
-        if cap == u64::MAX { "all".to_string() } else { with_commas(cap) }
+        if cap == u64::MAX {
+            "all".to_string()
+        } else {
+            with_commas(cap)
+        }
     );
     let mut writer = TraceWriter::create(Path::new(out), program.digest(), program.name())?;
     let mut exec = sampsim_workload::Executor::new(&program);
@@ -267,7 +276,10 @@ pub fn trace(bench: &str, out: &str, limit: Option<u64>, options: &Options) -> C
 fn print_aggregate(title: &str, agg: &AggregatedMetrics) {
     let mut table = Table::new(vec!["Metric".into(), "Value".into()]);
     table.title(title.to_string());
-    for (i, label) in ["NO_MEM %", "MEM_R %", "MEM_W %", "MEM_RW %"].iter().enumerate() {
+    for (i, label) in ["NO_MEM %", "MEM_R %", "MEM_W %", "MEM_RW %"]
+        .iter()
+        .enumerate()
+    {
         table.row(vec![label.to_string(), fmt_f(agg.mix_pct[i], 2)]);
     }
     if let Some(mr) = agg.miss_rates {

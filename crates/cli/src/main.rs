@@ -8,6 +8,7 @@
 //! sampsim replay   <dir>/<bench>.pb     replay saved pinballs with tools
 //! sampsim report   <bench>              full paper-style report (all runs)
 //! sampsim trace    <bench> -o FILE      write an execution trace to disk
+//! sampsim lint     [bench]              static checks (workloads + config)
 //! ```
 //!
 //! Global flags: `--scale <f>` (workload scale, default `$SAMPSIM_SCALE`
@@ -37,6 +38,28 @@ fn main() -> ExitCode {
         args::Command::Report { bench } => commands::report(&bench, &parsed.options),
         args::Command::Trace { bench, out, limit } => {
             commands::trace(&bench, &out, limit, &parsed.options)
+        }
+        args::Command::Lint {
+            bench,
+            format,
+            deny_warnings,
+            artifacts,
+        } => {
+            // Lint maps findings straight to the exit code: 0 clean,
+            // 1 denied findings, 2 usage errors (handled above).
+            return match commands::lint(
+                bench.as_deref(),
+                format,
+                deny_warnings,
+                artifacts.as_deref(),
+                &parsed.options,
+            ) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
         }
         args::Command::Help => {
             println!("{}", args::USAGE);

@@ -37,7 +37,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn ambiguous_benchmark_is_rejected() {
-    let out = sampsim().args(["profile", "mcf", "--scale", "0.01"]).output().unwrap();
+    let out = sampsim()
+        .args(["profile", "mcf", "--scale", "0.01"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("ambiguous"), "{err}");
@@ -85,13 +88,123 @@ fn simpoints_save_and_replay_roundtrip() {
 }
 
 #[test]
+fn lint_suite_is_clean() {
+    let out = sampsim()
+        .args(["lint", "--scale", "0.01"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("no findings"), "{text}");
+}
+
+#[test]
+fn lint_reports_config_errors_with_exit_code_one() {
+    let out = sampsim()
+        .args(["lint", "mcf_r", "--scale", "0.01", "--maxk", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[SA021]"), "{text}");
+    assert!(text.contains("help:"), "{text}");
+}
+
+#[test]
+fn lint_json_format_emits_one_object_per_line() {
+    let out = sampsim()
+        .args([
+            "lint", "mcf_r", "--scale", "0.01", "--maxk", "0", "--format", "json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for line in text.lines() {
+        assert!(line.starts_with("{\"code\":\"SA"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    assert!(text.contains("\"code\":\"SA021\""), "{text}");
+}
+
+#[test]
+fn lint_deny_warnings_turns_warnings_into_failure() {
+    // A huge slice size produces a 1-slice run: SA022 + SA028 warnings.
+    let base = ["lint", "mcf_r", "--scale", "0.01", "--slice", "100000000"];
+    let out = sampsim().args(base).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "warnings alone stay exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[SA022]"), "{text}");
+    let out = sampsim()
+        .args(base)
+        .arg("--deny-warnings")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_audits_saved_artifacts() {
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-lint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = sampsim()
+        .args([
+            "simpoints",
+            "omnetpp_s",
+            "--scale",
+            "0.02",
+            "--maxk",
+            "8",
+            "-o",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Audited at the matching scale: clean.
+    let out = sampsim()
+        .args(["lint", "omnetpp_s", "--scale", "0.02", "--artifacts"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Audited at a different scale: the digests no longer match (SA047).
+    let out = sampsim()
+        .args(["lint", "omnetpp_s", "--scale", "0.03", "--artifacts"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SA047"), "{text}");
+}
+
+#[test]
 fn replay_rejects_wrong_scale() {
     // Pinballs saved at one scale must not attach to a different-scale
     // program (digest mismatch).
     let dir = std::env::temp_dir().join(format!("sampsim-cli-scale-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let out = sampsim()
-        .args(["simpoints", "omnetpp_s", "--scale", "0.02", "--maxk", "8", "-o"])
+        .args([
+            "simpoints",
+            "omnetpp_s",
+            "--scale",
+            "0.02",
+            "--maxk",
+            "8",
+            "-o",
+        ])
         .arg(&dir)
         .output()
         .unwrap();

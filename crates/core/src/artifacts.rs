@@ -43,10 +43,12 @@ impl ArtifactStore {
         // Keys are caller-controlled; keep them filesystem-safe.
         let safe: String = key
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
-                c
-            } else {
-                '_'
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
             })
             .collect();
         self.dir.join(format!("{safe}.art"))

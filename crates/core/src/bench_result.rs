@@ -37,8 +37,10 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        let mut pinpoints = PinPointsConfig::default();
-        pinpoints.profile_cache = Some(configs::allcache_table1());
+        let pinpoints = PinPointsConfig {
+            profile_cache: Some(configs::allcache_table1()),
+            ..PinPointsConfig::default()
+        };
         Self {
             pinpoints,
             core: CoreConfig::table3(),
@@ -153,8 +155,7 @@ impl BenchResult {
         drop(starts);
 
         // Whole timing pass + native perturbation.
-        let whole_timing =
-            runs::run_whole_timing(&program, config.core, config.timing_hierarchy);
+        let whole_timing = runs::run_whole_timing(&program, config.core, config.timing_hierarchy);
         let native = native::perturb(
             whole_timing.timing.as_ref().expect("timing run"),
             &config.native,

@@ -1,5 +1,6 @@
 //! Crate-wide error type.
 
+use sampsim_analyze::{Diagnostic, Severity};
 use sampsim_pinball::store::StoreError;
 use sampsim_pinball::PinballError;
 use sampsim_simpoint::SimPointError;
@@ -8,6 +9,9 @@ use std::fmt;
 /// Errors raised by the pipeline and experiment runners.
 #[derive(Debug)]
 pub enum CoreError {
+    /// The pipeline configuration failed its lint pass. Carries every
+    /// error-severity diagnostic the pass produced.
+    Config(Vec<Diagnostic>),
     /// SimPoint analysis failed.
     SimPoint(SimPointError),
     /// Checkpoint attach/replay failed.
@@ -19,6 +23,13 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CoreError::Config(diags) => {
+                write!(f, "invalid pipeline configuration:")?;
+                for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+                    write!(f, " [{}] {};", d.rule.code(), d.message)?;
+                }
+                Ok(())
+            }
             CoreError::SimPoint(e) => write!(f, "simpoint analysis failed: {e}"),
             CoreError::Pinball(e) => write!(f, "pinball error: {e}"),
             CoreError::Store(e) => write!(f, "artifact store error: {e}"),
@@ -29,6 +40,7 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            CoreError::Config(_) => None,
             CoreError::SimPoint(e) => Some(e),
             CoreError::Pinball(e) => Some(e),
             CoreError::Store(e) => Some(e),

@@ -131,7 +131,10 @@ impl Study {
     ///
     /// Returns the first failure.
     pub fn suite_results(&self) -> Result<Vec<BenchResult>, CoreError> {
-        BenchmarkId::ALL.iter().map(|&id| self.bench_result(id)).collect()
+        BenchmarkId::ALL
+            .iter()
+            .map(|&id| self.bench_result(id))
+            .collect()
     }
 }
 
@@ -426,11 +429,7 @@ mod sweep_tests {
     #[test]
     fn slice_sweep_rows_and_llc_trend() {
         let scale = Scale::new(0.01);
-        let slices = [
-            scale.apply(5_000),
-            scale.apply(10_000),
-            scale.apply(33_333),
-        ];
+        let slices = [scale.apply(5_000), scale.apply(10_000), scale.apply(33_333)];
         let r = slice_sweep(BenchmarkId::OmnetppS, &slices, scale, &tiny()).unwrap();
         assert_eq!(r.rows.len(), 3);
         let whole_l3 = r.whole.miss_rates.expect("cache stats").l3;

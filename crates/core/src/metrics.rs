@@ -191,11 +191,13 @@ mod tests {
         for _ in 0..insts - reads {
             mix.record(MemClass::NoMem);
         }
-        let mut cache = HierarchyStats::default();
-        cache.l3 = CacheStats {
-            accesses: l3_acc,
-            misses: l3_miss,
-            writebacks: 0,
+        let mut cache = HierarchyStats {
+            l3: CacheStats {
+                accesses: l3_acc,
+                misses: l3_miss,
+                writebacks: 0,
+            },
+            ..HierarchyStats::default()
         };
         cache.l1d = CacheStats {
             accesses: reads,

@@ -3,11 +3,12 @@
 
 use crate::error::CoreError;
 use crate::metrics::RunMetrics;
+use sampsim_analyze::{lint_sampling_config, Report, SamplingConfig};
+use sampsim_cache::HierarchyConfig;
 use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix};
 use sampsim_pinball::{RegionalPinball, WarmupRecord, WholePinball};
 use sampsim_simpoint::bbv::Bbv;
 use sampsim_simpoint::{SimPointAnalysis, SimPointOptions, SimPointsResult};
-use sampsim_cache::HierarchyConfig;
 use sampsim_workload::{Cursor, Executor, Program};
 use std::time::Instant;
 
@@ -37,6 +38,21 @@ impl Default for PinPointsConfig {
             warmup_slices: 48,
             profile_cache: None,
         }
+    }
+}
+
+impl PinPointsConfig {
+    /// Runs the `sampsim-analyze` config lint pass over this
+    /// configuration. `expected_slices` (when the target program is known)
+    /// enables the run-length proportionality checks (`SA022`, `SA028`).
+    pub fn lint(&self, expected_slices: Option<u64>) -> Report {
+        lint_sampling_config(&SamplingConfig {
+            slice_size: self.slice_size,
+            warmup_slices: self.warmup_slices,
+            simpoint: &self.simpoint,
+            profile_cache: self.profile_cache.as_ref(),
+            expected_slices,
+        })
     }
 }
 
@@ -78,9 +94,17 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::SimPoint`] when the program is too short to
+    /// Returns [`CoreError::Config`] when the configuration fails its lint
+    /// pass (error-severity diagnostics only — warnings do not block the
+    /// run), or [`CoreError::SimPoint`] when the program is too short to
     /// produce a single slice.
     pub fn run(&self, program: &Program) -> Result<PipelineResult, CoreError> {
+        let expected_slices = (self.config.slice_size > 0)
+            .then(|| program.total_insts().div_ceil(self.config.slice_size));
+        let report = self.config.lint(expected_slices);
+        if report.has_errors() {
+            return Err(CoreError::Config(report.into_diagnostics()));
+        }
         let (bbvs, starts, whole_metrics) = self.profile(program);
         let num_slices = bbvs.len() as u64;
 
@@ -165,14 +189,10 @@ impl Pipeline {
         loop {
             let start = exec.cursor();
             let ran = match cache.as_mut() {
-                Some(cs) => sampsim_pin::engine::run(
-                    &mut exec,
-                    slice,
-                    &mut [&mut bbv_tool, &mut mix, cs],
-                ),
-                None => {
-                    sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix])
+                Some(cs) => {
+                    sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix, cs])
                 }
+                None => sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix]),
             };
             if ran == 0 {
                 break;
@@ -314,7 +334,11 @@ mod tests {
                 assert!(pb.warmup.is_empty(), "slice 0 has no predecessors");
                 continue;
             }
-            assert!(!pb.warmup.is_empty(), "slice {} lacks warmup", pb.slice_index);
+            assert!(
+                !pb.warmup.is_empty(),
+                "slice {} lacks warmup",
+                pb.slice_index
+            );
             let total = pb.warmup_insts();
             assert!(total > 0 && total <= 3_000);
             // Chunks are chronological, non-overlapping, slice-aligned,

@@ -112,7 +112,12 @@ pub fn run_regions_functional(
 ) -> Result<Vec<(RunMetrics, f64)>, CoreError> {
     pinballs
         .iter()
-        .map(|pb| Ok((run_region_functional(program, pb, cache, warmup)?, pb.weight)))
+        .map(|pb| {
+            Ok((
+                run_region_functional(program, pb, cache, warmup)?,
+                pb.weight,
+            ))
+        })
         .collect()
 }
 
@@ -242,9 +247,13 @@ mod tests {
         let p = program();
         let r = pipeline_result(&p);
         let whole = run_whole_functional(&p, configs::allcache_table1());
-        let regions =
-            run_regions_functional(&p, &r.regional, configs::allcache_table1(), WarmupMode::None)
-                .unwrap();
+        let regions = run_regions_functional(
+            &p,
+            &r.regional,
+            configs::allcache_table1(),
+            WarmupMode::None,
+        )
+        .unwrap();
         let agg = aggregate_weighted(&regions);
         let whole_agg = crate::metrics::whole_as_aggregate(&whole);
         for (a, b) in agg.mix_pct.iter().zip(&whole_agg.mix_pct) {
@@ -260,9 +269,13 @@ mod tests {
         let r = pipeline_result(&p);
         let whole = run_whole_functional(&p, configs::allcache_table1());
         let whole_l3 = whole.cache.as_ref().unwrap().l3.miss_rate_pct();
-        let cold =
-            run_regions_functional(&p, &r.regional, configs::allcache_table1(), WarmupMode::None)
-                .unwrap();
+        let cold = run_regions_functional(
+            &p,
+            &r.regional,
+            configs::allcache_table1(),
+            WarmupMode::None,
+        )
+        .unwrap();
         let warm = run_regions_functional(
             &p,
             &r.regional,

@@ -94,6 +94,26 @@ impl Pintool for LdStMix {
     }
 }
 
+impl sampsim_util::codec::Encode for MixCounts {
+    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
+        for &c in &self.counts {
+            enc.put_u64(c);
+        }
+    }
+}
+
+impl sampsim_util::codec::Decode for MixCounts {
+    fn decode(
+        dec: &mut sampsim_util::codec::Decoder<'_>,
+    ) -> Result<Self, sampsim_util::codec::DecodeError> {
+        let mut counts = [0u64; 4];
+        for c in &mut counts {
+            *c = dec.take_u64()?;
+        }
+        Ok(Self { counts })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,25 +157,5 @@ mod tests {
         let b = mk([48, 32, 15, 5]);
         assert!((a.max_distribution_error(&b) - 2.0).abs() < 1e-9);
         assert_eq!(a.max_distribution_error(&a), 0.0);
-    }
-}
-
-impl sampsim_util::codec::Encode for MixCounts {
-    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
-        for &c in &self.counts {
-            enc.put_u64(c);
-        }
-    }
-}
-
-impl sampsim_util::codec::Decode for MixCounts {
-    fn decode(
-        dec: &mut sampsim_util::codec::Decoder<'_>,
-    ) -> Result<Self, sampsim_util::codec::DecodeError> {
-        let mut counts = [0u64; 4];
-        for c in &mut counts {
-            *c = dec.take_u64()?;
-        }
-        Ok(Self { counts })
     }
 }

@@ -56,11 +56,7 @@ impl TraceWriter {
     /// # Errors
     ///
     /// Returns an I/O error if the file cannot be created.
-    pub fn create(
-        path: &Path,
-        program_digest: u64,
-        program_name: &str,
-    ) -> io::Result<TraceWriter> {
+    pub fn create(path: &Path, program_digest: u64, program_name: &str) -> io::Result<TraceWriter> {
         let mut enc = Encoder::with_header(MAGIC, VERSION);
         enc.put_u64(program_digest);
         enc.put_u32(program_name.len() as u32);
@@ -195,8 +191,7 @@ mod tests {
             .build()
             .build();
         let path = tmpfile("roundtrip");
-        let mut writer =
-            TraceWriter::create(&path, program.digest(), program.name()).unwrap();
+        let mut writer = TraceWriter::create(&path, program.digest(), program.name()).unwrap();
         let mut exec = Executor::new(&program);
         engine::run_one(&mut exec, u64::MAX, &mut writer);
         assert_eq!(writer.finish().unwrap(), program.total_insts());

@@ -384,11 +384,13 @@ mod tests {
             sampsim_util::codec::from_bytes::<WholePinball>(&bytes).unwrap(),
             whole
         );
-        let regional = RegionalPinball::new(&p, 1, starts[1].clone(), 2_000, 0.5, 3)
-            .with_warmup(vec![WarmupRecord {
-                start: starts[0].clone(),
-                insts: 2_000,
-            }]);
+        let regional =
+            RegionalPinball::new(&p, 1, starts[1].clone(), 2_000, 0.5, 3).with_warmup(vec![
+                WarmupRecord {
+                    start: starts[0].clone(),
+                    insts: 2_000,
+                },
+            ]);
         let bytes = sampsim_util::codec::to_bytes(&regional);
         assert_eq!(
             sampsim_util::codec::from_bytes::<RegionalPinball>(&bytes).unwrap(),

@@ -211,13 +211,19 @@ mod store_extra_tests {
             .build()
             .build();
         let starts = Logger::new(&p).slice_starts(1_000);
-        let regions = vec![RegionalPinball::new(&p, 5, starts[5].clone(), 1_000, 1.0, 0)
-            .with_warmup(vec![
-                WarmupRecord { start: starts[1].clone(), insts: 1_000 },
-                WarmupRecord { start: starts[3].clone(), insts: 2_000 },
-            ])];
-        let dir = std::env::temp_dir()
-            .join(format!("sampsim-store-warm-{}", std::process::id()));
+        let regions = vec![
+            RegionalPinball::new(&p, 5, starts[5].clone(), 1_000, 1.0, 0).with_warmup(vec![
+                WarmupRecord {
+                    start: starts[1].clone(),
+                    insts: 1_000,
+                },
+                WarmupRecord {
+                    start: starts[3].clone(),
+                    insts: 2_000,
+                },
+            ]),
+        ];
+        let dir = std::env::temp_dir().join(format!("sampsim-store-warm-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("warm.pb");
         save_regions(&path, &regions).unwrap();
@@ -229,8 +235,7 @@ mod store_extra_tests {
 
     #[test]
     fn empty_region_file_roundtrips() {
-        let dir = std::env::temp_dir()
-            .join(format!("sampsim-store-empty-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sampsim-store-empty-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("empty.pb");
         save_regions(&path, &[]).unwrap();

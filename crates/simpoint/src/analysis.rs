@@ -2,7 +2,7 @@
 
 use crate::bbv::Bbv;
 use crate::bic::{bic_score, choose_k};
-use crate::kmeans::{kmeans_best_of, KmeansResult};
+use crate::kmeans::{kmeans_best_of, KmeansError, KmeansResult};
 use crate::project::{RandomProjection, DEFAULT_DIM};
 use crate::select::{select_simpoints, SimPoint};
 use sampsim_util::rng::Xoshiro256StarStar;
@@ -51,17 +51,33 @@ impl Default for SimPointOptions {
 pub enum SimPointError {
     /// No slices were supplied.
     NoSlices,
+    /// The clustering kernel rejected its input.
+    Kmeans(KmeansError),
 }
 
 impl fmt::Display for SimPointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimPointError::NoSlices => write!(f, "no slices to analyze"),
+            SimPointError::Kmeans(e) => write!(f, "clustering failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimPointError {}
+impl std::error::Error for SimPointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimPointError::NoSlices => None,
+            SimPointError::Kmeans(e) => Some(e),
+        }
+    }
+}
+
+impl From<KmeansError> for SimPointError {
+    fn from(e: KmeansError) -> Self {
+        SimPointError::Kmeans(e)
+    }
+}
 
 /// The outcome of a SimPoint analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,7 +164,7 @@ impl SimPointAnalysis {
                 o.max_iter,
                 o.seed.wrapping_add(k as u64),
                 o.n_init,
-            );
+            )?;
             bic_scores.push((k, bic_score(&r, o.dim)));
         }
         let best_k = choose_k(&bic_scores, o.bic_threshold);
@@ -162,7 +178,7 @@ impl SimPointAnalysis {
             o.max_iter,
             o.seed.wrapping_add(best_k as u64),
             o.n_init,
-        );
+        )?;
         let points = select_simpoints(&final_result, &data, o.dim);
         Ok(SimPointsResult {
             k: best_k,
@@ -215,11 +231,7 @@ mod tests {
             r.k,
             r.bic_scores
         );
-        let jumps: Vec<f64> = r
-            .bic_scores
-            .windows(2)
-            .map(|w| w[1].1 - w[0].1)
-            .collect();
+        let jumps: Vec<f64> = r.bic_scores.windows(2).map(|w| w[1].1 - w[0].1).collect();
         let elbow = jumps
             .iter()
             .enumerate()

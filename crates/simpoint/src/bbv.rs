@@ -24,10 +24,7 @@ impl Bbv {
             "counts must be sorted by strictly increasing block id"
         );
         Self {
-            entries: counts
-                .into_iter()
-                .map(|(b, c)| (b, f64::from(c)))
-                .collect(),
+            entries: counts.into_iter().map(|(b, c)| (b, f64::from(c))).collect(),
         }
     }
 
@@ -59,11 +56,7 @@ impl Bbv {
             return self.clone();
         }
         Bbv {
-            entries: self
-                .entries
-                .iter()
-                .map(|&(b, v)| (b, v / norm))
-                .collect(),
+            entries: self.entries.iter().map(|&(b, v)| (b, v / norm)).collect(),
         }
     }
 

@@ -31,7 +31,8 @@ pub fn bic_score(result: &KmeansResult, dim: usize) -> f64 {
             continue;
         }
         let rf = r as f64;
-        loglik += rf * rf.ln() - rf * nf.ln()
+        loglik += rf * rf.ln()
+            - rf * nf.ln()
             - rf * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
             - (rf - 1.0) * d / 2.0;
     }
@@ -54,7 +55,10 @@ pub fn choose_k(scores: &[(usize, f64)], threshold: f64) -> usize {
         (0.0..=1.0).contains(&threshold),
         "threshold must be in [0, 1]"
     );
-    let max = scores.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let max = scores
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
     let min = scores.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
     let cutoff = if (max - min).abs() < f64::EPSILON {
         max
@@ -67,7 +71,10 @@ pub fn choose_k(scores: &[(usize, f64)], threshold: f64) -> usize {
         .filter(|&(_, s)| s >= cutoff)
         .collect();
     candidates.sort_by_key(|&(k, _)| k);
-    candidates.first().expect("cutoff <= max guarantees a candidate").0
+    candidates
+        .first()
+        .expect("cutoff <= max guarantees a candidate")
+        .0
 }
 
 #[cfg(test)]
@@ -94,7 +101,7 @@ mod tests {
         let (data, n) = blobs(4, 50, 1.0);
         let scores: Vec<(usize, f64)> = (1..=10)
             .map(|k| {
-                let r = kmeans(&data, n, 2, k, 100, 3);
+                let r = kmeans(&data, n, 2, k, 100, 3).unwrap();
                 (k, bic_score(&r, 2))
             })
             .collect();
@@ -132,7 +139,7 @@ mod tests {
     #[test]
     fn zero_inertia_does_not_nan() {
         let data = vec![1.0; 10];
-        let r = kmeans(&data, 5, 2, 1, 10, 1);
+        let r = kmeans(&data, 5, 2, 1, 10, 1).unwrap();
         let s = bic_score(&r, 2);
         assert!(s.is_finite());
     }

@@ -5,6 +5,46 @@
 //! centroid so every requested cluster survives when the data supports it.
 
 use sampsim_util::rng::Xoshiro256StarStar;
+use std::fmt;
+
+/// Invalid input to [`kmeans`] / [`kmeans_best_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmeansError {
+    /// No points to cluster (`n == 0`).
+    NoPoints,
+    /// Zero-dimensional points (`dim == 0`).
+    ZeroDim,
+    /// Zero clusters requested (`k == 0`).
+    ZeroK,
+    /// Zero restarts requested (`n_init == 0`).
+    ZeroInit,
+    /// `data.len()` does not equal `n * dim`.
+    ShapeMismatch {
+        /// `n * dim`.
+        expected: usize,
+        /// `data.len()`.
+        got: usize,
+    },
+}
+
+impl fmt::Display for KmeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KmeansError::NoPoints => write!(f, "k-means needs at least one point"),
+            KmeansError::ZeroDim => write!(f, "k-means needs at least one dimension"),
+            KmeansError::ZeroK => write!(f, "k-means needs at least one cluster"),
+            KmeansError::ZeroInit => write!(f, "k-means needs at least one restart"),
+            KmeansError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "data shape mismatch: expected n * dim = {expected} values, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KmeansError {}
 
 /// Result of one k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,10 +95,10 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// Runs k-means on `n` points of `dim` dimensions stored row-major in
 /// `data`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `k` is zero, `dim` is zero, `data.len() != n * dim`, or there
-/// are no points.
+/// Returns a [`KmeansError`] if `k` is zero, `dim` is zero,
+/// `data.len() != n * dim`, or there are no points.
 pub fn kmeans(
     data: &[f64],
     n: usize,
@@ -66,11 +106,22 @@ pub fn kmeans(
     k: usize,
     max_iter: u32,
     seed: u64,
-) -> KmeansResult {
-    assert!(k > 0, "k must be positive");
-    assert!(dim > 0, "dim must be positive");
-    assert!(n > 0, "need at least one point");
-    assert_eq!(data.len(), n * dim, "data shape mismatch");
+) -> Result<KmeansResult, KmeansError> {
+    if k == 0 {
+        return Err(KmeansError::ZeroK);
+    }
+    if dim == 0 {
+        return Err(KmeansError::ZeroDim);
+    }
+    if n == 0 {
+        return Err(KmeansError::NoPoints);
+    }
+    if data.len() != n * dim {
+        return Err(KmeansError::ShapeMismatch {
+            expected: n * dim,
+            got: data.len(),
+        });
+    }
     let k = k.min(n);
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut centroids = plus_plus_init(data, n, dim, k, &mut rng);
@@ -141,13 +192,13 @@ pub fn kmeans(
             }
         }
     }
-    KmeansResult {
+    Ok(KmeansResult {
         k,
         assignments,
         centroids,
         inertia,
         iterations,
-    }
+    })
 }
 
 /// k-means++ seeding (Arthur & Vassilvitskii, 2007).
@@ -198,9 +249,10 @@ fn plus_plus_init(
 /// Runs k-means `n_init` times with different derived seeds, returning the
 /// run with the lowest inertia.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`kmeans`]; additionally if `n_init` is zero.
+/// As [`kmeans`]; additionally [`KmeansError::ZeroInit`] if `n_init` is
+/// zero.
 pub fn kmeans_best_of(
     data: &[f64],
     n: usize,
@@ -209,16 +261,25 @@ pub fn kmeans_best_of(
     max_iter: u32,
     seed: u64,
     n_init: u32,
-) -> KmeansResult {
-    assert!(n_init > 0, "n_init must be positive");
+) -> Result<KmeansResult, KmeansError> {
+    if n_init == 0 {
+        return Err(KmeansError::ZeroInit);
+    }
     let mut best: Option<KmeansResult> = None;
     for run in 0..n_init {
-        let r = kmeans(data, n, dim, k, max_iter, seed.wrapping_add(u64::from(run) * 0x9E37));
+        let r = kmeans(
+            data,
+            n,
+            dim,
+            k,
+            max_iter,
+            seed.wrapping_add(u64::from(run) * 0x9E37),
+        )?;
         if best.as_ref().is_none_or(|b| r.inertia < b.inertia) {
             best = Some(r);
         }
     }
-    best.expect("n_init > 0")
+    Ok(best.expect("n_init > 0"))
 }
 
 #[cfg(test)]
@@ -242,7 +303,7 @@ mod tests {
     #[test]
     fn recovers_blobs() {
         let (data, n) = blobs();
-        let r = kmeans(&data, n, 2, 3, 100, 1);
+        let r = kmeans(&data, n, 2, 3, 100, 1).unwrap();
         assert_eq!(r.occupied_clusters(), 3);
         let sizes = r.cluster_sizes();
         assert!(sizes.iter().all(|&s| s == 40), "sizes {sizes:?}");
@@ -259,7 +320,7 @@ mod tests {
     #[test]
     fn k_capped_at_n() {
         let data = vec![0.0, 0.0, 1.0, 1.0];
-        let r = kmeans(&data, 2, 2, 10, 50, 1);
+        let r = kmeans(&data, 2, 2, 10, 50, 1).unwrap();
         assert_eq!(r.k, 2);
         assert_eq!(r.inertia, 0.0);
     }
@@ -267,15 +328,15 @@ mod tests {
     #[test]
     fn identical_points_one_cluster_zero_inertia() {
         let data = vec![3.0; 20]; // 10 identical 2-D points
-        let r = kmeans(&data, 10, 2, 3, 50, 1);
+        let r = kmeans(&data, 10, 2, 3, 50, 1).unwrap();
         assert_eq!(r.inertia, 0.0);
     }
 
     #[test]
     fn deterministic_for_seed() {
         let (data, n) = blobs();
-        let a = kmeans(&data, n, 2, 3, 100, 5);
-        let b = kmeans(&data, n, 2, 3, 100, 5);
+        let a = kmeans(&data, n, 2, 3, 100, 5).unwrap();
+        let b = kmeans(&data, n, 2, 3, 100, 5).unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.inertia, b.inertia);
     }
@@ -283,22 +344,34 @@ mod tests {
     #[test]
     fn more_clusters_never_increase_inertia_much() {
         let (data, n) = blobs();
-        let k3 = kmeans_best_of(&data, n, 2, 3, 100, 1, 3);
-        let k6 = kmeans_best_of(&data, n, 2, 6, 100, 1, 3);
+        let k3 = kmeans_best_of(&data, n, 2, 3, 100, 1, 3).unwrap();
+        let k6 = kmeans_best_of(&data, n, 2, 6, 100, 1, 3).unwrap();
         assert!(k6.inertia <= k3.inertia * 1.01);
     }
 
     #[test]
     fn best_of_picks_lowest_inertia() {
         let (data, n) = blobs();
-        let single = kmeans(&data, n, 2, 3, 100, 1);
-        let multi = kmeans_best_of(&data, n, 2, 3, 100, 1, 5);
+        let single = kmeans(&data, n, 2, 3, 100, 1).unwrap();
+        let multi = kmeans_best_of(&data, n, 2, 3, 100, 1, 5).unwrap();
         assert!(multi.inertia <= single.inertia + 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "data shape mismatch")]
-    fn shape_checked() {
-        kmeans(&[1.0, 2.0, 3.0], 2, 2, 1, 10, 1);
+    fn invalid_inputs_are_typed_errors() {
+        assert_eq!(
+            kmeans(&[1.0, 2.0, 3.0], 2, 2, 1, 10, 1),
+            Err(KmeansError::ShapeMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(kmeans(&[], 0, 2, 1, 10, 1), Err(KmeansError::NoPoints));
+        assert_eq!(kmeans(&[1.0], 1, 0, 1, 10, 1), Err(KmeansError::ZeroDim));
+        assert_eq!(kmeans(&[1.0], 1, 1, 0, 10, 1), Err(KmeansError::ZeroK));
+        assert_eq!(
+            kmeans_best_of(&[1.0], 1, 1, 1, 10, 1, 0),
+            Err(KmeansError::ZeroInit)
+        );
     }
 }

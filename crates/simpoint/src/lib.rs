@@ -58,4 +58,5 @@ pub mod vli;
 mod analysis;
 
 pub use analysis::{SimPointAnalysis, SimPointError, SimPointOptions, SimPointsResult};
+pub use kmeans::{KmeansError, KmeansResult};
 pub use select::SimPoint;

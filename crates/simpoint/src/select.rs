@@ -32,11 +32,7 @@ pub fn select_simpoints(result: &KmeansResult, data: &[f64], dim: usize) -> Vec<
         let c = result.assignments[i] as usize;
         let centroid = &result.centroids[c * dim..(c + 1) * dim];
         let p = &data[i * dim..(i + 1) * dim];
-        let d: f64 = p
-            .iter()
-            .zip(centroid)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let d: f64 = p.iter().zip(centroid).map(|(x, y)| (x - y) * (x - y)).sum();
         if best_slice[c].is_none_or(|(_, bd)| d < bd) {
             best_slice[c] = Some((i, d));
         }
@@ -111,7 +107,7 @@ mod tests {
     fn selects_one_point_per_occupied_cluster() {
         // Two blobs in 1-D.
         let data = vec![0.0, 0.1, 0.2, 10.0, 10.1];
-        let r = kmeans(&data, 5, 1, 2, 50, 1);
+        let r = kmeans(&data, 5, 1, 2, 50, 1).unwrap();
         let pts = select_simpoints(&r, &data, 1);
         assert_eq!(pts.len(), 2);
         let w: f64 = pts.iter().map(|p| p.weight).sum();

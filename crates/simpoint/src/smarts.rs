@@ -102,9 +102,7 @@ pub fn systematic_indices(population: u64, count: usize) -> Vec<u64> {
     assert!(population > 0, "population must be positive");
     let count = count.min(population as usize);
     (0..count)
-        .map(|i| {
-            (((i as f64 + 0.5) * population as f64 / count as f64) as u64).min(population - 1)
-        })
+        .map(|i| (((i as f64 + 0.5) * population as f64 / count as f64) as u64).min(population - 1))
         .collect()
 }
 

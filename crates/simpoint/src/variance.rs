@@ -33,7 +33,8 @@ pub fn variance_sweep(bbvs: &[Bbv], ks: &[usize], options: &SimPointOptions) -> 
                 options.max_iter,
                 options.seed.wrapping_add(k as u64),
                 options.n_init,
-            );
+            )
+            .expect("validated inputs");
             (k, r.avg_variance())
         })
         .collect()
@@ -83,7 +84,10 @@ mod sweep_extra_tests {
             .map(|i| Bbv::from_counts(vec![((i % 3) * 5, 100)]))
             .collect();
         let sweep = variance_sweep(&bbvs, &[3, 1, 2], &SimPointOptions::default());
-        assert_eq!(sweep.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(
+            sweep.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![3, 1, 2]
+        );
         // Three pure behaviours: k=3 clusters perfectly.
         assert!(sweep[0].1 < 1e-9, "k=3 variance {}", sweep[0].1);
         assert!(sweep[1].1 > sweep[0].1);

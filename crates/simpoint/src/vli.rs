@@ -55,10 +55,7 @@ pub fn coalesce(assignments: &[u32]) -> Vec<Interval> {
 ///
 /// Panics if a point's slice is outside the assignment vector or assigned
 /// to a different cluster (inconsistent inputs).
-pub fn representative_intervals(
-    assignments: &[u32],
-    points: &[SimPoint],
-) -> Vec<(Interval, f64)> {
+pub fn representative_intervals(assignments: &[u32], points: &[SimPoint]) -> Vec<(Interval, f64)> {
     let intervals = coalesce(assignments);
     points
         .iter()
@@ -73,9 +70,7 @@ pub fn representative_intervals(
             );
             let iv = intervals
                 .iter()
-                .find(|iv| {
-                    p.slice >= iv.start_slice && p.slice < iv.start_slice + iv.len
-                })
+                .find(|iv| p.slice >= iv.start_slice && p.slice < iv.start_slice + iv.len)
                 .copied()
                 .expect("every slice lies in some interval");
             (iv, p.weight)
@@ -93,9 +88,21 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Interval { start_slice: 0, len: 2, cluster: 0 },
-                Interval { start_slice: 2, len: 3, cluster: 1 },
-                Interval { start_slice: 5, len: 1, cluster: 0 },
+                Interval {
+                    start_slice: 0,
+                    len: 2,
+                    cluster: 0
+                },
+                Interval {
+                    start_slice: 2,
+                    len: 3,
+                    cluster: 1
+                },
+                Interval {
+                    start_slice: 5,
+                    len: 1,
+                    cluster: 0
+                },
             ]
         );
     }
@@ -109,13 +116,35 @@ mod tests {
     fn representative_interval_contains_point() {
         let assignments = [0u32, 0, 1, 1, 1, 0];
         let points = vec![
-            SimPoint { slice: 1, cluster: 0, weight: 0.5 },
-            SimPoint { slice: 3, cluster: 1, weight: 0.5 },
+            SimPoint {
+                slice: 1,
+                cluster: 0,
+                weight: 0.5,
+            },
+            SimPoint {
+                slice: 3,
+                cluster: 1,
+                weight: 0.5,
+            },
         ];
         let ivs = representative_intervals(&assignments, &points);
         assert_eq!(ivs.len(), 2);
-        assert_eq!(ivs[0].0, Interval { start_slice: 0, len: 2, cluster: 0 });
-        assert_eq!(ivs[1].0, Interval { start_slice: 2, len: 3, cluster: 1 });
+        assert_eq!(
+            ivs[0].0,
+            Interval {
+                start_slice: 0,
+                len: 2,
+                cluster: 0
+            }
+        );
+        assert_eq!(
+            ivs[1].0,
+            Interval {
+                start_slice: 2,
+                len: 3,
+                cluster: 1
+            }
+        );
         assert_eq!(ivs[1].1, 0.5);
     }
 
@@ -124,7 +153,11 @@ mod tests {
     fn inconsistent_point_panics() {
         representative_intervals(
             &[0, 1],
-            &[SimPoint { slice: 0, cluster: 1, weight: 1.0 }],
+            &[SimPoint {
+                slice: 0,
+                cluster: 1,
+                weight: 1.0,
+            }],
         );
     }
 }

@@ -370,7 +370,14 @@ mod tests {
 
     #[test]
     fn solve_weights_hits_target() {
-        for (n, n90) in [(18usize, 11usize), (26, 7), (25, 4), (23, 19), (4, 3), (12, 10)] {
+        for (n, n90) in [
+            (18usize, 11usize),
+            (26, 7),
+            (25, 4),
+            (23, 19),
+            (4, 3),
+            (12, 10),
+        ] {
             let w = solve_weights(n, n90, 1e-4);
             assert_eq!(w.len(), n);
             let total: f64 = w.iter().sum();

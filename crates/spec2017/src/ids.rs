@@ -157,8 +157,8 @@ impl BenchmarkId {
             seed,
             dominant: None,
         };
-        let cd = |name, suite, domain, points, points_90, whole_minsts, seed, dominant| {
-            Calibration {
+        let cd =
+            |name, suite, domain, points, points_90, whole_minsts, seed, dominant| Calibration {
                 name,
                 suite,
                 domain,
@@ -167,8 +167,7 @@ impl BenchmarkId {
                 whole_minsts,
                 seed,
                 dominant: Some(dominant),
-            }
-        };
+            };
         match self {
             PerlbenchR => c("500.perlbench_r", IntRate, Scripting, 18, 11, 72, 0x2500),
             GccR => c("502.gcc_r", IntRate, Compiler, 27, 15, 104, 0x2502),
@@ -189,8 +188,26 @@ impl BenchmarkId {
             LeelaS => c("641.leela_s", IntSpeed, GameTree, 20, 13, 92, 0x2641),
             Exchange2S => c("648.exchange2_s", IntSpeed, GameTree, 19, 15, 100, 0x2648),
             XzS => c("657.xz_s", IntSpeed, Compression, 18, 10, 112, 0x2657),
-            BwavesR => cd("503.bwaves_r", FpRate, FpStreaming, 26, 7, 256, 0x2503, 0.60),
-            CactuBssnR => cd("507.cactuBSSN_r", FpRate, FpStreaming, 25, 4, 224, 0x2507, 0.62),
+            BwavesR => cd(
+                "503.bwaves_r",
+                FpRate,
+                FpStreaming,
+                26,
+                7,
+                256,
+                0x2503,
+                0.60,
+            ),
+            CactuBssnR => cd(
+                "507.cactuBSSN_r",
+                FpRate,
+                FpStreaming,
+                25,
+                4,
+                224,
+                0x2507,
+                0.62,
+            ),
             NamdR => c("508.namd_r", FpRate, FpCompute, 26, 17, 176, 0x2508),
             ParestR => c("510.parest_r", FpRate, FpMixed, 23, 14, 192, 0x2510),
             PovrayR => c("511.povray_r", FpRate, FpCompute, 23, 19, 144, 0x2511),

@@ -53,5 +53,8 @@ pub fn benchmark(id: BenchmarkId) -> BenchmarkSpec {
 
 /// Returns specs for the whole suite, in Table II order.
 pub fn suite() -> Vec<BenchmarkSpec> {
-    BenchmarkId::ALL.iter().map(|&id| BenchmarkSpec::new(id)).collect()
+    BenchmarkId::ALL
+        .iter()
+        .map(|&id| BenchmarkSpec::new(id))
+        .collect()
 }

@@ -105,6 +105,24 @@ impl BranchPredictor {
     }
 }
 
+impl sampsim_util::codec::Encode for BranchStats {
+    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
+        enc.put_u64(self.lookups);
+        enc.put_u64(self.mispredicts);
+    }
+}
+
+impl sampsim_util::codec::Decode for BranchStats {
+    fn decode(
+        dec: &mut sampsim_util::codec::Decoder<'_>,
+    ) -> Result<Self, sampsim_util::codec::DecodeError> {
+        Ok(Self {
+            lookups: dec.take_u64()?,
+            mispredicts: dec.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,23 +184,5 @@ mod tests {
     #[should_panic(expected = "index_bits")]
     fn zero_bits_panics() {
         BranchPredictor::new(0, 0);
-    }
-}
-
-impl sampsim_util::codec::Encode for BranchStats {
-    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
-        enc.put_u64(self.lookups);
-        enc.put_u64(self.mispredicts);
-    }
-}
-
-impl sampsim_util::codec::Decode for BranchStats {
-    fn decode(
-        dec: &mut sampsim_util::codec::Decoder<'_>,
-    ) -> Result<Self, sampsim_util::codec::DecodeError> {
-        Ok(Self {
-            lookups: dec.take_u64()?,
-            mispredicts: dec.take_u64()?,
-        })
     }
 }

@@ -277,7 +277,9 @@ mod tests {
 
     fn biased_stream(p_taken: f64, n: usize, seed: u64) -> Vec<(u64, bool)> {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        (0..n).map(|i| ((0x400 + (i % 8) * 64) as u64, rng.chance(p_taken))).collect()
+        (0..n)
+            .map(|i| ((0x400 + (i % 8) * 64) as u64, rng.chance(p_taken)))
+            .collect()
     }
 
     #[test]
@@ -305,8 +307,7 @@ mod tests {
     #[test]
     fn local_history_beats_bimodal_on_periodic_pattern() {
         // Period-4 pattern T T T N — local history nails it, bimodal can't.
-        let outcomes: Vec<(u64, bool)> =
-            (0..20_000).map(|i| (0x800u64, i % 4 != 3)).collect();
+        let outcomes: Vec<(u64, bool)> = (0..20_000).map(|i| (0x800u64, i % 4 != 3)).collect();
         let mut local = TwoLevelLocal::new(10, 10);
         let mut bimodal = Bimodal::new(12);
         let local_rate = drive(&mut local, &outcomes);
@@ -319,11 +320,13 @@ mod tests {
 
     #[test]
     fn tournament_tracks_best_component() {
-        let outcomes: Vec<(u64, bool)> =
-            (0..30_000).map(|i| (0x800u64, i % 4 != 3)).collect();
+        let outcomes: Vec<(u64, bool)> = (0..30_000).map(|i| (0x800u64, i % 4 != 3)).collect();
         let mut t = Tournament::new();
         let rate = drive(&mut t, &outcomes);
-        assert!(rate < 5.0, "tournament should adopt the local predictor: {rate}");
+        assert!(
+            rate < 5.0,
+            "tournament should adopt the local predictor: {rate}"
+        );
     }
 
     #[test]

@@ -110,7 +110,14 @@ mod tests {
 
 impl sampsim_util::codec::Encode for CpiStack {
     fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
-        for v in [self.base, self.branch, self.ifetch, self.l2, self.l3, self.mem] {
+        for v in [
+            self.base,
+            self.branch,
+            self.ifetch,
+            self.l2,
+            self.l3,
+            self.mem,
+        ] {
             enc.put_f64(v);
         }
     }

@@ -112,6 +112,24 @@ pub fn perturb(
     }
 }
 
+impl sampsim_util::codec::Encode for PerfCounters {
+    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
+        enc.put_u64(self.instructions);
+        enc.put_u64(self.cpu_cycles);
+    }
+}
+
+impl sampsim_util::codec::Decode for PerfCounters {
+    fn decode(
+        dec: &mut sampsim_util::codec::Decoder<'_>,
+    ) -> Result<Self, sampsim_util::codec::DecodeError> {
+        Ok(Self {
+            instructions: dec.take_u64()?,
+            cpu_cycles: dec.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +156,10 @@ mod tests {
         let native = perf.cpi();
         let rel = (native - pure).abs() / pure;
         assert!(rel < 0.1, "native {native} vs pure {pure}");
-        assert!(native > pure * 0.99, "noise should not speed the machine up much");
+        assert!(
+            native > pure * 0.99,
+            "noise should not speed the machine up much"
+        );
     }
 
     #[test]
@@ -173,23 +194,5 @@ mod tests {
         let mut sim = Sniper::new(CoreConfig::table3(), configs::i7_table3());
         engine::run_one(&mut exec, u64::MAX, &mut sim);
         assert_eq!(perf.cpu_cycles, sim.stats().cycles.round() as u64);
-    }
-}
-
-impl sampsim_util::codec::Encode for PerfCounters {
-    fn encode(&self, enc: &mut sampsim_util::codec::Encoder) {
-        enc.put_u64(self.instructions);
-        enc.put_u64(self.cpu_cycles);
-    }
-}
-
-impl sampsim_util::codec::Decode for PerfCounters {
-    fn decode(
-        dec: &mut sampsim_util::codec::Decoder<'_>,
-    ) -> Result<Self, sampsim_util::codec::DecodeError> {
-        Ok(Self {
-            instructions: dec.take_u64()?,
-            cpu_cycles: dec.take_u64()?,
-        })
     }
 }

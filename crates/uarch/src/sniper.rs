@@ -322,7 +322,14 @@ mod stack_consistency_tests {
             );
             // No component may be negative (the store rebate must never
             // overdraw a bucket).
-            for v in [s.stack.base, s.stack.branch, s.stack.ifetch, s.stack.l2, s.stack.l3, s.stack.mem] {
+            for v in [
+                s.stack.base,
+                s.stack.branch,
+                s.stack.ifetch,
+                s.stack.l2,
+                s.stack.l3,
+                s.stack.mem,
+            ] {
                 assert!(v >= -1e-9, "negative stack component {v}");
             }
         }

@@ -422,8 +422,7 @@ mod tests {
 
     #[test]
     fn roundtrip_compound() {
-        let value: (String, Vec<Option<u64>>) =
-            ("abc".to_string(), vec![Some(1), None, Some(3)]);
+        let value: (String, Vec<Option<u64>>) = ("abc".to_string(), vec![Some(1), None, Some(3)]);
         let bytes = to_bytes(&value);
         let back: (String, Vec<Option<u64>>) = from_bytes(&bytes).unwrap();
         assert_eq!(back, value);
@@ -500,11 +499,7 @@ mod extra_tests {
 
     #[test]
     fn nested_collections_roundtrip() {
-        let value: Vec<Vec<(u32, f64)>> = vec![
-            vec![(1, 0.5), (2, 1.5)],
-            vec![],
-            vec![(9, -3.25)],
-        ];
+        let value: Vec<Vec<(u32, f64)>> = vec![vec![(1, 0.5), (2, 1.5)], vec![], vec![(9, -3.25)]];
         let bytes = to_bytes(&value);
         let back: Vec<Vec<(u32, f64)>> = from_bytes(&bytes).unwrap();
         assert_eq!(back, value);
@@ -512,7 +507,14 @@ mod extra_tests {
 
     #[test]
     fn f64_bit_patterns_preserved() {
-        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE, 1e300] {
+        for v in [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            1e300,
+        ] {
             let bytes = to_bytes(&v);
             let back: f64 = from_bytes(&bytes).unwrap();
             assert_eq!(back.to_bits(), v.to_bits());

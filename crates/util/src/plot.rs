@@ -24,10 +24,17 @@ pub fn line_chart(series: &[(&str, &[f64])], height: usize) -> String {
         "series must have equal lengths"
     );
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];
-    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
     let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
-    let span = if (max - min).abs() < f64::EPSILON { 1.0 } else { max - min };
+    let span = if (max - min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        max - min
+    };
     // Column spacing: 3 chars per point keeps small sweeps readable.
     let width = n * 3;
     let mut grid = vec![vec![' '; width]; height];

@@ -190,12 +190,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
     assert_eq!(values.len(), weights.len(), "length mismatch");
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must sum to a positive value");
-    values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .sum::<f64>()
-        / total
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
 }
 
 /// Ratio `a / b` guarding against a zero denominator (returns `0.0`).
@@ -212,7 +207,7 @@ pub fn with_commas(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -226,7 +221,9 @@ mod tests {
 
     #[test]
     fn summary_basic() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert!((s.variance() - 4.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);

@@ -160,7 +160,12 @@ mod tests {
     fn block_pc_layout() {
         let b = BasicBlock::new(
             CODE_BASE,
-            vec![StaticInst { kind: InstKind::Alu }, branch()],
+            vec![
+                StaticInst {
+                    kind: InstKind::Alu,
+                },
+                branch(),
+            ],
         );
         assert_eq!(b.pc_of(0), CODE_BASE);
         assert_eq!(b.pc_of(1), CODE_BASE + INST_BYTES);
@@ -170,7 +175,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "must end in a branch")]
     fn block_must_end_in_branch() {
-        BasicBlock::new(0, vec![StaticInst { kind: InstKind::Alu }]);
+        BasicBlock::new(
+            0,
+            vec![StaticInst {
+                kind: InstKind::Alu,
+            }],
+        );
     }
 
     #[test]
@@ -182,7 +192,10 @@ mod tests {
     #[test]
     fn mem_class_mapping() {
         assert_eq!(
-            StaticInst { kind: InstKind::Alu }.mem_class(),
+            StaticInst {
+                kind: InstKind::Alu
+            }
+            .mem_class(),
             MemClass::NoMem
         );
         assert_eq!(
@@ -218,12 +231,26 @@ mod tests {
             .stream(),
             Some(7)
         );
-        assert_eq!(StaticInst { kind: InstKind::Alu }.stream(), None);
+        assert_eq!(
+            StaticInst {
+                kind: InstKind::Alu
+            }
+            .stream(),
+            None
+        );
     }
 
     #[test]
     fn digests_differ_for_different_blocks() {
-        let a = BasicBlock::new(0, vec![StaticInst { kind: InstKind::Alu }, branch()]);
+        let a = BasicBlock::new(
+            0,
+            vec![
+                StaticInst {
+                    kind: InstKind::Alu,
+                },
+                branch(),
+            ],
+        );
         let b = BasicBlock::new(
             0,
             vec![

@@ -150,7 +150,11 @@ impl<'p> Executor<'p> {
         Self {
             program,
             rng: Xoshiro256StarStar::from_state(cursor.rng),
-            streams: cursor.streams.iter().map(|&pos| StreamState { pos }).collect(),
+            streams: cursor
+                .streams
+                .iter()
+                .map(|&pos| StreamState { pos })
+                .collect(),
             seg_idx: cursor.seg_idx,
             seg_retired: cursor.seg_retired,
             block: cursor.block,
@@ -256,10 +260,22 @@ impl<'p> Executor<'p> {
         match inst.kind {
             InstKind::Alu => {}
             InstKind::Load { stream } => {
-                self.gen_addr(phase.stream_base, stream, MemClass::Read, &mut out, phase_idx);
+                self.gen_addr(
+                    phase.stream_base,
+                    stream,
+                    MemClass::Read,
+                    &mut out,
+                    phase_idx,
+                );
             }
             InstKind::Store { stream } => {
-                self.gen_addr(phase.stream_base, stream, MemClass::Write, &mut out, phase_idx);
+                self.gen_addr(
+                    phase.stream_base,
+                    stream,
+                    MemClass::Write,
+                    &mut out,
+                    phase_idx,
+                );
             }
             InstKind::LoadStore { stream } => {
                 self.gen_addr(
@@ -333,7 +349,9 @@ mod tests {
             BasicBlock::new(
                 0x400000,
                 vec![
-                    StaticInst { kind: InstKind::Alu },
+                    StaticInst {
+                        kind: InstKind::Alu,
+                    },
                     StaticInst {
                         kind: InstKind::Load { stream: 0 },
                     },
@@ -386,9 +404,18 @@ mod tests {
             ),
         ];
         let schedule = Schedule::new(vec![
-            Segment { phase: 0, insts: 500 },
-            Segment { phase: 1, insts: 300 },
-            Segment { phase: 0, insts: 200 },
+            Segment {
+                phase: 0,
+                insts: 500,
+            },
+            Segment {
+                phase: 1,
+                insts: 300,
+            },
+            Segment {
+                phase: 0,
+                insts: 200,
+            },
         ]);
         Program::new("exec-test", blocks, phases, schedule, 7)
     }

@@ -281,7 +281,11 @@ mod tests {
         for _ in 0..500 {
             seen.insert(st.next_addr(&spec, &mut r));
         }
-        assert!(seen.len() > 400, "chase should not cycle early: {}", seen.len());
+        assert!(
+            seen.len() > 400,
+            "chase should not cycle early: {}",
+            seen.len()
+        );
     }
 
     #[test]

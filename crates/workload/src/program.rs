@@ -146,7 +146,9 @@ mod tests {
         vec![BasicBlock::new(
             0x400000,
             vec![
-                StaticInst { kind: InstKind::Alu },
+                StaticInst {
+                    kind: InstKind::Alu,
+                },
                 StaticInst {
                     kind: InstKind::Branch { bias: 60000 },
                 },
@@ -160,14 +162,20 @@ mod tests {
             "a",
             tiny_blocks(),
             vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
-            Schedule::new(vec![Segment { phase: 0, insts: 10 }]),
+            Schedule::new(vec![Segment {
+                phase: 0,
+                insts: 10,
+            }]),
             1,
         );
         let p2 = Program::new(
             "a",
             tiny_blocks(),
             vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
-            Schedule::new(vec![Segment { phase: 0, insts: 10 }]),
+            Schedule::new(vec![Segment {
+                phase: 0,
+                insts: 10,
+            }]),
             1,
         );
         assert_eq!(p1.digest(), p2.digest());
@@ -175,7 +183,10 @@ mod tests {
             "a",
             tiny_blocks(),
             vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
-            Schedule::new(vec![Segment { phase: 0, insts: 11 }]),
+            Schedule::new(vec![Segment {
+                phase: 0,
+                insts: 11,
+            }]),
             1,
         );
         assert_ne!(p1.digest(), p3.digest());
@@ -188,7 +199,10 @@ mod tests {
             "a",
             tiny_blocks(),
             vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
-            Schedule::new(vec![Segment { phase: 5, insts: 10 }]),
+            Schedule::new(vec![Segment {
+                phase: 5,
+                insts: 10,
+            }]),
             1,
         );
     }

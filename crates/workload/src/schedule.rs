@@ -83,8 +83,14 @@ mod tests {
     #[test]
     fn totals() {
         let s = Schedule::new(vec![
-            Segment { phase: 0, insts: 10 },
-            Segment { phase: 1, insts: 20 },
+            Segment {
+                phase: 0,
+                insts: 10,
+            },
+            Segment {
+                phase: 1,
+                insts: 20,
+            },
             Segment { phase: 0, insts: 5 },
         ]);
         assert_eq!(s.total_insts(), 35);

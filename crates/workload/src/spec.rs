@@ -395,9 +395,7 @@ impl WorkloadSpec {
             // phases on sampling noise.
             let share = spec.weight / total_weight;
             let noise = (0.02 / share.max(1e-9)).clamp(0.03, 0.15);
-            phases.push(
-                Phase::new(ids, weights, streams, stream_base).with_selection_noise(noise),
-            );
+            phases.push(Phase::new(ids, weights, streams, stream_base).with_selection_noise(noise));
             stream_base += spec.streams.len() as u32;
         }
         let schedule = self.build_schedule(&mut rng);
@@ -406,13 +404,15 @@ impl WorkloadSpec {
 
     fn build_schedule(&self, rng: &mut Xoshiro256StarStar) -> Schedule {
         let total_weight: f64 = self.phases.iter().map(|p| p.weight).sum();
-        assert!(total_weight > 0.0, "phase weights must sum to a positive value");
+        assert!(
+            total_weight > 0.0,
+            "phase weights must sum to a positive value"
+        );
         let mean = self.interleave.mean_segment.max(1024);
         let jitter = self.interleave.jitter.clamp(0.0, 0.99);
         let mut segments = Vec::new();
         for (idx, phase) in self.phases.iter().enumerate() {
-            let mut budget =
-                (self.total_insts as f64 * phase.weight / total_weight).round() as u64;
+            let mut budget = (self.total_insts as f64 * phase.weight / total_weight).round() as u64;
             // Tiny phases still get one segment so every phase exists.
             budget = budget.max(1);
             while budget > 0 {
@@ -564,7 +564,11 @@ mod tests {
         let spec = two_phase_spec();
         let p = spec.build();
         let segs = p.schedule().segments();
-        assert!(segs.len() > 10, "expected many segments, got {}", segs.len());
+        assert!(
+            segs.len() > 10,
+            "expected many segments, got {}",
+            segs.len()
+        );
         // Both phases appear, and not as one contiguous run each.
         let first_phase = segs[0].phase;
         assert!(

@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = spec.build();
 
     // Simulation points.
-    let mut config = PinPointsConfig::default();
-    config.slice_size = scale.apply(10_000);
+    let config = PinPointsConfig {
+        slice_size: scale.apply(10_000),
+        ..PinPointsConfig::default()
+    };
     let pipeline = Pipeline::new(config).run(&program)?;
 
     // "Native hardware": whole program on the modelled i7-3770 with perf

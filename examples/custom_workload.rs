@@ -9,10 +9,10 @@
 //! cargo run --release --example custom_workload
 //! ```
 
+use sampsim::cache::configs;
 use sampsim::core::metrics::{aggregate_weighted, whole_as_aggregate};
 use sampsim::core::runs::{run_regions_functional, run_whole_functional, WarmupMode};
 use sampsim::core::{PinPointsConfig, Pipeline};
-use sampsim::cache::configs;
 use sampsim::pin::{engine, Pintool};
 use sampsim::pinball::Logger;
 use sampsim::simpoint::baselines;
@@ -82,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut exec = Executor::new(&program);
     let mut hot = HottestBlock::default();
     engine::run_one(&mut exec, 1_000_000, &mut hot);
-    let (&block, &count) = hot.counts.iter().max_by_key(|&(_, c)| c).expect("non-empty");
+    let (&block, &count) = hot
+        .counts
+        .iter()
+        .max_by_key(|&(_, c)| c)
+        .expect("non-empty");
     println!("hottest block in the first 1M instructions: block {block} ({count} instructions)");
 
     // 3. Checkpoint by hand: capture slice starts, replay slice 100.
@@ -90,11 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut replay = Executor::with_cursor(&program, starts[100].clone());
     assert_eq!(replay.retired(), 1_000_000);
     let first = replay.next_inst().expect("program continues");
-    println!("replay of slice 100 starts at pc {:#x} in block {}", first.pc, first.block);
+    println!(
+        "replay of slice 100 starts at pc {:#x} in block {}",
+        first.pc, first.block
+    );
 
     // 4. SimPoint vs baseline samplers, same point budget.
-    let mut config = PinPointsConfig::default();
-    config.slice_size = 10_000;
+    let config = PinPointsConfig {
+        slice_size: 10_000,
+        ..PinPointsConfig::default()
+    };
     let pipeline = Pipeline::new(config.clone()).run(&program)?;
     let budget = pipeline.regional.len();
     let num_slices = pipeline.num_slices;

@@ -28,8 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::new(0.1);
     let spec = benchmark(BenchmarkId::McfS).scaled(scale);
     let program = spec.build();
-    let mut config = PinPointsConfig::default();
-    config.slice_size = scale.apply(10_000);
+    let config = PinPointsConfig {
+        slice_size: scale.apply(10_000),
+        ..PinPointsConfig::default()
+    };
     let pipeline = Pipeline::new(config).run(&program)?;
     println!(
         "{}: {} simulation points over {} slices\n",
@@ -43,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("L3 = 4MB", with_l3(configs::allcache_table1(), 4 << 20)),
         ("L3 = 16MB", with_l3(configs::allcache_table1(), 16 << 20)),
     ];
-    println!("{:<12} {:>12} {:>16} {:>16}", "design", "whole L3%", "cold regions L3%", "warm regions L3%");
+    println!(
+        "{:<12} {:>12} {:>16} {:>16}",
+        "design", "whole L3%", "cold regions L3%", "warm regions L3%"
+    );
     let mut rows = Vec::new();
     for (label, cfg) in designs {
         let whole = run_whole_functional(&program, cfg);
@@ -59,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cfg,
             WarmupMode::Checkpointed,
         )?);
-        let whole_l3 = whole.cache.as_ref().expect("cache stats").l3.miss_rate_pct();
+        let whole_l3 = whole
+            .cache
+            .as_ref()
+            .expect("cache stats")
+            .l3
+            .miss_rate_pct();
         let cold_l3 = cold.miss_rates.expect("cache stats").l3;
         let warm_l3 = warm.miss_rates.expect("cache stats").l3;
         println!("{label:<12} {whole_l3:>12.2} {cold_l3:>16.2} {warm_l3:>16.2}");

@@ -27,8 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Run the PinPoints pipeline: one profiling pass, SimPoint
     //    clustering, regional checkpoints.
-    let mut config = PinPointsConfig::default();
-    config.slice_size = scale.apply(10_000);
+    let config = PinPointsConfig {
+        slice_size: scale.apply(10_000),
+        ..PinPointsConfig::default()
+    };
     let result = Pipeline::new(config).run(&program)?;
     println!(
         "pipeline: {} slices -> {} simulation points (k = {})",
@@ -59,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sampled = aggregate_weighted(&regions);
     let reference = whole_as_aggregate(&whole);
     println!("\nmetric                 whole      sampled");
-    for (i, label) in ["NO_MEM%", "MEM_R%", "MEM_W%", "MEM_RW%"].iter().enumerate() {
+    for (i, label) in ["NO_MEM%", "MEM_R%", "MEM_W%", "MEM_RW%"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "{label:<20} {:>8.2} {:>12.2}",
             reference.mix_pct[i], sampled.mix_pct[i]

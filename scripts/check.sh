@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, tests and the sampsim lint pass.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> sampsim lint --deny-warnings"
+# Small scale keeps the suite-wide workload build fast; findings do not
+# depend on scale (run-length rules are proportionality checks).
+cargo run --release -q -p sampsim-cli -- lint --scale 0.01 --deny-warnings
+
+echo "all checks passed"

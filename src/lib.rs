@@ -30,6 +30,7 @@
 //! assert!(!result.simpoints.points.is_empty());
 //! ```
 
+pub use sampsim_analyze as analyze;
 pub use sampsim_cache as cache;
 pub use sampsim_core as core;
 pub use sampsim_pin as pin;

@@ -134,11 +134,17 @@ fn weights_sum_to_one_and_match_cluster_sizes() {
 fn suite_benchmark_end_to_end_at_test_scale() {
     let spec = benchmark(BenchmarkId::LeelaS).scaled(Scale::new(0.02));
     let program = spec.build();
-    let mut config = PinPointsConfig::default();
-    config.slice_size = Scale::new(0.02).apply(10_000);
+    let mut config = PinPointsConfig {
+        slice_size: Scale::new(0.02).apply(10_000),
+        ..PinPointsConfig::default()
+    };
     config.simpoint.max_k = 25;
     let result = Pipeline::new(config).run(&program).unwrap();
-    assert!(result.regional.len() >= 5, "found {}", result.regional.len());
+    assert!(
+        result.regional.len() >= 5,
+        "found {}",
+        result.regional.len()
+    );
     // A single region replays fine and reports its slice length.
     let m = run_region_functional(
         &program,
@@ -148,6 +154,26 @@ fn suite_benchmark_end_to_end_at_test_scale() {
     )
     .unwrap();
     assert_eq!(m.instructions, result.regional[0].length);
+}
+
+#[test]
+fn invalid_config_is_rejected_before_profiling() {
+    use sampsim::analyze::Rule;
+    use sampsim::core::CoreError;
+
+    let program = small_program();
+    let mut config = small_config();
+    config.slice_size = 0; // would previously panic inside profile()
+    config.simpoint.dim = 0;
+    let err = Pipeline::new(config).run(&program).unwrap_err();
+    match err {
+        CoreError::Config(diags) => {
+            let codes: Vec<&str> = diags.iter().map(|d| d.rule.code()).collect();
+            assert!(codes.contains(&Rule::ZeroSliceSize.code()), "{codes:?}");
+            assert!(codes.contains(&Rule::BadProjectionDim.code()), "{codes:?}");
+        }
+        other => panic!("expected CoreError::Config, got {other}"),
+    }
 }
 
 #[test]

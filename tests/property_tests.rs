@@ -59,7 +59,7 @@ proptest! {
         let mut rng = sampsim::util::rng::Xoshiro256StarStar::seed_from_u64(seed);
         let dim = 3;
         let data: Vec<f64> = (0..n * dim).map(|_| rng.next_f64() * 10.0).collect();
-        let r = kmeans(&data, n, dim, k, 50, seed);
+        let r = kmeans(&data, n, dim, k, 50, seed).unwrap();
         prop_assert!(r.inertia >= 0.0);
         prop_assert_eq!(r.assignments.len(), n);
         prop_assert!(r.assignments.iter().all(|&a| (a as usize) < r.k));
