@@ -8,6 +8,7 @@
 //! --artifacts <dir>  artifact cache directory (default: ./artifacts)
 //! --no-cache         recompute instead of using the artifact cache
 //! --bench <name>     restrict suite figures to one benchmark (substring)
+//! --jobs <n|auto>    worker threads for uncached benchmarks (default: auto)
 //! --quiet            suppress progress lines
 //! ```
 //!
@@ -21,6 +22,7 @@ use sampsim_core::artifacts::ArtifactStore;
 use sampsim_core::bench_result::BenchResult;
 use sampsim_core::experiments::Study;
 use sampsim_core::CoreError;
+use sampsim_exec::Jobs;
 use sampsim_spec2017::BenchmarkId;
 use sampsim_util::scale::Scale;
 
@@ -33,6 +35,8 @@ pub struct Cli {
     pub artifacts: Option<String>,
     /// Benchmark-name substring filter.
     pub filter: Option<String>,
+    /// Worker threads for the benchmark fan-out.
+    pub jobs: Jobs,
     /// Progress printing.
     pub verbose: bool,
 }
@@ -48,6 +52,7 @@ impl Cli {
         let mut scale = Scale::from_env();
         let mut artifacts = Some("artifacts".to_string());
         let mut filter = None;
+        let mut jobs = Jobs::Auto;
         let mut verbose = true;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -70,10 +75,18 @@ impl Cli {
                         die("--bench needs a name");
                     }));
                 }
+                "--jobs" => {
+                    let v = args.next().unwrap_or_default();
+                    match v.parse::<Jobs>() {
+                        Ok(j) => jobs = j,
+                        Err(e) => die(&e),
+                    }
+                }
                 "--quiet" => verbose = false,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale <f> --artifacts <dir> --no-cache --bench <name> --quiet"
+                        "flags: --scale <f> --artifacts <dir> --no-cache --bench <name> \
+                         --jobs <n|auto> --quiet"
                     );
                     std::process::exit(0);
                 }
@@ -84,6 +97,7 @@ impl Cli {
             scale,
             artifacts,
             filter,
+            jobs,
             verbose,
         }
     }
@@ -113,17 +127,19 @@ impl Cli {
             .collect()
     }
 
-    /// Computes (or loads) results for the selected benchmarks.
+    /// Computes (or loads) results for the selected benchmarks, fanning
+    /// uncached benchmarks out over `--jobs` workers. Results come back
+    /// in Table II order and each benchmark's simulation is internally
+    /// deterministic, so the output is identical for every job count.
     ///
     /// # Errors
     ///
-    /// Returns the first simulation/store failure.
+    /// Returns the lowest-indexed simulation/store failure (the one a
+    /// serial loop would hit first).
     pub fn results(&self) -> Result<Vec<BenchResult>, CoreError> {
         let study = self.study();
-        self.benchmarks()
-            .into_iter()
-            .map(|id| study.bench_result(id))
-            .collect()
+        let benchmarks = self.benchmarks();
+        sampsim_exec::try_parallel_map(self.jobs, &benchmarks, |_, &id| study.bench_result(id))
     }
 }
 
@@ -176,13 +192,20 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let cli = parse("--scale 0.5 --no-cache --bench mcf_r --quiet");
+        let cli = parse("--scale 0.5 --no-cache --bench mcf_r --jobs 3 --quiet");
         assert_eq!(cli.scale.factor(), 0.5);
         assert!(cli.artifacts.is_none());
         assert!(!cli.verbose);
+        assert_eq!(cli.jobs, Jobs::new(3).unwrap());
         let benches = cli.benchmarks();
         assert_eq!(benches.len(), 1);
         assert_eq!(benches[0].name(), "505.mcf_r");
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto() {
+        assert_eq!(parse("").jobs, Jobs::Auto);
+        assert_eq!(parse("--jobs auto").jobs, Jobs::Auto);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use sampsim_exec::Jobs;
 use sampsim_util::scale::Scale;
 
 /// Usage text shown by `sampsim help` and on parse errors.
@@ -8,6 +9,7 @@ usage: sampsim <command> [flags]
 
 commands:
   list                         list the synthetic SPEC CPU2017 suite
+  run <bench>                  full sampling study, machine-readable JSON
   profile <bench>              run the whole benchmark under ldstmix+allcache
   simpoints <bench> [-o DIR]   find simulation points; save pinballs to DIR
   replay <FILE>                replay saved regional pinballs with tools
@@ -20,6 +22,8 @@ flags:
   --scale <f>    workload scale factor (default: $SAMPSIM_SCALE or 1.0)
   --slice <n>    slice size in instructions (default: 10000, scaled)
   --maxk <n>     maximum cluster count (default: 35)
+  --jobs <n>     worker threads ('auto' or >= 1; default: auto). Results
+                 are bit-identical for every job count.
 
 lint flags:
   --format <human|json>   output format (default: human)
@@ -37,6 +41,8 @@ pub struct Options {
     pub slice: Option<u64>,
     /// MaxK override.
     pub maxk: Option<usize>,
+    /// Worker threads for parallel replay/profiling.
+    pub jobs: Jobs,
 }
 
 impl Default for Options {
@@ -45,6 +51,7 @@ impl Default for Options {
             scale: Scale::from_env(),
             slice: None,
             maxk: None,
+            jobs: Jobs::Auto,
         }
     }
 }
@@ -63,6 +70,12 @@ pub struct Parsed {
 pub enum Command {
     /// `sampsim list`
     List,
+    /// `sampsim run <bench>` — the full sampling study with deterministic
+    /// JSON output.
+    Run {
+        /// Benchmark name or substring.
+        bench: String,
+    },
     /// `sampsim profile <bench>`
     Profile {
         /// Benchmark name or substring.
@@ -152,6 +165,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
                 let v = iter.next().ok_or("--maxk needs a value")?;
                 options.maxk = Some(v.parse().map_err(|_| format!("bad --maxk value: {v}"))?);
             }
+            "--jobs" => {
+                let v = iter.next().ok_or("--jobs needs a value")?;
+                options.jobs = v.parse()?;
+            }
             "-o" | "--out" => {
                 out = Some(iter.next().ok_or("-o needs a path")?);
             }
@@ -180,6 +197,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let command = match positionals.next().as_deref() {
         None | Some("help") => Command::Help,
         Some("list") => Command::List,
+        Some("run") => Command::Run {
+            bench: positionals.next().ok_or("run needs a benchmark")?,
+        },
         Some("profile") => Command::Profile {
             bench: positionals.next().ok_or("profile needs a benchmark")?,
         },
@@ -248,10 +268,32 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let p = parse_str("report gcc_r --scale 0.5 --slice 2000 --maxk 10").unwrap();
+        let p = parse_str("report gcc_r --scale 0.5 --slice 2000 --maxk 10 --jobs 4").unwrap();
         assert_eq!(p.options.scale.factor(), 0.5);
         assert_eq!(p.options.slice, Some(2000));
         assert_eq!(p.options.maxk, Some(10));
+        assert_eq!(p.options.jobs, Jobs::new(4).unwrap());
+    }
+
+    #[test]
+    fn parses_run_and_jobs() {
+        let p = parse_str("run mcf_r --jobs 2").unwrap();
+        assert_eq!(
+            p.command,
+            Command::Run {
+                bench: "mcf_r".into()
+            }
+        );
+        assert_eq!(p.options.jobs, Jobs::new(2).unwrap());
+        assert_eq!(parse_str("run mcf_r").unwrap().options.jobs, Jobs::Auto);
+        assert_eq!(
+            parse_str("run mcf_r --jobs auto").unwrap().options.jobs,
+            Jobs::Auto
+        );
+        assert!(parse_str("run").is_err(), "missing benchmark");
+        assert!(parse_str("run mcf_r --jobs 0").is_err(), "zero jobs");
+        assert!(parse_str("run mcf_r --jobs nope").is_err());
+        assert!(parse_str("run mcf_r --jobs").is_err(), "missing value");
     }
 
     #[test]

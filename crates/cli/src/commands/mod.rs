@@ -84,6 +84,101 @@ pub fn list() -> CmdResult {
     Ok(())
 }
 
+/// `sampsim run <bench>` — profile, cluster, replay, aggregate; print one
+/// deterministic JSON document to stdout.
+///
+/// The output contains only deterministic quantities (no wall-clock, no
+/// resolved worker count), and every float is printed with Rust's
+/// shortest-round-trip formatting, so the bytes on stdout are identical
+/// for every `--jobs` value. The CLI integration tests rely on this.
+pub fn run(bench: &str, options: &Options) -> CmdResult {
+    let spec = find_benchmark(bench)?;
+    let program = build(&spec, options);
+    let mut config = pipeline_config(options);
+    config.profile_cache = Some(configs::allcache_table1());
+    eprintln!(
+        "running the sampling study for {} ({} instructions, jobs = {})...",
+        spec.name(),
+        with_commas(program.total_insts()),
+        options.jobs
+    );
+    let result = Pipeline::new(config).run_jobs(&program, options.jobs)?;
+    let regions = runs::run_regions_functional_jobs(
+        &program,
+        &result.regional,
+        configs::allcache_table1(),
+        WarmupMode::Checkpointed,
+        options.jobs,
+    )?;
+    let agg = aggregate_weighted(&regions);
+    let whole = whole_as_aggregate(&result.whole_metrics);
+    println!("{}", run_json(spec.name(), &result, &whole, &agg));
+    Ok(())
+}
+
+/// Renders the `sampsim run` JSON document. Hand-assembled (the build has
+/// no serializer dependency); all floats go through `{:?}` so the text is
+/// the shortest exact representation of the bit pattern.
+fn run_json(
+    name: &str,
+    result: &sampsim_core::pipeline::PipelineResult,
+    whole: &AggregatedMetrics,
+    regional: &AggregatedMetrics,
+) -> String {
+    fn json_f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn mix(m: &[f64; 4]) -> String {
+        let parts: Vec<String> = m.iter().map(|v| json_f(*v)).collect();
+        format!("[{}]", parts.join(","))
+    }
+    fn agg_obj(a: &AggregatedMetrics) -> String {
+        let mut fields = vec![
+            format!("\"instructions\":{}", a.total_instructions),
+            format!("\"mix_pct\":{}", mix(&a.mix_pct)),
+        ];
+        if let Some(mr) = a.miss_rates {
+            fields.push(format!(
+                "\"miss_rates_pct\":{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l3\":{}}}",
+                json_f(mr.l1i),
+                json_f(mr.l1d),
+                json_f(mr.l2),
+                json_f(mr.l3)
+            ));
+            fields.push(format!("\"l3_accesses\":{}", a.total_l3_accesses));
+        }
+        if let Some(cpi) = a.cpi {
+            fields.push(format!("\"cpi\":{}", json_f(cpi)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+    let points: Vec<String> = result
+        .regional
+        .iter()
+        .map(|pb| {
+            format!(
+                "{{\"slice\":{},\"cluster\":{},\"weight\":{}}}",
+                pb.slice_index,
+                pb.cluster,
+                json_f(pb.weight)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"benchmark\":\"{}\",\"slices\":{},\"k\":{},\"points\":[{}],\"whole\":{},\"regional\":{}}}",
+        name,
+        result.num_slices,
+        result.simpoints.k,
+        points.join(","),
+        agg_obj(whole),
+        agg_obj(regional)
+    )
+}
+
 /// `sampsim profile <bench>`.
 pub fn profile(bench: &str, options: &Options) -> CmdResult {
     let spec = find_benchmark(bench)?;
@@ -168,11 +263,12 @@ pub fn replay(path: &str, options: &Options) -> CmdResult {
         regions.len(),
         first.program_name
     );
-    let metrics = runs::run_regions_functional(
+    let metrics = runs::run_regions_functional_jobs(
         &program,
         &regions,
         configs::allcache_table1(),
         WarmupMode::Checkpointed,
+        options.jobs,
     )?;
     let agg = aggregate_weighted(&metrics);
     print_aggregate(&format!("{} regional run", first.program_name), &agg);
@@ -196,7 +292,7 @@ pub fn report(bench: &str, options: &Options) -> CmdResult {
     let mut pp = config;
     pp.profile_cache = Some(configs::allcache_table1());
     let pipeline = Pipeline::new(pp.clone());
-    let result = pipeline.run(&program)?;
+    let result = pipeline.run_jobs(&program, options.jobs)?;
     let whole = whole_as_aggregate(&result.whole_metrics);
     let runs_spec: [(&str, WarmupMode); 2] = [
         ("Regional (cold)", WarmupMode::None),
@@ -233,11 +329,12 @@ pub fn report(bench: &str, options: &Options) -> CmdResult {
     };
     push(&mut table, "Whole", &whole);
     for (label, mode) in runs_spec {
-        let metrics = runs::run_regions_functional(
+        let metrics = runs::run_regions_functional_jobs(
             &program,
             &result.regional,
             configs::allcache_table1(),
             mode,
+            options.jobs,
         )?;
         push(&mut table, label, &aggregate_weighted(&metrics));
     }
@@ -311,6 +408,7 @@ mod tests {
             scale: sampsim_util::scale::Scale::new(0.5),
             slice: Some(1234),
             maxk: Some(7),
+            ..Options::default()
         };
         let c = pipeline_config(&opts);
         assert_eq!(c.slice_size, 1234);
@@ -319,6 +417,7 @@ mod tests {
             scale: sampsim_util::scale::Scale::new(0.5),
             slice: None,
             maxk: None,
+            ..Options::default()
         });
         assert_eq!(defaults.slice_size, 5_000);
     }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sampsim list                          benchmarks in the suite
+//! sampsim run      <bench>              full sampling study, JSON output
 //! sampsim profile  <bench>              whole-run profile (mix, caches)
 //! sampsim simpoints <bench> -o <dir>    find simulation points, save pinballs
 //! sampsim replay   <dir>/<bench>.pb     replay saved pinballs with tools
@@ -12,7 +13,8 @@
 //! ```
 //!
 //! Global flags: `--scale <f>` (workload scale, default `$SAMPSIM_SCALE`
-//! or 1.0), `--slice <n>`, `--maxk <n>`.
+//! or 1.0), `--slice <n>`, `--maxk <n>`, `--jobs <n|auto>` (worker
+//! threads; results are bit-identical for every job count).
 
 use std::process::ExitCode;
 
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     };
     let result = match parsed.command {
         args::Command::List => commands::list(),
+        args::Command::Run { bench } => commands::run(&bench, &parsed.options),
         args::Command::Profile { bench } => commands::profile(&bench, &parsed.options),
         args::Command::SimPoints { bench, out } => {
             commands::simpoints(&bench, out.as_deref(), &parsed.options)

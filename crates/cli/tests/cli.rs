@@ -219,3 +219,83 @@ fn replay_rejects_wrong_scale() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("captured from program"), "{err}");
 }
+
+#[test]
+fn jobs_zero_is_a_usage_error() {
+    let out = sampsim()
+        .args(["run", "mcf_r", "--scale", "0.001", "--jobs", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--jobs must be at least 1"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn jobs_garbage_is_a_usage_error() {
+    for bad in ["-3", "two", ""] {
+        let out = sampsim()
+            .args(["run", "mcf_r", "--jobs", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad:?} must exit 2");
+    }
+}
+
+#[test]
+fn jobs_accepts_explicit_counts_and_auto() {
+    for jobs in ["1", "2", "7", "auto"] {
+        let out = sampsim()
+            .args([
+                "run",
+                "omnetpp_s",
+                "--scale",
+                "0.002",
+                "--maxk",
+                "6",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn run_output_is_byte_identical_across_job_counts() {
+    // The determinism contract at the user-visible boundary: the JSON on
+    // stdout must be byte-for-byte identical for --jobs 1, an explicit
+    // count, and the (auto) default.
+    let args = ["run", "omnetpp_s", "--scale", "0.002", "--maxk", "6"];
+    let capture = |jobs: Option<&str>| -> Vec<u8> {
+        let mut cmd = sampsim();
+        cmd.args(args);
+        if let Some(j) = jobs {
+            cmd.args(["--jobs", j]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "jobs {jobs:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = capture(Some("1"));
+    let text = String::from_utf8(serial.clone()).unwrap();
+    assert!(
+        text.starts_with("{\"benchmark\":\"620.omnetpp_s\""),
+        "{text}"
+    );
+    assert!(text.contains("\"points\":"), "{text}");
+    assert!(text.contains("\"miss_rates_pct\""), "{text}");
+    assert!(!text.contains("wall"), "wall-clock leaked into the output");
+    assert_eq!(serial, capture(Some("3")), "--jobs 3 diverged");
+    assert_eq!(serial, capture(None), "default jobs diverged");
+}

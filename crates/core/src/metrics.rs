@@ -26,6 +26,20 @@ pub struct RunMetrics {
     pub wall_seconds: f64,
 }
 
+impl RunMetrics {
+    /// Equality over every deterministic field — everything except
+    /// `wall_seconds`, which measures the host and legitimately differs
+    /// between runs. This is the comparison the parallel differential
+    /// harness uses: two runs of the same work must agree bit-for-bit
+    /// here regardless of the job count.
+    pub fn deterministic_eq(&self, other: &Self) -> bool {
+        self.instructions == other.instructions
+            && self.mix == other.mix
+            && self.cache == other.cache
+            && self.timing == other.timing
+    }
+}
+
 impl Encode for RunMetrics {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.instructions);

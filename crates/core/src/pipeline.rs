@@ -4,8 +4,10 @@
 use crate::error::CoreError;
 use crate::metrics::RunMetrics;
 use sampsim_analyze::{lint_sampling_config, Report, SamplingConfig};
-use sampsim_cache::HierarchyConfig;
-use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix};
+use sampsim_cache::{HierarchyConfig, HierarchyStats};
+use sampsim_exec::Jobs;
+use sampsim_pin::engine;
+use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix, MixCounts};
 use sampsim_pinball::{RegionalPinball, WarmupRecord, WholePinball};
 use sampsim_simpoint::bbv::Bbv;
 use sampsim_simpoint::{SimPointAnalysis, SimPointOptions, SimPointsResult};
@@ -99,13 +101,25 @@ impl Pipeline {
     /// run), or [`CoreError::SimPoint`] when the program is too short to
     /// produce a single slice.
     pub fn run(&self, program: &Program) -> Result<PipelineResult, CoreError> {
+        self.run_jobs(program, sampsim_exec::SERIAL)
+    }
+
+    /// [`Pipeline::run`] with the profiling pass sharded over `jobs`
+    /// workers. The result is bit-identical to the serial run for every
+    /// job count (see `docs/parallelism.md` for the argument and
+    /// `tests/parallel_differential.rs` for the proof).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Pipeline::run`].
+    pub fn run_jobs(&self, program: &Program, jobs: Jobs) -> Result<PipelineResult, CoreError> {
         let expected_slices = (self.config.slice_size > 0)
             .then(|| program.total_insts().div_ceil(self.config.slice_size));
         let report = self.config.lint(expected_slices);
         if report.has_errors() {
             return Err(CoreError::Config(report.into_diagnostics()));
         }
-        let (bbvs, starts, whole_metrics) = self.profile(program);
+        let (bbvs, starts, whole_metrics) = self.profile_jobs(program, jobs);
         let num_slices = bbvs.len() as u64;
 
         // -- Clustering.
@@ -177,41 +191,195 @@ impl Pipeline {
     /// and (when `profile_cache` is set) `allcache` statistics. The design
     /// sweeps re-cluster this profile many ways without re-executing.
     pub fn profile(&self, program: &Program) -> (Vec<Bbv>, Vec<Cursor>, RunMetrics) {
+        self.profile_jobs(program, sampsim_exec::SERIAL)
+    }
+
+    /// [`Pipeline::profile`] sharded over `jobs` workers.
+    ///
+    /// The slice range is split into one contiguous shard per worker. A
+    /// serial prologue fast-forwards an untooled executor to capture each
+    /// shard's resume cursor (checkpoint/resume is bit-exact, so a shard
+    /// observes exactly the instruction stream the whole-program walk
+    /// would have produced); shards then profile their slices
+    /// concurrently and the per-shard BBVs, slice cursors and mix counts
+    /// are stitched back together in slice order. The cache simulator has
+    /// sequentially-dependent state across the whole run, so when
+    /// `profile_cache` is set a dedicated task walks the full program
+    /// with only the cache tool, overlapped with the BBV shards.
+    ///
+    /// Every output except `wall_seconds` is bit-identical to the serial
+    /// pass for every job count.
+    pub fn profile_jobs(
+        &self,
+        program: &Program,
+        jobs: Jobs,
+    ) -> (Vec<Bbv>, Vec<Cursor>, RunMetrics) {
         let slice = self.config.slice_size;
         assert!(slice > 0, "slice size must be positive");
         let started = Instant::now();
+        let num_slices = program.total_insts().div_ceil(slice);
+        // One shard per worker; with the whole-run cache task present,
+        // reserve a worker for it. Below two slices (or one worker)
+        // sharding cannot help.
+        let workers = jobs.get();
+        let shard_workers = if self.config.profile_cache.is_some() {
+            workers.saturating_sub(1).max(1)
+        } else {
+            workers
+        };
+        let num_shards = (shard_workers as u64).min(num_slices).max(1);
+        if workers <= 1 || num_shards <= 1 {
+            return self.profile_serial(program, started);
+        }
+
+        let shards = shard_plan(num_slices, num_shards);
+        // Serial prologue: fast-forward (untooled) to each shard start.
+        let mut tasks: Vec<ProfileTask> = Vec::with_capacity(shards.len() + 1);
+        if self.config.profile_cache.is_some() {
+            tasks.push(ProfileTask::Cache);
+        }
         let mut exec = Executor::new(program);
-        let mut bbv_tool = BbvTool::new(program.blocks().len());
-        let mut mix = LdStMix::new();
-        let mut cache = self.config.profile_cache.map(CacheSim::new);
-        let mut bbvs = Vec::new();
-        let mut starts = Vec::new();
-        loop {
-            let start = exec.cursor();
-            let ran = match cache.as_mut() {
-                Some(cs) => {
-                    sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix, cs])
-                }
-                None => sampsim_pin::engine::run(&mut exec, slice, &mut [&mut bbv_tool, &mut mix]),
-            };
-            if ran == 0 {
-                break;
+        for (i, shard) in shards.iter().enumerate() {
+            tasks.push(ProfileTask::Shard {
+                start: exec.cursor(),
+                slices: shard.count,
+            });
+            if i + 1 < shards.len() {
+                exec.skip(shard.count * slice);
             }
-            starts.push(start);
-            bbvs.push(Bbv::from_counts(bbv_tool.harvest()));
-            if ran < slice {
-                break;
+        }
+
+        let outputs = sampsim_exec::parallel_map(jobs, &tasks, |_, task| match task {
+            ProfileTask::Cache => {
+                let config = self
+                    .config
+                    .profile_cache
+                    .expect("cache task implies config");
+                let mut cs = CacheSim::new(config);
+                let mut exec = Executor::new(program);
+                engine::run_one(&mut exec, u64::MAX, &mut cs);
+                ProfileOutput::Cache(cs.stats())
+            }
+            ProfileTask::Shard { start, slices } => {
+                let mut exec = Executor::with_cursor(program, start.clone());
+                let mut tools = (BbvTool::new(program.blocks().len()), LdStMix::new());
+                let mut bbvs = Vec::with_capacity(*slices as usize);
+                let mut starts = Vec::with_capacity(*slices as usize);
+                let ran =
+                    engine::run_slices(&mut exec, slice, *slices, &mut tools, |t, start, _| {
+                        starts.push(start);
+                        bbvs.push(Bbv::from_counts(t.0.harvest()));
+                    });
+                ProfileOutput::Shard {
+                    bbvs,
+                    starts,
+                    mix: *tools.1.counts(),
+                    ran,
+                }
+            }
+        });
+
+        // Deterministic reduction: shard outputs are concatenated in
+        // slice order (the task list is ordered by shard start).
+        let mut bbvs = Vec::with_capacity(num_slices as usize);
+        let mut starts = Vec::with_capacity(num_slices as usize);
+        let mut mix_total = MixCounts::new();
+        let mut instructions = 0u64;
+        let mut cache_stats: Option<HierarchyStats> = None;
+        for out in outputs {
+            match out {
+                ProfileOutput::Cache(stats) => cache_stats = Some(stats),
+                ProfileOutput::Shard {
+                    bbvs: b,
+                    starts: s,
+                    mix,
+                    ran,
+                } => {
+                    bbvs.extend(b);
+                    starts.extend(s);
+                    mix_total.merge(&mix);
+                    instructions += ran;
+                }
             }
         }
         let metrics = RunMetrics {
-            instructions: exec.retired(),
-            mix: *mix.counts(),
-            cache: cache.map(|c| c.stats()),
+            instructions,
+            mix: mix_total,
+            cache: cache_stats,
             timing: None,
             wall_seconds: started.elapsed().as_secs_f64(),
         };
         (bbvs, starts, metrics)
     }
+
+    /// The single-threaded profiling pass (the reference semantics every
+    /// sharded run must reproduce bit-for-bit).
+    fn profile_serial(
+        &self,
+        program: &Program,
+        started: Instant,
+    ) -> (Vec<Bbv>, Vec<Cursor>, RunMetrics) {
+        let slice = self.config.slice_size;
+        let mut exec = Executor::new(program);
+        let mut tools = (
+            BbvTool::new(program.blocks().len()),
+            LdStMix::new(),
+            self.config.profile_cache.map(CacheSim::new),
+        );
+        let mut bbvs = Vec::new();
+        let mut starts = Vec::new();
+        engine::run_slices(&mut exec, slice, u64::MAX, &mut tools, |t, start, _| {
+            starts.push(start);
+            bbvs.push(Bbv::from_counts(t.0.harvest()));
+        });
+        let metrics = RunMetrics {
+            instructions: exec.retired(),
+            mix: *tools.1.counts(),
+            cache: tools.2.map(|c| c.stats()),
+            timing: None,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        };
+        (bbvs, starts, metrics)
+    }
+}
+
+/// One unit of parallel profiling work.
+enum ProfileTask {
+    /// Walk the whole program with the cache simulator only (its state is
+    /// sequentially dependent and cannot shard).
+    Cache,
+    /// Profile `slices` slices starting from the checkpoint `start`.
+    Shard { start: Cursor, slices: u64 },
+}
+
+/// The result of one [`ProfileTask`].
+enum ProfileOutput {
+    Cache(HierarchyStats),
+    Shard {
+        bbvs: Vec<Bbv>,
+        starts: Vec<Cursor>,
+        mix: MixCounts,
+        ran: u64,
+    },
+}
+
+/// A contiguous range of slices owned by one shard.
+struct Shard {
+    count: u64,
+}
+
+/// Splits `num_slices` into `num_shards` contiguous, non-empty, nearly
+/// equal ranges (the first `num_slices % num_shards` shards take one
+/// extra slice).
+fn shard_plan(num_slices: u64, num_shards: u64) -> Vec<Shard> {
+    debug_assert!(num_shards >= 1 && num_shards <= num_slices);
+    let base = num_slices / num_shards;
+    let extra = num_slices % num_shards;
+    (0..num_shards)
+        .map(|i| Shard {
+            count: base + u64::from(i < extra),
+        })
+        .collect()
 }
 
 /// Selects warmup slices for the region at `idx`: the most recent
@@ -390,5 +558,85 @@ mod tests {
         let b = Pipeline::new(config()).run(&p).unwrap();
         assert_eq!(a.simpoints, b.simpoints);
         assert_eq!(a.regional, b.regional);
+    }
+
+    #[test]
+    fn single_slice_program_collapses_to_one_point() {
+        // Edge case: slice_size == total_insts, so the whole program is one
+        // slice — one cluster, one point of weight 1, no warmup to attach.
+        let p = WorkloadSpec::builder("one-slice", 9)
+            .total_insts(5_000)
+            .phase(PhaseSpec::balanced(1.0))
+            .build()
+            .build();
+        let cfg = PinPointsConfig {
+            slice_size: 5_000,
+            simpoint: SimPointOptions {
+                max_k: 10,
+                ..Default::default()
+            },
+            warmup_slices: 3,
+            profile_cache: None,
+        };
+        let r = Pipeline::new(cfg).run(&p).unwrap();
+        assert_eq!(r.num_slices, 1);
+        assert_eq!(r.regional.len(), 1);
+        let pb = &r.regional[0];
+        assert_eq!(pb.slice_index, 0);
+        assert_eq!(pb.length, 5_000);
+        assert!((pb.weight - 1.0).abs() < 1e-12);
+        assert!(pb.warmup.is_empty(), "slice 0 has no predecessors to warm");
+        // A checkpointed-warmup replay of the single region must degrade
+        // gracefully to a plain replay of the whole program.
+        let m = crate::runs::run_region_functional(
+            &p,
+            pb,
+            configs::allcache_table1(),
+            crate::runs::WarmupMode::Checkpointed,
+        )
+        .unwrap();
+        assert_eq!(m.instructions, 5_000);
+        assert!(m.deterministic_eq(&m));
+    }
+
+    #[test]
+    fn simpoint_in_slice_zero_with_warmup_configured() {
+        // Edge case: a simulation point in slice 0 while warmup_slices > 0.
+        // There is nothing before slice 0, so the pinball must carry no
+        // warmup records and still replay under every warmup mode.
+        let p = program();
+        let pipe = Pipeline::new(config());
+        let (bbvs, starts, _) = pipe.profile(&p);
+        let n = bbvs.len();
+        assert!(warmup_chunks(0, 0, &vec![0; n], &starts, 1_000, 3).is_empty());
+        let simpoints = SimPointsResult {
+            k: 1,
+            slice_size: 1_000,
+            assignments: vec![0; n],
+            points: vec![sampsim_simpoint::select::SimPoint {
+                slice: 0,
+                cluster: 0,
+                weight: 1.0,
+            }],
+            bic_scores: Vec::new(),
+            avg_variance: 0.0,
+        };
+        let regional = pipe.regionals_for(&p, &simpoints, &starts);
+        assert_eq!(regional.len(), 1);
+        assert_eq!(regional[0].slice_index, 0);
+        assert!(regional[0].warmup.is_empty());
+        for mode in [
+            crate::runs::WarmupMode::None,
+            crate::runs::WarmupMode::Checkpointed,
+        ] {
+            let m = crate::runs::run_region_functional(
+                &p,
+                &regional[0],
+                configs::allcache_table1(),
+                mode,
+            )
+            .unwrap();
+            assert_eq!(m.instructions, 1_000, "{mode:?}");
+        }
     }
 }

@@ -11,6 +11,7 @@
 use crate::error::CoreError;
 use crate::metrics::RunMetrics;
 use sampsim_cache::HierarchyConfig;
+use sampsim_exec::Jobs;
 use sampsim_pin::engine;
 use sampsim_pin::tools::{CacheSim, LdStMix};
 use sampsim_pinball::RegionalPinball;
@@ -110,15 +111,33 @@ pub fn run_regions_functional(
     cache: HierarchyConfig,
     warmup: WarmupMode,
 ) -> Result<Vec<(RunMetrics, f64)>, CoreError> {
-    pinballs
-        .iter()
-        .map(|pb| {
-            Ok((
-                run_region_functional(program, pb, cache, warmup)?,
-                pb.weight,
-            ))
-        })
-        .collect()
+    run_regions_functional_jobs(program, pinballs, cache, warmup, sampsim_exec::SERIAL)
+}
+
+/// [`run_regions_functional`] fanned out over `jobs` workers.
+///
+/// Regions are mutually independent — each replay builds a private cache
+/// hierarchy from its own pinball — so this is bit-identical to the
+/// serial loop for every job count: results come back in pinball order,
+/// and on failure the lowest-indexed error is returned, exactly as the
+/// serial loop would have surfaced it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Pinball`] on a program mismatch.
+pub fn run_regions_functional_jobs(
+    program: &Program,
+    pinballs: &[RegionalPinball],
+    cache: HierarchyConfig,
+    warmup: WarmupMode,
+    jobs: Jobs,
+) -> Result<Vec<(RunMetrics, f64)>, CoreError> {
+    sampsim_exec::try_parallel_map(jobs, pinballs, |_, pb| {
+        Ok((
+            run_region_functional(program, pb, cache, warmup)?,
+            pb.weight,
+        ))
+    })
 }
 
 /// Runs the complete execution through the timing model.
@@ -194,15 +213,36 @@ pub fn run_regions_timing(
     hierarchy: HierarchyConfig,
     warmup: WarmupMode,
 ) -> Result<Vec<(RunMetrics, f64)>, CoreError> {
-    pinballs
-        .iter()
-        .map(|pb| {
-            Ok((
-                run_region_timing(program, pb, core, hierarchy, warmup)?,
-                pb.weight,
-            ))
-        })
-        .collect()
+    run_regions_timing_jobs(
+        program,
+        pinballs,
+        core,
+        hierarchy,
+        warmup,
+        sampsim_exec::SERIAL,
+    )
+}
+
+/// [`run_regions_timing`] fanned out over `jobs` workers; see
+/// [`run_regions_functional_jobs`] for the determinism argument.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Pinball`] on a program mismatch.
+pub fn run_regions_timing_jobs(
+    program: &Program,
+    pinballs: &[RegionalPinball],
+    core: CoreConfig,
+    hierarchy: HierarchyConfig,
+    warmup: WarmupMode,
+    jobs: Jobs,
+) -> Result<Vec<(RunMetrics, f64)>, CoreError> {
+    sampsim_exec::try_parallel_map(jobs, pinballs, |_, pb| {
+        Ok((
+            run_region_timing(program, pb, core, hierarchy, warmup)?,
+            pb.weight,
+        ))
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@
 //!   (every paper table/figure is printed through this).
 //! * [`plot`] — ASCII line charts for trend exhibits (Figs. 4 and 9).
 //! * [`hash`] — FNV-1a hashing for content digests.
+//! * [`prop`] — a minimal property-based testing harness (deterministic
+//!   case generation, no external dependencies) used by the workspace
+//!   test suites.
 //! * [`scale`] — the global workload scaling knob described in DESIGN.md.
 //!
 //! # Example
@@ -32,6 +35,7 @@
 pub mod codec;
 pub mod hash;
 pub mod plot;
+pub mod prop;
 pub mod rng;
 pub mod scale;
 pub mod stats;

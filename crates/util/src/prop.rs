@@ -1,0 +1,142 @@
+//! A minimal property-based testing harness.
+//!
+//! The offline build cannot depend on `proptest`, so this module provides
+//! the subset the test suite actually needs: deterministic case
+//! generation from a named seed, uniform draws over ranges, random
+//! vectors, and failure messages that identify the failing case so it
+//! can be replayed in isolation.
+//!
+//! ```
+//! use sampsim_util::prop::{run_cases, Gen};
+//!
+//! run_cases("addition-commutes", 32, |g| {
+//!     let (a, b) = (g.u64_in(0..1_000), g.u64_in(0..1_000));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Unlike `proptest` there is no shrinking: cases are small by
+//! construction, and the failing case index (printed on panic) replays
+//! deterministically via [`Gen::for_case`].
+
+use crate::hash::Fnv64;
+use crate::rng::Xoshiro256StarStar;
+use std::ops::Range;
+
+/// A deterministic source of arbitrary values for one test case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Xoshiro256StarStar,
+}
+
+impl Gen {
+    /// The generator for case `case` of the property named `name` —
+    /// exactly the generator [`run_cases`] hands the closure, for
+    /// replaying a reported failure in isolation.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h = Fnv64::new();
+        h.write_str(name);
+        h.write_u64(u64::from(case));
+        Self {
+            rng: Xoshiro256StarStar::seed_from_u64(h.finish()),
+        }
+    }
+
+    /// A uniform draw from `range` (half-open, like the stdlib).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.next_below(range.end - range.start)
+    }
+
+    /// A uniform `usize` draw from `range`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `f64` draw from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.next_f64() * (range.end - range.start)
+    }
+
+    /// A vector with a length drawn from `len` whose elements come from
+    /// `item`.
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut item: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| item(self)).collect()
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+}
+
+/// Runs `property` for `cases` deterministic cases. A panicking case is
+/// reported by name and index (replay it with [`Gen::for_case`]) and the
+/// panic is propagated so the enclosing `#[test]` fails normally.
+///
+/// # Panics
+///
+/// Propagates the first failing case's panic.
+pub fn run_cases(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let mut gen = Gen::for_case(name, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (replay with Gen::for_case(\"{name}\", {case}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Gen::for_case("det", 3);
+        let mut b = Gen::for_case("det", 3);
+        for _ in 0..100 {
+            assert_eq!(a.u64_in(0..1_000_000), b.u64_in(0..1_000_000));
+        }
+        // Different case index, different stream.
+        let mut c = Gen::for_case("det", 4);
+        let same =
+            (0..100).all(|_| Gen::for_case("det", 3).u64_in(0..u64::MAX) == c.u64_in(0..u64::MAX));
+        assert!(!same);
+    }
+
+    #[test]
+    fn draws_respect_ranges() {
+        run_cases("ranges", 64, |g| {
+            let x = g.u64_in(10..20);
+            assert!((10..20).contains(&x));
+            let f = g.f64_in(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let v = g.vec_of(1..9, |g| g.usize_in(0..3));
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 3));
+        });
+    }
+
+    #[test]
+    fn failing_case_propagates_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            run_cases("always-fails", 8, |_| panic!("boom"));
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (property suite)"
+cargo test -q -p sampsim --features property-tests --test property_tests
+
 echo "==> sampsim lint --deny-warnings"
 # Small scale keeps the suite-wide workload build fast; findings do not
 # depend on scale (run-length rules are proportionality checks).

@@ -1,0 +1,283 @@
+//! Differential harness for the parallel execution layer.
+//!
+//! The contract under test: for every job count, the parallel profiling
+//! pass and the parallel regional replays produce output **bit-identical**
+//! to the serial reference — same BBV matrices, same slice checkpoints,
+//! same simulation-point selection and weights, same cache miss counts,
+//! same aggregated CPI. No tolerances anywhere; floats are compared by
+//! their bit patterns. The only field allowed to differ is
+//! `wall_seconds`, which measures the host rather than the simulation
+//! (`RunMetrics::deterministic_eq` excludes exactly that field).
+//!
+//! The grid crosses workload seeds and real suite benchmarks with job
+//! counts 1, 2, 7 and the machine's available parallelism, so the suite
+//! exercises fewer-workers-than-shards, more-workers-than-regions and
+//! the dedicated cache-task path regardless of the host's core count.
+
+use sampsim::cache::configs;
+use sampsim::core::metrics::{aggregate_weighted, RunMetrics};
+use sampsim::core::runs::{run_regions_functional_jobs, run_regions_timing_jobs, WarmupMode};
+use sampsim::core::{PinPointsConfig, Pipeline};
+use sampsim::exec::Jobs;
+use sampsim::simpoint::SimPointOptions;
+use sampsim::spec2017::{benchmark, BenchmarkId};
+use sampsim::uarch::CoreConfig;
+use sampsim::util::scale::Scale;
+use sampsim::workload::spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};
+use sampsim::workload::Program;
+
+/// The job counts every comparison is repeated for.
+fn job_grid() -> Vec<Jobs> {
+    vec![
+        Jobs::new(1).unwrap(),
+        Jobs::new(2).unwrap(),
+        Jobs::new(7).unwrap(),
+        Jobs::Auto,
+    ]
+}
+
+/// Synthetic programs with different phase mixes and interleavings, so
+/// shard boundaries land in structurally different places per seed.
+fn synthetic(seed: u64) -> Program {
+    WorkloadSpec::builder("par-diff", seed)
+        .total_insts(120_000 + (seed % 3) * 17_000)
+        .phase(PhaseSpec::balanced(1.0))
+        .phase(PhaseSpec::memory_bound(0.8))
+        .phase(PhaseSpec::compute_bound(0.6))
+        .interleave(InterleaveSpec {
+            mean_segment: 4_000 + (seed % 5) * 700,
+            jitter: 0.35,
+            align: 0,
+        })
+        .build()
+        .build()
+}
+
+fn config(profile_cache: bool) -> PinPointsConfig {
+    PinPointsConfig {
+        slice_size: 1_000,
+        simpoint: SimPointOptions {
+            max_k: 8,
+            ..Default::default()
+        },
+        warmup_slices: 5,
+        profile_cache: profile_cache.then(configs::allcache_table1),
+    }
+}
+
+fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
+    assert!(
+        a.deterministic_eq(b),
+        "{what}: metrics diverge\n serial: {a:?}\n parallel: {b:?}"
+    );
+}
+
+fn assert_f64_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{what}: {a:?} vs {b:?} differ in bits"
+    );
+}
+
+/// Profiling pass: BBV matrix, slice checkpoints and whole-run metrics
+/// (mix + cache counters) must be bit-identical for every job count.
+fn check_profile(program: &Program, profile_cache: bool, label: &str) {
+    let pipeline = Pipeline::new(config(profile_cache));
+    let (ref_bbvs, ref_starts, ref_metrics) = pipeline.profile(program);
+    assert!(!ref_bbvs.is_empty());
+    for jobs in job_grid() {
+        let (bbvs, starts, metrics) = pipeline.profile_jobs(program, jobs);
+        assert_eq!(bbvs, ref_bbvs, "{label}: BBV matrix (jobs = {jobs})");
+        assert_eq!(starts, ref_starts, "{label}: slice cursors (jobs = {jobs})");
+        assert_metrics_identical(
+            &ref_metrics,
+            &metrics,
+            &format!("{label}: whole-run profile (jobs = {jobs})"),
+        );
+    }
+}
+
+/// Full pipeline: the simulation-point selection (k, assignments, BIC
+/// scores, weights) and the regional pinballs must be identical.
+fn check_pipeline(program: &Program, profile_cache: bool, label: &str) {
+    let pipeline = Pipeline::new(config(profile_cache));
+    let reference = pipeline.run(program).unwrap();
+    for jobs in job_grid() {
+        let result = pipeline.run_jobs(program, jobs).unwrap();
+        assert_eq!(
+            result.simpoints, reference.simpoints,
+            "{label}: simpoint selection (jobs = {jobs})"
+        );
+        assert_eq!(
+            result.regional, reference.regional,
+            "{label}: regional pinballs (jobs = {jobs})"
+        );
+        assert_eq!(result.whole, reference.whole, "{label}: whole pinball");
+        assert_eq!(result.num_slices, reference.num_slices);
+        assert_metrics_identical(
+            &reference.whole_metrics,
+            &result.whole_metrics,
+            &format!("{label}: pipeline whole metrics (jobs = {jobs})"),
+        );
+        for (r, s) in result.regional.iter().zip(&reference.regional) {
+            assert_f64_bits(
+                r.weight,
+                s.weight,
+                &format!("{label}: weight (jobs = {jobs})"),
+            );
+        }
+    }
+}
+
+/// Functional regional replays: per-region cache miss counts and the
+/// weighted aggregate must be bit-identical.
+fn check_functional_replay(program: &Program, label: &str) {
+    let pipeline = Pipeline::new(config(false));
+    let result = pipeline.run(program).unwrap();
+    for warmup in [WarmupMode::None, WarmupMode::Checkpointed] {
+        let reference = run_regions_functional_jobs(
+            program,
+            &result.regional,
+            configs::allcache_table1(),
+            warmup,
+            sampsim::exec::SERIAL,
+        )
+        .unwrap();
+        for jobs in job_grid() {
+            let parallel = run_regions_functional_jobs(
+                program,
+                &result.regional,
+                configs::allcache_table1(),
+                warmup,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(parallel.len(), reference.len());
+            for (i, ((rm, rw), (pm, pw))) in reference.iter().zip(&parallel).enumerate() {
+                let what = format!("{label}: region {i} ({warmup:?}, jobs = {jobs})");
+                assert_metrics_identical(rm, pm, &what);
+                assert_f64_bits(*rw, *pw, &what);
+                assert_eq!(
+                    rm.cache.as_ref().unwrap().l3.misses,
+                    pm.cache.as_ref().unwrap().l3.misses,
+                    "{what}: L3 miss count"
+                );
+            }
+            let ra = aggregate_weighted(&reference);
+            let pa = aggregate_weighted(&parallel);
+            assert_eq!(ra.total_l3_accesses, pa.total_l3_accesses);
+            for (a, b) in ra.mix_pct.iter().zip(&pa.mix_pct) {
+                assert_f64_bits(*a, *b, &format!("{label}: aggregate mix (jobs = {jobs})"));
+            }
+            let (rmr, pmr) = (ra.miss_rates.unwrap(), pa.miss_rates.unwrap());
+            for (a, b) in [rmr.l1i, rmr.l1d, rmr.l2, rmr.l3]
+                .iter()
+                .zip(&[pmr.l1i, pmr.l1d, pmr.l2, pmr.l3])
+            {
+                assert_f64_bits(*a, *b, &format!("{label}: miss rates (jobs = {jobs})"));
+            }
+        }
+    }
+}
+
+/// Timing replays: the weighted CPI — a float reduction, the most
+/// order-sensitive output in the system — must be bit-identical.
+fn check_timing_replay(program: &Program, label: &str) {
+    let pipeline = Pipeline::new(config(false));
+    let result = pipeline.run(program).unwrap();
+    let reference = run_regions_timing_jobs(
+        program,
+        &result.regional,
+        CoreConfig::table3(),
+        configs::i7_table3(),
+        WarmupMode::Checkpointed,
+        sampsim::exec::SERIAL,
+    )
+    .unwrap();
+    let ref_cpi = aggregate_weighted(&reference).cpi.unwrap();
+    for jobs in job_grid() {
+        let parallel = run_regions_timing_jobs(
+            program,
+            &result.regional,
+            CoreConfig::table3(),
+            configs::i7_table3(),
+            WarmupMode::Checkpointed,
+            jobs,
+        )
+        .unwrap();
+        for (i, ((rm, _), (pm, _))) in reference.iter().zip(&parallel).enumerate() {
+            assert_metrics_identical(
+                rm,
+                pm,
+                &format!("{label}: timing region {i} (jobs = {jobs})"),
+            );
+        }
+        let cpi = aggregate_weighted(&parallel).cpi.unwrap();
+        assert_f64_bits(
+            ref_cpi,
+            cpi,
+            &format!("{label}: aggregated CPI (jobs = {jobs})"),
+        );
+    }
+}
+
+#[test]
+fn profile_is_bit_identical_across_job_counts() {
+    for seed in [11, 12, 13] {
+        let program = synthetic(seed);
+        check_profile(&program, false, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn profile_with_cache_task_is_bit_identical() {
+    // profile_cache = Some exercises the dedicated whole-run cache task
+    // overlapped with the BBV shards.
+    for seed in [11, 14] {
+        let program = synthetic(seed);
+        check_profile(&program, true, &format!("seed {seed} (cache)"));
+    }
+}
+
+#[test]
+fn pipeline_results_are_bit_identical_across_job_counts() {
+    let program = synthetic(21);
+    check_pipeline(&program, true, "seed 21");
+}
+
+#[test]
+fn functional_replays_are_bit_identical_across_job_counts() {
+    let program = synthetic(31);
+    check_functional_replay(&program, "seed 31");
+}
+
+#[test]
+fn timing_replays_and_cpi_are_bit_identical_across_job_counts() {
+    let program = synthetic(41);
+    check_timing_replay(&program, "seed 41");
+}
+
+#[test]
+fn suite_benchmarks_are_bit_identical_across_job_counts() {
+    // Real suite workloads at a reduced scale: phase interleavings and
+    // slice counts the synthetic seeds do not produce (including a
+    // non-multiple-of-slice tail).
+    for id in [BenchmarkId::McfR, BenchmarkId::XzR] {
+        let program = benchmark(id).scaled(Scale::new(0.001)).build();
+        check_profile(&program, true, id.name());
+        check_pipeline(&program, false, id.name());
+    }
+}
+
+#[test]
+fn single_slice_program_profiles_identically() {
+    // Degenerate sharding: the whole program fits in one slice, so every
+    // job count must collapse to the serial path.
+    let program = WorkloadSpec::builder("one-slice", 5)
+        .total_insts(900)
+        .phase(PhaseSpec::balanced(1.0))
+        .build()
+        .build();
+    check_profile(&program, true, "single slice");
+}

@@ -1,8 +1,16 @@
 //! End-to-end integration tests across crates: workload → pin → pinball →
 //! simpoint → core, on reduced-scale programs.
+//!
+//! The expensive artifacts — the pipeline run on the shared program, its
+//! whole-run profile and the cold regional replay — are computed once in
+//! a [`OnceLock`] fixture and shared by every test, so the file's wall
+//! time is one pipeline run rather than one per test.
+
+use std::sync::OnceLock;
 
 use sampsim::cache::configs;
-use sampsim::core::metrics::{aggregate_weighted, whole_as_aggregate};
+use sampsim::core::metrics::{aggregate_weighted, whole_as_aggregate, RunMetrics};
+use sampsim::core::pipeline::PipelineResult;
 use sampsim::core::runs::{
     run_region_functional, run_regions_functional, run_whole_functional, WarmupMode,
 };
@@ -37,25 +45,55 @@ fn small_config() -> PinPointsConfig {
             max_k: 10,
             ..Default::default()
         },
-        warmup_slices: 10,
+        warmup_slices: 20,
         profile_cache: None,
     }
+}
+
+/// Everything the tests share: one program, one pipeline run, one whole
+/// profile and one cold regional replay.
+struct Fixture {
+    program: Program,
+    result: PipelineResult,
+    whole: RunMetrics,
+    cold: Vec<(RunMetrics, f64)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let program = small_program();
+        let result = Pipeline::new(small_config()).run(&program).unwrap();
+        let whole = run_whole_functional(&program, configs::allcache_table1());
+        let cold = run_regions_functional(
+            &program,
+            &result.regional,
+            configs::allcache_table1(),
+            WarmupMode::None,
+        )
+        .unwrap();
+        Fixture {
+            program,
+            result,
+            whole,
+            cold,
+        }
+    })
 }
 
 #[test]
 fn regional_replay_equals_direct_execution() {
     // The pinball promise: replaying a regional checkpoint reproduces the
     // original instruction stream bit-for-bit.
-    let program = small_program();
-    let result = Pipeline::new(small_config()).run(&program).unwrap();
-    for pb in result.regional.iter().take(4) {
+    let fx = fixture();
+    for pb in fx.result.regional.iter().take(4) {
         // Reference: execute from the start and record the region's slice.
-        let mut reference = Executor::new(&program);
+        let mut reference = Executor::new(&fx.program);
         reference.skip(pb.slice_index * 1_000);
         let mut want = TraceRecorder::new(1_000);
         engine::run_one(&mut reference, 1_000, &mut want);
         // Replay from the checkpoint.
-        let mut replayed = pb.attach(&program).unwrap();
+        let mut replayed = pb.attach(&fx.program).unwrap();
         let mut got = TraceRecorder::new(1_000);
         engine::run_one(&mut replayed, 1_000, &mut got);
         assert_eq!(got.trace(), want.trace(), "slice {}", pb.slice_index);
@@ -64,18 +102,9 @@ fn regional_replay_equals_direct_execution() {
 
 #[test]
 fn sampled_mix_tracks_whole_run() {
-    let program = small_program();
-    let result = Pipeline::new(small_config()).run(&program).unwrap();
-    let whole = run_whole_functional(&program, configs::allcache_table1());
-    let regions = run_regions_functional(
-        &program,
-        &result.regional,
-        configs::allcache_table1(),
-        WarmupMode::None,
-    )
-    .unwrap();
-    let sampled = aggregate_weighted(&regions);
-    let reference = whole_as_aggregate(&whole);
+    let fx = fixture();
+    let sampled = aggregate_weighted(&fx.cold);
+    let reference = whole_as_aggregate(&fx.whole);
     for (s, w) in sampled.mix_pct.iter().zip(&reference.mix_pct) {
         assert!(
             (s - w).abs() < 3.0,
@@ -87,20 +116,17 @@ fn sampled_mix_tracks_whole_run() {
 #[test]
 fn cold_regions_inflate_llc_misses_and_warmup_helps() {
     // The paper's §IV-D finding, end to end.
-    let program = small_program();
-    let mut config = small_config();
-    config.warmup_slices = 20;
-    let result = Pipeline::new(config).run(&program).unwrap();
-    let whole = run_whole_functional(&program, configs::allcache_table1());
-    let whole_l3 = whole.cache.as_ref().unwrap().l3.miss_rate_pct();
-    let agg = |mode| {
-        let regions =
-            run_regions_functional(&program, &result.regional, configs::allcache_table1(), mode)
-                .unwrap();
-        aggregate_weighted(&regions).miss_rates.unwrap().l3
-    };
-    let cold_l3 = agg(WarmupMode::None);
-    let warm_l3 = agg(WarmupMode::Checkpointed);
+    let fx = fixture();
+    let whole_l3 = fx.whole.cache.as_ref().unwrap().l3.miss_rate_pct();
+    let cold_l3 = aggregate_weighted(&fx.cold).miss_rates.unwrap().l3;
+    let warm = run_regions_functional(
+        &fx.program,
+        &fx.result.regional,
+        configs::allcache_table1(),
+        WarmupMode::Checkpointed,
+    )
+    .unwrap();
+    let warm_l3 = aggregate_weighted(&warm).miss_rates.unwrap().l3;
     assert!(
         cold_l3 >= whole_l3 - 1e-9,
         "cold regions must not under-report L3 misses (cold {cold_l3:.2}, whole {whole_l3:.2})"
@@ -113,14 +139,14 @@ fn cold_regions_inflate_llc_misses_and_warmup_helps() {
 
 #[test]
 fn weights_sum_to_one_and_match_cluster_sizes() {
-    let program = small_program();
-    let result = Pipeline::new(small_config()).run(&program).unwrap();
-    let total: f64 = result.regional.iter().map(|pb| pb.weight).sum();
+    let fx = fixture();
+    let total: f64 = fx.result.regional.iter().map(|pb| pb.weight).sum();
     assert!((total - 1.0).abs() < 1e-9);
     // Each weight equals the cluster population divided by slice count.
-    let n = result.simpoints.assignments.len() as f64;
-    for pb in &result.regional {
-        let members = result
+    let n = fx.result.simpoints.assignments.len() as f64;
+    for pb in &fx.result.regional {
+        let members = fx
+            .result
             .simpoints
             .assignments
             .iter()
@@ -132,10 +158,15 @@ fn weights_sum_to_one_and_match_cluster_sizes() {
 
 #[test]
 fn suite_benchmark_end_to_end_at_test_scale() {
-    let spec = benchmark(BenchmarkId::LeelaS).scaled(Scale::new(0.02));
+    let scale = Scale::new(0.01);
+    let spec = benchmark(BenchmarkId::LeelaS).scaled(scale);
     let program = spec.build();
+    // Coarser slices than the paper's 10 k-per-unit-scale: the clustering
+    // cost grows with the slice count, and ~1.8 k slices keep this test
+    // fast while still exercising every pipeline stage on a real suite
+    // workload.
     let mut config = PinPointsConfig {
-        slice_size: Scale::new(0.02).apply(10_000),
+        slice_size: scale.apply(50_000),
         ..PinPointsConfig::default()
     };
     config.simpoint.max_k = 25;
@@ -178,10 +209,10 @@ fn invalid_config_is_rejected_before_profiling() {
 
 #[test]
 fn deterministic_across_identical_pipelines() {
-    let program = small_program();
-    let a = Pipeline::new(small_config()).run(&program).unwrap();
-    let b = Pipeline::new(small_config()).run(&program).unwrap();
-    assert_eq!(a.simpoints, b.simpoints);
-    assert_eq!(a.regional, b.regional);
-    assert_eq!(a.whole_metrics.mix, b.whole_metrics.mix);
+    // A fresh pipeline run must reproduce the fixture's run exactly.
+    let fx = fixture();
+    let b = Pipeline::new(small_config()).run(&fx.program).unwrap();
+    assert_eq!(fx.result.simpoints, b.simpoints);
+    assert_eq!(fx.result.regional, b.regional);
+    assert_eq!(fx.result.whole_metrics.mix, b.whole_metrics.mix);
 }

@@ -1,22 +1,32 @@
-//! Property-based tests on the core invariants (proptest).
+//! Property-based tests on the core invariants.
+//!
+//! Runs on the in-repo harness (`sampsim::util::prop`) — the offline
+//! build has no `proptest` — behind the `property-tests` feature so the
+//! randomized volume stays out of the default `cargo test` path.
+//! `scripts/check.sh` runs it on every gate:
+//!
+//! ```text
+//! cargo test --features property-tests --test property_tests
+//! ```
 
-use proptest::prelude::*;
+use sampsim::cache::{CacheStats, HierarchyStats};
+use sampsim::core::metrics::{aggregate_weighted, RunMetrics};
+use sampsim::pin::tools::MixCounts;
 use sampsim::pinball::{Logger, RegionalPinball};
 use sampsim::simpoint::bbv::Bbv;
 use sampsim::simpoint::kmeans::kmeans;
 use sampsim::simpoint::select::{reduce_to_percentile, SimPoint};
 use sampsim::util::codec;
+use sampsim::util::prop::{run_cases, Gen};
 use sampsim::workload::spec::{InterleaveSpec, Mix, PhaseSpec, StreamGen, WorkloadSpec};
-use sampsim::workload::{Cursor, Executor, Program};
+use sampsim::workload::{Cursor, Executor, MemClass, Program};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Checkpoint/resume at ANY instruction boundary is bit-exact.
-    #[test]
-    fn checkpoint_resume_bit_exact(seed in 0u64..500, split in 1u64..20_000) {
-        let program = program_for(seed);
-        let split = split % program.total_insts().max(2);
+/// Checkpoint/resume at ANY instruction boundary is bit-exact.
+#[test]
+fn checkpoint_resume_bit_exact() {
+    run_cases("checkpoint-resume", 24, |g| {
+        let program = program_for(g.u64_in(0..500));
+        let split = g.u64_in(1..20_000) % program.total_insts().max(2);
         let mut reference = Executor::new(&program);
         reference.skip(split);
         let cursor = reference.cursor();
@@ -24,87 +34,276 @@ proptest! {
         let decoded: Cursor = codec::from_bytes(&bytes).unwrap();
         let mut resumed = Executor::with_cursor(&program, decoded);
         for _ in 0..1_000 {
-            prop_assert_eq!(resumed.next_inst(), reference.next_inst());
+            assert_eq!(resumed.next_inst(), reference.next_inst());
         }
-    }
+    });
+}
 
-    /// Slice-start cursors partition the execution exactly.
-    #[test]
-    fn slice_starts_partition_execution(seed in 0u64..500, slice in 100u64..5_000) {
-        let program = program_for(seed);
+/// Slice-start cursors partition the execution exactly.
+#[test]
+fn slice_starts_partition_execution() {
+    run_cases("slice-starts-partition", 24, |g| {
+        let program = program_for(g.u64_in(0..500));
+        let slice = g.u64_in(100..5_000);
         let starts = Logger::new(&program).slice_starts(slice);
         let expected = program.total_insts().div_ceil(slice);
-        prop_assert_eq!(starts.len() as u64, expected);
+        assert_eq!(starts.len() as u64, expected);
         for (i, c) in starts.iter().enumerate() {
-            prop_assert_eq!(c.retired, i as u64 * slice);
+            assert_eq!(c.retired, i as u64 * slice);
         }
-    }
+    });
+}
 
-    /// A regional pinball roundtrips through the codec losslessly.
-    #[test]
-    fn pinball_codec_roundtrip(seed in 0u64..500, idx in 0usize..10) {
-        let program = program_for(seed);
+/// A regional pinball roundtrips through the codec losslessly.
+#[test]
+fn pinball_codec_roundtrip() {
+    run_cases("pinball-roundtrip", 24, |g| {
+        let program = program_for(g.u64_in(0..500));
         let starts = Logger::new(&program).slice_starts(1_000);
-        let idx = idx % starts.len();
+        let idx = g.usize_in(0..10) % starts.len();
         let pb = RegionalPinball::new(&program, idx as u64, starts[idx].clone(), 1_000, 0.5, 1);
         let bytes = codec::to_bytes(&pb);
         let back: RegionalPinball = codec::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back, pb);
-    }
+        assert_eq!(back, pb);
+    });
+}
 
-    /// k-means invariants: assignments in range, inertia non-negative and
-    /// non-increasing in k (with best-of restarts).
-    #[test]
-    fn kmeans_invariants(seed in 0u64..200, n in 10usize..80, k in 1usize..8) {
+/// k-means invariants: assignments in range, inertia non-negative,
+/// cluster sizes summing to n.
+#[test]
+fn kmeans_invariants() {
+    run_cases("kmeans-invariants", 24, |g| {
+        let seed = g.u64_in(0..200);
+        let n = g.usize_in(10..80);
+        let k = g.usize_in(1..8);
         let mut rng = sampsim::util::rng::Xoshiro256StarStar::seed_from_u64(seed);
         let dim = 3;
         let data: Vec<f64> = (0..n * dim).map(|_| rng.next_f64() * 10.0).collect();
         let r = kmeans(&data, n, dim, k, 50, seed).unwrap();
-        prop_assert!(r.inertia >= 0.0);
-        prop_assert_eq!(r.assignments.len(), n);
-        prop_assert!(r.assignments.iter().all(|&a| (a as usize) < r.k));
+        assert!(r.inertia >= 0.0);
+        assert_eq!(r.assignments.len(), n);
+        assert!(r.assignments.iter().all(|&a| (a as usize) < r.k));
         let sizes = r.cluster_sizes();
-        prop_assert_eq!(sizes.iter().sum::<u64>(), n as u64);
-    }
+        assert_eq!(sizes.iter().sum::<u64>(), n as u64);
+    });
+}
 
-    /// Percentile reduction keeps weights normalized, returns a subset, and
-    /// is monotone in the percentile.
-    #[test]
-    fn reduction_invariants(weights in proptest::collection::vec(0.01f64..1.0, 1..30)) {
+/// Percentile reduction keeps weights normalized, returns a subset, is
+/// monotone in the percentile, and the kept points' *original* weight
+/// never exceeds the original total (it covers at least the requested
+/// percentile of it and at most all of it).
+#[test]
+fn reduction_invariants() {
+    run_cases("reduction-invariants", 32, |g| {
+        let weights = g.vec_of(1..30, |g| g.f64_in(0.01..1.0));
         let total: f64 = weights.iter().sum();
         let points: Vec<SimPoint> = weights
             .iter()
             .enumerate()
-            .map(|(i, w)| SimPoint { slice: i as u64, cluster: i as u32, weight: w / total })
+            .map(|(i, w)| SimPoint {
+                slice: i as u64,
+                cluster: i as u32,
+                weight: w / total,
+            })
             .collect();
         let p50 = reduce_to_percentile(&points, 0.5);
         let p90 = reduce_to_percentile(&points, 0.9);
         let p100 = reduce_to_percentile(&points, 1.0);
-        prop_assert!(p50.len() <= p90.len());
-        prop_assert!(p90.len() <= p100.len());
-        prop_assert_eq!(p100.len(), points.len());
-        for reduced in [&p50, &p90, &p100] {
+        assert!(p50.len() <= p90.len());
+        assert!(p90.len() <= p100.len());
+        assert_eq!(p100.len(), points.len());
+        for (percentile, reduced) in [(0.5, &p50), (0.9, &p90), (1.0, &p100)] {
             let w: f64 = reduced.iter().map(|p| p.weight).sum();
-            prop_assert!((w - 1.0).abs() < 1e-9);
-            // Every reduced point is one of the originals.
-            for p in reduced.iter() {
-                prop_assert!(points.iter().any(|q| q.slice == p.slice));
-            }
+            assert!((w - 1.0).abs() < 1e-9, "renormalized sum {w}");
+            // The reduced set's ORIGINAL mass never exceeds the original
+            // total, and covers at least the requested percentile of it.
+            let original: f64 = reduced
+                .iter()
+                .map(|p| {
+                    points
+                        .iter()
+                        .find(|q| q.slice == p.slice)
+                        .expect("reduced point must be an original point")
+                        .weight
+                })
+                .sum();
+            assert!(original <= 1.0 + 1e-9, "kept mass {original} grew");
+            assert!(
+                original >= percentile - 1e-9,
+                "kept mass {original} misses the {percentile} target"
+            );
         }
-    }
+    });
+}
 
-    /// Normalized BBVs have unit L1 norm and distances bounded by 2.
-    #[test]
-    fn bbv_norm_bounds(counts in proptest::collection::vec((0u32..500, 1u32..1000), 1..40)) {
-        let mut sorted: Vec<(u32, u32)> = counts;
+/// Normalized BBVs have unit L1 norm and distances bounded by 2.
+#[test]
+fn bbv_norm_bounds() {
+    run_cases("bbv-norm-bounds", 32, |g| {
+        let counts = g.vec_of(1..40, |g| {
+            (g.u64_in(0..500) as u32, g.u64_in(1..1_000) as u32)
+        });
+        let mut sorted = counts;
         sorted.sort_by_key(|&(b, _)| b);
         sorted.dedup_by_key(|&mut (b, _)| b);
         let a = Bbv::from_counts(sorted).normalized();
-        prop_assert!((a.l1_norm() - 1.0).abs() < 1e-9);
+        assert!((a.l1_norm() - 1.0).abs() < 1e-9);
         let b = Bbv::from_counts(vec![(1000, 1)]).normalized();
         let d = a.manhattan(&b);
-        prop_assert!((0.0..=2.0 + 1e-9).contains(&d));
+        assert!((0.0..=2.0 + 1e-9).contains(&d));
+    });
+}
+
+/// An arbitrary region for the aggregation properties: a plausible mix,
+/// consistent cache counters, positive instruction count.
+fn arb_region(g: &mut Gen) -> RunMetrics {
+    let insts = g.u64_in(50..5_000);
+    let mut mix = MixCounts::new();
+    let classes = [
+        MemClass::NoMem,
+        MemClass::Read,
+        MemClass::Write,
+        MemClass::ReadWrite,
+    ];
+    // Bucket the instruction count over the four classes.
+    let mut left = insts;
+    for class in &classes[..3] {
+        let take = g.u64_in(0..left.max(2) / 2 + 1);
+        for _ in 0..take {
+            mix.record(*class);
+        }
+        left -= take;
     }
+    for _ in 0..left {
+        mix.record(MemClass::ReadWrite);
+    }
+    let level = |g: &mut Gen, upstream_misses: u64| -> CacheStats {
+        let accesses = upstream_misses;
+        let misses = if accesses == 0 {
+            0
+        } else {
+            g.u64_in(0..accesses + 1)
+        };
+        CacheStats {
+            accesses,
+            misses,
+            writebacks: 0,
+        }
+    };
+    let l1_accesses = g.u64_in(1..insts + 1);
+    let l1d = level(g, l1_accesses);
+    let l2 = level(g, l1d.misses);
+    let l3 = level(g, l2.misses);
+    RunMetrics {
+        instructions: insts,
+        mix,
+        cache: Some(HierarchyStats {
+            l1i: level(g, insts),
+            l1d,
+            l2,
+            l3,
+            ..HierarchyStats::default()
+        }),
+        timing: None,
+        wall_seconds: g.f64_in(0.0..1.0),
+    }
+}
+
+/// Normalized weights for `n` regions (sum exactly ~1).
+fn arb_weights(g: &mut Gen, n: usize) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n).map(|_| g.f64_in(0.05..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// `aggregate_weighted` is invariant (to rounding) under permutation of
+/// its regions: the aggregate is a weighted sum, so region order must
+/// not matter beyond float associativity noise.
+#[test]
+fn aggregation_permutation_invariant() {
+    run_cases("aggregation-permutation", 32, |g| {
+        let n = g.usize_in(2..12);
+        let regions: Vec<RunMetrics> = (0..n).map(|_| arb_region(g)).collect();
+        let weights = arb_weights(g, n);
+        let paired: Vec<(RunMetrics, f64)> = regions.into_iter().zip(weights).collect();
+        let forward = aggregate_weighted(&paired);
+        // A deterministic permutation drawn from the case generator.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, g.usize_in(0..i + 1));
+        }
+        let permuted: Vec<(RunMetrics, f64)> = order.iter().map(|&i| paired[i].clone()).collect();
+        let shuffled = aggregate_weighted(&permuted);
+        for (a, b) in forward.mix_pct.iter().zip(&shuffled.mix_pct) {
+            assert!((a - b).abs() < 1e-9, "mix {a} vs {b}");
+        }
+        let (fm, sm) = (forward.miss_rates.unwrap(), shuffled.miss_rates.unwrap());
+        for (a, b) in [fm.l1i, fm.l1d, fm.l2, fm.l3]
+            .iter()
+            .zip(&[sm.l1i, sm.l1d, sm.l2, sm.l3])
+        {
+            assert!((a - b).abs() < 1e-9, "miss rate {a} vs {b}");
+        }
+        assert_eq!(forward.total_instructions, shuffled.total_instructions);
+        assert_eq!(forward.total_l3_accesses, shuffled.total_l3_accesses);
+    });
+}
+
+/// Aggregate outputs stay inside their physical bounds whenever the
+/// weights sum to ~1: mix percentages sum to 100, miss rates to [0, 100].
+#[test]
+fn aggregation_bounds() {
+    run_cases("aggregation-bounds", 32, |g| {
+        let n = g.usize_in(1..12);
+        let regions: Vec<(RunMetrics, f64)> = {
+            let weights = arb_weights(g, n);
+            (0..n).map(|_| arb_region(g)).zip(weights).collect()
+        };
+        let wsum: f64 = regions.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-6, "generator must normalize");
+        let agg = aggregate_weighted(&regions);
+        let mix_total: f64 = agg.mix_pct.iter().sum();
+        assert!((mix_total - 100.0).abs() < 1e-6, "mix sums to {mix_total}");
+        assert!(agg
+            .mix_pct
+            .iter()
+            .all(|&p| (0.0..=100.0 + 1e-9).contains(&p)));
+        let mr = agg.miss_rates.unwrap();
+        for rate in [mr.l1i, mr.l1d, mr.l2, mr.l3] {
+            assert!(
+                (0.0..=100.0 + 1e-9).contains(&rate),
+                "miss rate {rate} out of range"
+            );
+        }
+        assert_eq!(
+            agg.total_instructions,
+            regions.iter().map(|(m, _)| m.instructions).sum::<u64>()
+        );
+    });
+}
+
+/// The pipeline's own regional weights sum to ~1 for arbitrary programs
+/// (the precondition `aggregate_weighted` asserts).
+#[test]
+fn pipeline_weights_sum_to_one() {
+    use sampsim::core::{PinPointsConfig, Pipeline};
+    use sampsim::simpoint::SimPointOptions;
+    run_cases("pipeline-weights", 6, |g| {
+        let program = program_for(g.u64_in(0..500));
+        let result = Pipeline::new(PinPointsConfig {
+            slice_size: 1_000,
+            simpoint: SimPointOptions {
+                max_k: 6,
+                ..Default::default()
+            },
+            warmup_slices: 2,
+            profile_cache: None,
+        })
+        .run(&program)
+        .unwrap();
+        let total: f64 = result.regional.iter().map(|pb| pb.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    });
 }
 
 /// Deterministic mini-program family indexed by seed.
