@@ -178,6 +178,11 @@ impl Cache {
     /// [`Cache::access`] with an explicit write flag: writes mark the line
     /// dirty (write-allocate, write-back), and evicting a dirty line
     /// counts a write-back.
+    ///
+    /// The probe is a single zipped tag+stamp scan: the hit check and the
+    /// min-stamp victim candidate come out of one pass, and policies that
+    /// select their own victims (random, tree-PLRU) skip the stamp reads
+    /// entirely.
     #[inline]
     pub fn access_rw(&mut self, addr: u64, is_write: bool, count: bool) -> bool {
         let line = addr >> self.line_shift;
@@ -188,25 +193,34 @@ impl Cache {
         if count {
             self.stats.accesses += 1;
         }
-        let ways = &mut self.tags[base..base + self.ways];
+        let tags = &self.tags[base..base + self.ways];
         let mut stamp_victim = 0usize;
-        let mut victim_stamp = u64::MAX;
-        for (w, &t) in ways.iter().enumerate() {
-            if t == tag {
-                if self.policy.refresh_on_hit() {
-                    self.stamps[base + w] = self.clock;
+        let mut hit_way = None;
+        if self.policy.stamp_based() {
+            let stamps = &self.stamps[base..base + self.ways];
+            let mut victim_stamp = u64::MAX;
+            for (w, (&t, &s)) in tags.iter().zip(stamps).enumerate() {
+                if t == tag {
+                    hit_way = Some(w);
+                    break;
                 }
-                self.policy.touch(set, w, self.ways);
-                if is_write {
-                    self.dirty[base + w] = true;
+                if s < victim_stamp {
+                    victim_stamp = s;
+                    stamp_victim = w;
                 }
-                return true;
             }
-            let s = self.stamps[base + w];
-            if s < victim_stamp {
-                victim_stamp = s;
-                stamp_victim = w;
+        } else {
+            hit_way = tags.iter().position(|&t| t == tag);
+        }
+        if let Some(w) = hit_way {
+            if self.policy.refresh_on_hit() {
+                self.stamps[base + w] = self.clock;
             }
+            self.policy.touch(set, w, self.ways);
+            if is_write {
+                self.dirty[base + w] = true;
+            }
+            return true;
         }
         if count {
             self.stats.misses += 1;
@@ -226,6 +240,7 @@ impl Cache {
     }
 
     /// Probes without updating replacement state or counters.
+    #[inline]
     pub fn peek(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;

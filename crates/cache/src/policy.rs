@@ -86,6 +86,17 @@ impl PolicyState {
     pub fn refresh_on_hit(&self) -> bool {
         self.policy == ReplacementPolicy::Lru
     }
+
+    /// Whether victim selection reads the cache's stamps ([`Self::victim`]
+    /// returns `None`). The probe loop skips min-stamp tracking entirely
+    /// for policies that pick their own victims.
+    #[inline]
+    pub fn stamp_based(&self) -> bool {
+        matches!(
+            self.policy,
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+        )
+    }
 }
 
 /// Walks the PLRU tree toward `way`, flipping each node to point away from

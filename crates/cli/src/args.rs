@@ -16,6 +16,8 @@ commands:
   report <bench>               whole vs regional vs reduced vs warmup report
   trace <bench> -o FILE        write an execution trace (--limit N insts)
   lint [bench]                 static checks over workloads and the config
+  perf [-o FILE]               time the optimized kernels against their
+                               naive references; write a BENCH_kernels.json
   help                         show this text
 
 flags:
@@ -29,6 +31,11 @@ lint flags:
   --format <human|json>   output format (default: human)
   --deny-warnings         exit non-zero on warnings too
   --artifacts <DIR>       also audit saved .pb pinball files in DIR
+
+perf flags:
+  --quick                 smoke-test sizes (CI); full sizes otherwise
+  --artifacts <DIR>       benchmark artifact directory (default: artifacts)
+  --validate <FILE>       only validate an existing report, run nothing
 
 <bench> is a SPEC name (e.g. 505.mcf_r) or a unique substring (mcf_r).";
 
@@ -118,6 +125,17 @@ pub enum Command {
         /// Directory of saved `.pb` pinball files to audit.
         artifacts: Option<String>,
     },
+    /// `sampsim perf [--quick] [-o FILE]`
+    Perf {
+        /// Smoke-test sizes instead of measurement sizes.
+        quick: bool,
+        /// Report path (`None` = stdout only).
+        out: Option<String>,
+        /// Benchmark artifact directory override.
+        artifacts: Option<String>,
+        /// Validate this existing report instead of running kernels.
+        validate: Option<String>,
+    },
     /// `sampsim help`
     Help,
 }
@@ -146,6 +164,8 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut format = LintFormat::default();
     let mut deny_warnings = false;
     let mut artifacts: Option<String> = None;
+    let mut quick = false;
+    let mut validate: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -185,6 +205,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
                 };
             }
             "--deny-warnings" => deny_warnings = true,
+            "--quick" => quick = true,
+            "--validate" => {
+                validate = Some(iter.next().ok_or("--validate needs a path")?);
+            }
             "--artifacts" => {
                 artifacts = Some(iter.next().ok_or("--artifacts needs a path")?);
             }
@@ -223,6 +247,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             format,
             deny_warnings,
             artifacts,
+        },
+        Some("perf") => Command::Perf {
+            quick,
+            out,
+            artifacts,
+            validate,
         },
         Some(other) => return Err(format!("unknown command: {other}")),
     };
@@ -334,6 +364,43 @@ mod tests {
         );
         assert!(parse_str("lint --format yaml").is_err());
         assert!(parse_str("lint --artifacts").is_err());
+    }
+
+    #[test]
+    fn parses_perf() {
+        assert_eq!(
+            parse_str("perf").unwrap().command,
+            Command::Perf {
+                quick: false,
+                out: None,
+                artifacts: None,
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("perf --quick -o BENCH_kernels.json --artifacts arts")
+                .unwrap()
+                .command,
+            Command::Perf {
+                quick: true,
+                out: Some("BENCH_kernels.json".into()),
+                artifacts: Some("arts".into()),
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("perf --validate BENCH_kernels.json")
+                .unwrap()
+                .command,
+            Command::Perf {
+                quick: false,
+                out: None,
+                artifacts: None,
+                validate: Some("BENCH_kernels.json".into()),
+            }
+        );
+        assert!(parse_str("perf --validate").is_err());
+        assert!(parse_str("perf extra").is_err());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Subcommand implementations.
 
 mod lint;
+mod perf;
 
 pub use lint::lint;
+pub use perf::perf;
 
 use crate::args::Options;
 use sampsim_cache::configs;

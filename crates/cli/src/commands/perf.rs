@@ -1,0 +1,51 @@
+//! `sampsim perf` — run (or validate) the kernel microbenchmark harness.
+
+use super::CmdResult;
+use sampsim_perf::{run_kernels, validate_report, PerfOptions};
+use sampsim_util::scale::Scale;
+use std::path::PathBuf;
+
+/// `sampsim perf [--quick] [-o FILE] [--artifacts DIR]`, or
+/// `sampsim perf --validate FILE` to only schema-check an existing report.
+///
+/// The report JSON goes to stdout and, with `-o`, to `FILE`; progress
+/// lines go to stderr. Every freshly produced report is validated before
+/// it is written, so a green exit also certifies the schema.
+pub fn perf(
+    quick: bool,
+    out: Option<&str>,
+    artifacts: Option<&str>,
+    validate: Option<&str>,
+) -> CmdResult {
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(path)?;
+        validate_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: valid {} report", sampsim_perf::SCHEMA);
+        return Ok(());
+    }
+    let mut options = PerfOptions {
+        quick,
+        // BBV regeneration executes `scale * full_insts` instructions but
+        // keeps the full-scale slice count, so the clustering input is
+        // full-size either way (see docs/performance.md).
+        scale: Scale::new(0.01),
+        ..PerfOptions::default()
+    };
+    if let Some(dir) = artifacts {
+        options.artifacts_dir = PathBuf::from(dir);
+    }
+    eprintln!(
+        "timing kernels ({} mode, artifacts from {})...",
+        if quick { "quick" } else { "full" },
+        options.artifacts_dir.display()
+    );
+    let report = run_kernels(&options, |line| eprintln!("  {line}"))?;
+    let text = report.to_json();
+    validate_report(&text).map_err(|e| format!("generated report failed validation: {e}"))?;
+    print!("{text}");
+    if let Some(path) = out {
+        std::fs::write(path, &text)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

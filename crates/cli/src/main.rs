@@ -64,6 +64,17 @@ fn main() -> ExitCode {
                 }
             };
         }
+        args::Command::Perf {
+            quick,
+            out,
+            artifacts,
+            validate,
+        } => commands::perf(
+            quick,
+            out.as_deref(),
+            artifacts.as_deref(),
+            validate.as_deref(),
+        ),
         args::Command::Help => {
             println!("{}", args::USAGE);
             Ok(())

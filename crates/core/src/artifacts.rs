@@ -39,6 +39,25 @@ impl ArtifactStore {
         &self.dir
     }
 
+    /// Lists the keys currently stored (one per `.art` file), sorted.
+    /// An unreadable directory yields an empty list, matching the
+    /// cache-miss behaviour of [`ArtifactStore::load`].
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter_map(|e| {
+                        let name = e.file_name().into_string().ok()?;
+                        name.strip_suffix(".art").map(str::to_string)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+
     fn path_for(&self, key: &str) -> PathBuf {
         // Keys are caller-controlled; keep them filesystem-safe.
         let safe: String = key
@@ -152,6 +171,15 @@ mod tests {
         let path = s.path_for("k");
         fs::write(&path, b"garbage").unwrap();
         assert_eq!(s.load::<u64>("k"), None);
+    }
+
+    #[test]
+    fn keys_lists_stored_artifacts_sorted() {
+        let s = store("keys");
+        assert!(s.keys().is_empty());
+        s.save("zeta", &1u64).unwrap();
+        s.save("alpha", &2u64).unwrap();
+        assert_eq!(s.keys(), vec!["alpha".to_string(), "zeta".to_string()]);
     }
 
     #[test]

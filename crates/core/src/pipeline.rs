@@ -122,9 +122,12 @@ impl Pipeline {
         let (bbvs, starts, whole_metrics) = self.profile_jobs(program, jobs);
         let num_slices = bbvs.len() as u64;
 
-        // -- Clustering.
-        let simpoints =
-            SimPointAnalysis::new(self.config.simpoint).run(&bbvs, self.config.slice_size)?;
+        // -- Clustering (k-means restarts fan out over the same workers).
+        let simpoints = SimPointAnalysis::new(self.config.simpoint).run_jobs(
+            &bbvs,
+            self.config.slice_size,
+            jobs,
+        )?;
 
         // -- Regional pinballs.
         let regional = self.make_regionals(program, &simpoints, &starts);

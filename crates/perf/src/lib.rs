@@ -1,0 +1,671 @@
+//! In-repo microbenchmark harness for the hot kernels.
+//!
+//! The optimized kernels this repo ships — bounds-pruned k-means
+//! ([`sampsim_simpoint::kmeans`]), sparse cached-row BBV projection
+//! ([`sampsim_simpoint::project`]) and the single-pass cache probe
+//! ([`sampsim_cache::Cache::access_rw`]) — all promise *bit-identical*
+//! results to their naive counterparts. This crate times them against
+//! those counterparts on real pipeline inputs (BBVs regenerated from the
+//! shipped `artifacts/*.art` benchmarks) and emits a machine-checkable
+//! `BENCH_kernels.json` report. Every timed pair is also asserted
+//! bit-identical, so a perf run doubles as a differential test.
+//!
+//! No external crates: timing is `std::time::Instant`, the report is a
+//! hand-assembled JSON document, and validation reuses
+//! [`sampsim_util::json`].
+//!
+//! Wall-clock numbers are inherently machine-dependent; the report is for
+//! trend tracking, not for byte-stable comparison. Everything *other*
+//! than the `*_ms` fields is deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sampsim_cache::{Cache, CacheConfig};
+use sampsim_core::artifacts::ArtifactStore;
+use sampsim_core::pipeline::{PinPointsConfig, Pipeline};
+use sampsim_core::BenchResult;
+use sampsim_simpoint::bbv::Bbv;
+use sampsim_simpoint::kmeans::KmeansResult;
+use sampsim_simpoint::project::RandomProjection;
+use sampsim_simpoint::{kmeans_best_of, kmeans_best_of_reference, KmeansError, SimPointOptions};
+use sampsim_spec2017::{benchmark, BenchmarkId};
+use sampsim_util::json::{self, Value};
+use sampsim_util::rng::SplitMix64;
+use sampsim_util::scale::Scale;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema identifier written into (and required of) every report.
+pub const SCHEMA: &str = "sampsim-perf-kernels/v1";
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Quick mode: smallest shipped benchmark, coarser slices, reduced
+    /// `k` sweep — a CI smoke test rather than a measurement.
+    pub quick: bool,
+    /// Directory holding the shipped `*.art` benchmark artifacts.
+    pub artifacts_dir: PathBuf,
+    /// Workload scale used when regenerating BBVs. The slice size scales
+    /// with it, so the *number* of slices (the clustering input size)
+    /// matches the full-scale benchmark either way.
+    pub scale: Scale,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            artifacts_dir: PathBuf::from("artifacts"),
+            scale: Scale::TEST,
+        }
+    }
+}
+
+/// Harness failure.
+#[derive(Debug)]
+pub enum PerfError {
+    /// The selected benchmark name is unknown to the suite.
+    NoBenchmark(String),
+    /// A k-means kernel rejected its input.
+    Kmeans(KmeansError),
+    /// An optimized kernel diverged from its reference — a correctness
+    /// bug, not a measurement problem.
+    Mismatch(String),
+    /// Artifact store or filesystem failure.
+    Store(String),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::NoBenchmark(name) => write!(f, "unknown benchmark '{name}'"),
+            PerfError::Kmeans(e) => write!(f, "k-means failed: {e}"),
+            PerfError::Mismatch(what) => {
+                write!(f, "optimized kernel diverged from reference: {what}")
+            }
+            PerfError::Store(e) => write!(f, "artifact store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl From<KmeansError> for PerfError {
+    fn from(e: KmeansError) -> Self {
+        PerfError::Kmeans(e)
+    }
+}
+
+/// One timed kernel in the report.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (`kmeans_sweep`, `bbv_projection`, `cache_access_rw`).
+    pub name: &'static str,
+    /// Naive-baseline wall time, when the baseline is kept in-tree.
+    pub reference_ms: Option<f64>,
+    /// Optimized-kernel wall time.
+    pub optimized_ms: f64,
+    /// `reference_ms / optimized_ms`, when a reference exists.
+    pub speedup: Option<f64>,
+    /// Deterministic work/checksum numbers (sizes, counts, inertia…).
+    pub details: Vec<(&'static str, f64)>,
+}
+
+/// A full harness run, serializable with [`PerfReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Benchmark the BBVs were regenerated from.
+    pub benchmark: String,
+    /// Whether this was a quick (smoke) run.
+    pub quick: bool,
+    /// Number of BBV slices fed to the clustering kernels.
+    pub num_slices: u64,
+    /// Projected dimensionality.
+    pub dim: usize,
+    /// The timed kernels.
+    pub kernels: Vec<KernelTiming>,
+}
+
+/// The regenerated input set the kernels run over.
+#[derive(Debug)]
+pub struct PerfInput {
+    /// Benchmark name the BBVs come from.
+    pub benchmark: String,
+    /// One BBV per slice.
+    pub bbvs: Vec<Bbv>,
+    /// Projected dimensionality for the clustering kernels.
+    pub dim: usize,
+    /// Cluster counts the sweep visits.
+    pub ks: Vec<usize>,
+    /// Restarts per `k`.
+    pub n_init: u32,
+    /// Lloyd iteration cap.
+    pub max_iter: u32,
+    /// Master seed (projection and clustering).
+    pub seed: u64,
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Picks the benchmark to measure: the largest shipped artifact by
+/// full-scale work (`num_slices * slice_size`) — or the smallest in quick
+/// mode. Falls back to a fixed choice when no artifact decodes.
+pub fn select_benchmark(store: &ArtifactStore, quick: bool) -> String {
+    let mut best: Option<(u128, String)> = None;
+    for key in store.keys() {
+        let Some(r) = store.load::<BenchResult>(&key) else {
+            continue;
+        };
+        let work = u128::from(r.num_slices) * u128::from(r.slice_size);
+        let better = match &best {
+            None => true,
+            Some((w, _)) => {
+                if quick {
+                    work < *w
+                } else {
+                    work > *w
+                }
+            }
+        };
+        if better {
+            best = Some((work, r.name));
+        }
+    }
+    best.map_or_else(
+        || (if quick { "505.mcf_r" } else { "503.bwaves_r" }).to_string(),
+        |(_, name)| name,
+    )
+}
+
+/// Regenerates the BBV input set for the selected benchmark.
+///
+/// Slice size scales with `options.scale`, so the slice *count* equals the
+/// full-scale benchmark's; quick mode coarsens slices 16x on top of that.
+///
+/// # Errors
+///
+/// [`PerfError::Store`] when the artifact directory cannot be opened,
+/// [`PerfError::NoBenchmark`] when the selected name is not in the suite.
+pub fn prepare_input(options: &PerfOptions) -> Result<PerfInput, PerfError> {
+    let store = ArtifactStore::open(options.artifacts_dir.clone())
+        .map_err(|e| PerfError::Store(e.to_string()))?;
+    let name = select_benchmark(&store, options.quick);
+    let id = BenchmarkId::from_name(&name).ok_or_else(|| PerfError::NoBenchmark(name.clone()))?;
+    let program = benchmark(id).scaled(options.scale).build();
+    let full_slice: u64 = if options.quick { 160_000 } else { 10_000 };
+    let config = PinPointsConfig {
+        slice_size: options.scale.apply(full_slice).max(1),
+        ..PinPointsConfig::default()
+    };
+    let (bbvs, _, _) = Pipeline::new(config).profile(&program);
+    let sp = SimPointOptions::default();
+    // Quick mode sweeps a few small k's as a smoke test; measurement mode
+    // runs the restart sweep at MaxK itself, where the paper's pipeline
+    // spends its clustering time.
+    let ks: Vec<usize> = if options.quick {
+        vec![2, 5, 8]
+    } else {
+        vec![sp.max_k]
+    };
+    let n = bbvs.len();
+    let mut ks: Vec<usize> = ks.into_iter().filter(|&k| k <= n).collect();
+    if ks.is_empty() {
+        ks.push(1);
+    }
+    Ok(PerfInput {
+        benchmark: name,
+        bbvs,
+        dim: sp.dim,
+        ks,
+        n_init: sp.n_init,
+        max_iter: sp.max_iter,
+        seed: sp.seed,
+    })
+}
+
+fn ensure_identical(a: &KmeansResult, b: &KmeansResult, what: &str) -> Result<(), PerfError> {
+    let same = a.k == b.k
+        && a.iterations == b.iterations
+        && a.assignments == b.assignments
+        && a.inertia.to_bits() == b.inertia.to_bits()
+        && a.centroids.len() == b.centroids.len()
+        && a.centroids
+            .iter()
+            .zip(&b.centroids)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+    if same {
+        Ok(())
+    } else {
+        Err(PerfError::Mismatch(format!("kmeans {what}")))
+    }
+}
+
+/// Times the full clustering sweep — naive [`kmeans_best_of_reference`]
+/// vs the bounds-pruned [`kmeans_best_of`] — over every `k` in
+/// `input.ks`, asserting each pair of winners bit-identical.
+///
+/// # Errors
+///
+/// [`PerfError::Kmeans`] on invalid input, [`PerfError::Mismatch`] if the
+/// pruned kernel ever diverges.
+pub fn kmeans_sweep_kernel(
+    data: &[f64],
+    input: &PerfInput,
+    reps: u32,
+) -> Result<KernelTiming, PerfError> {
+    let n = input.bbvs.len();
+    let dim = input.dim;
+    // Each side is timed `reps` times and the minimum kept — the runs are
+    // deterministic, so the minimum is the least-perturbed measurement.
+    let mut naive = Vec::new();
+    let mut reference_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (r, ms) = time_ms(|| -> Result<Vec<KmeansResult>, KmeansError> {
+            input
+                .ks
+                .iter()
+                .map(|&k| {
+                    kmeans_best_of_reference(
+                        data,
+                        n,
+                        dim,
+                        k,
+                        input.max_iter,
+                        input.seed,
+                        input.n_init,
+                    )
+                })
+                .collect()
+        });
+        naive = r?;
+        reference_ms = reference_ms.min(ms);
+    }
+    let mut pruned = Vec::new();
+    let mut optimized_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (r, ms) = time_ms(|| -> Result<Vec<KmeansResult>, KmeansError> {
+            input
+                .ks
+                .iter()
+                .map(|&k| kmeans_best_of(data, n, dim, k, input.max_iter, input.seed, input.n_init))
+                .collect()
+        });
+        pruned = r?;
+        optimized_ms = optimized_ms.min(ms);
+    }
+    for ((a, b), &k) in naive.iter().zip(&pruned).zip(&input.ks) {
+        ensure_identical(a, b, &format!("k={k}"))?;
+    }
+    let last_inertia = pruned.last().map_or(0.0, |r| r.inertia);
+    Ok(KernelTiming {
+        name: "kmeans_sweep",
+        reference_ms: Some(reference_ms),
+        optimized_ms,
+        speedup: Some(reference_ms / optimized_ms),
+        details: vec![
+            ("points", n as f64),
+            ("dim", dim as f64),
+            ("max_k", input.ks.iter().copied().max().unwrap_or(0) as f64),
+            ("sweep_len", input.ks.len() as f64),
+            ("n_init", f64::from(input.n_init)),
+            ("final_inertia", last_inertia),
+        ],
+    })
+}
+
+/// Times BBV projection — the per-slice clone-and-project baseline vs the
+/// sparse batched [`RandomProjection::project_all_normalized`] — and
+/// asserts the outputs bit-identical.
+///
+/// # Errors
+///
+/// [`PerfError::Mismatch`] if the batched path diverges.
+pub fn projection_kernel(input: &PerfInput, reps: u32) -> Result<KernelTiming, PerfError> {
+    let projection = RandomProjection::new(input.dim, input.seed);
+    let mut baseline = Vec::new();
+    let (_, reference_ms) = time_ms(|| {
+        for _ in 0..reps {
+            baseline.clear();
+            for bbv in &input.bbvs {
+                baseline.extend(projection.project(&bbv.normalized()));
+            }
+        }
+    });
+    let mut batched = Vec::new();
+    let (_, optimized_ms) = time_ms(|| {
+        for _ in 0..reps {
+            batched = projection.project_all_normalized(&input.bbvs);
+        }
+    });
+    if baseline.len() != batched.len()
+        || baseline
+            .iter()
+            .zip(&batched)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        return Err(PerfError::Mismatch("bbv projection".to_string()));
+    }
+    let checksum: f64 = batched.iter().sum();
+    Ok(KernelTiming {
+        name: "bbv_projection",
+        reference_ms: Some(reference_ms),
+        optimized_ms,
+        speedup: Some(reference_ms / optimized_ms),
+        details: vec![
+            ("bbvs", input.bbvs.len() as f64),
+            ("dim", input.dim as f64),
+            ("reps", f64::from(reps)),
+            ("checksum", checksum),
+        ],
+    })
+}
+
+/// Times the [`Cache::access_rw`] probe loop: a seeded random
+/// read/write stream over a 128 KiB working set against a 32 KiB 8-way
+/// LRU cache (misses exercise the victim path). There is no kept naive
+/// baseline, so only the optimized time is reported; the hit count is a
+/// deterministic checksum.
+pub fn cache_kernel(accesses: u64) -> KernelTiming {
+    let mut cache = Cache::new(CacheConfig::new(32 << 10, 8, 64, 1));
+    let mut rng = SplitMix64::new(0xC0FF_EE00);
+    let mut hits = 0u64;
+    let (_, optimized_ms) = time_ms(|| {
+        for i in 0..accesses {
+            let addr = rng.next_u64() & 0x1_FFFF;
+            if cache.access_rw(addr, i % 4 == 0, true) {
+                hits += 1;
+            }
+        }
+    });
+    KernelTiming {
+        name: "cache_access_rw",
+        reference_ms: None,
+        optimized_ms,
+        speedup: None,
+        details: vec![
+            ("accesses", accesses as f64),
+            ("ns_per_access", optimized_ms * 1e6 / accesses as f64),
+            ("hits", hits as f64),
+        ],
+    }
+}
+
+/// Runs the whole harness: input regeneration plus all three kernels.
+/// `progress` receives one human-readable line per completed stage.
+///
+/// # Errors
+///
+/// As the individual stages.
+pub fn run_kernels(
+    options: &PerfOptions,
+    mut progress: impl FnMut(&str),
+) -> Result<PerfReport, PerfError> {
+    let input = prepare_input(options)?;
+    progress(&format!(
+        "regenerated {} BBV slices from {} (sweep ks = {:?}, {} restarts)",
+        input.bbvs.len(),
+        input.benchmark,
+        input.ks,
+        input.n_init
+    ));
+    let projection = RandomProjection::new(input.dim, input.seed);
+    let data = projection.project_all_normalized(&input.bbvs);
+
+    let kmeans = kmeans_sweep_kernel(&data, &input, if options.quick { 1 } else { 3 })?;
+    progress(&format!(
+        "kmeans_sweep: {:.1} ms reference, {:.1} ms pruned ({:.2}x)",
+        kmeans.reference_ms.unwrap_or(0.0),
+        kmeans.optimized_ms,
+        kmeans.speedup.unwrap_or(0.0)
+    ));
+
+    let reps = if options.quick { 5 } else { 3 };
+    let proj = projection_kernel(&input, reps)?;
+    progress(&format!(
+        "bbv_projection: {:.1} ms baseline, {:.1} ms sparse ({:.2}x)",
+        proj.reference_ms.unwrap_or(0.0),
+        proj.optimized_ms,
+        proj.speedup.unwrap_or(0.0)
+    ));
+
+    let accesses = if options.quick { 1_000_000 } else { 16_000_000 };
+    let cache = cache_kernel(accesses);
+    progress(&format!(
+        "cache_access_rw: {:.1} ms for {} accesses",
+        cache.optimized_ms, accesses
+    ));
+
+    Ok(PerfReport {
+        benchmark: input.benchmark,
+        quick: options.quick,
+        num_slices: input.bbvs.len() as u64,
+        dim: input.dim,
+        kernels: vec![kmeans, proj, cache],
+    })
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl PerfReport {
+    /// Renders the report as a JSON document (hand-assembled; floats use
+    /// Rust's shortest-round-trip `{:?}` like every sampsim writer).
+    pub fn to_json(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let mut fields = vec![format!("\"name\":\"{}\"", k.name)];
+                if let Some(r) = k.reference_ms {
+                    fields.push(format!("\"reference_ms\":{}", json_f(r)));
+                }
+                fields.push(format!("\"optimized_ms\":{}", json_f(k.optimized_ms)));
+                if let Some(s) = k.speedup {
+                    fields.push(format!("\"speedup\":{}", json_f(s)));
+                }
+                let details: Vec<String> = k
+                    .details
+                    .iter()
+                    .map(|(name, v)| format!("\"{name}\":{}", json_f(*v)))
+                    .collect();
+                fields.push(format!("\"details\":{{{}}}", details.join(",")));
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{}\",\"benchmark\":\"{}\",\"quick\":{},\"num_slices\":{},\"dim\":{},\"kernels\":[{}]}}\n",
+            SCHEMA,
+            self.benchmark,
+            self.quick,
+            self.num_slices,
+            self.dim,
+            kernels.join(",")
+        )
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{what}: missing \"{key}\""))
+}
+
+/// Validates a `BENCH_kernels.json` document against the v1 schema:
+/// schema tag, benchmark name, and the three kernels with finite
+/// non-negative timings (speedups required where a reference exists).
+///
+/// # Errors
+///
+/// A description of the first problem found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = field(&doc, "schema", "report")?
+        .as_str()
+        .ok_or("schema is not a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is '{schema}', expected '{SCHEMA}'"));
+    }
+    field(&doc, "benchmark", "report")?
+        .as_str()
+        .ok_or("benchmark is not a string")?;
+    field(&doc, "num_slices", "report")?
+        .as_f64()
+        .ok_or("num_slices is not a number")?;
+    let kernels = field(&doc, "kernels", "report")?
+        .as_array()
+        .ok_or("kernels is not an array")?;
+    let mut seen = Vec::new();
+    for kernel in kernels {
+        let name = field(kernel, "name", "kernel")?
+            .as_str()
+            .ok_or("kernel name is not a string")?;
+        let ms = field(kernel, "optimized_ms", name)?
+            .as_f64()
+            .ok_or_else(|| format!("{name}: optimized_ms is not a number"))?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("{name}: optimized_ms {ms} is not a valid timing"));
+        }
+        field(kernel, "details", name)?;
+        seen.push(name.to_string());
+    }
+    for required in ["kmeans_sweep", "bbv_projection", "cache_access_rw"] {
+        if !seen.iter().any(|s| s == required) {
+            return Err(format!("kernel \"{required}\" is missing"));
+        }
+    }
+    for kernel in kernels {
+        let name = kernel.get("name").and_then(Value::as_str).unwrap_or("");
+        if name == "kmeans_sweep" || name == "bbv_projection" {
+            let speedup = field(kernel, "speedup", name)?
+                .as_f64()
+                .ok_or_else(|| format!("{name}: speedup is not a number"))?;
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!("{name}: speedup {speedup} is not valid"));
+            }
+            field(kernel, "reference_ms", name)?
+                .as_f64()
+                .ok_or_else(|| format!("{name}: reference_ms is not a number"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_util::rng::Xoshiro256StarStar;
+
+    fn tiny_input() -> PerfInput {
+        // Synthetic BBVs: enough phase structure for clustering to do
+        // real work, small enough to keep the test fast.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let bbvs: Vec<Bbv> = (0..60)
+            .map(|i| {
+                let base = (i / 20) * 50;
+                let counts: Vec<(u32, u32)> = (0..10)
+                    .map(|j| (base + j * 3, 1 + (rng.next_u64() % 40) as u32))
+                    .collect();
+                Bbv::from_counts(counts)
+            })
+            .collect();
+        PerfInput {
+            benchmark: "synthetic".to_string(),
+            bbvs,
+            dim: 8,
+            ks: vec![2, 3],
+            n_init: 2,
+            max_iter: 40,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn kernels_run_and_report_validates() {
+        let input = tiny_input();
+        let projection = RandomProjection::new(input.dim, input.seed);
+        let data = projection.project_all_normalized(&input.bbvs);
+        let kmeans = kmeans_sweep_kernel(&data, &input, 2).unwrap();
+        assert!(kmeans.speedup.is_some());
+        let proj = projection_kernel(&input, 2).unwrap();
+        assert!(proj.reference_ms.is_some());
+        let cache = cache_kernel(50_000);
+        assert_eq!(cache.reference_ms, None);
+        let hits = cache
+            .details
+            .iter()
+            .find(|(n, _)| *n == "hits")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(hits > 0.0, "some accesses must hit");
+
+        let report = PerfReport {
+            benchmark: input.benchmark.clone(),
+            quick: true,
+            num_slices: input.bbvs.len() as u64,
+            dim: input.dim,
+            kernels: vec![kmeans, proj, cache],
+        };
+        let text = report.to_json();
+        validate_report(&text).unwrap();
+    }
+
+    #[test]
+    fn cache_kernel_checksum_is_deterministic() {
+        let a = cache_kernel(20_000);
+        let b = cache_kernel(20_000);
+        let hits = |k: &KernelTiming| {
+            k.details
+                .iter()
+                .find(|(n, _)| *n == "hits")
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(hits(&a).to_bits(), hits(&b).to_bits());
+    }
+
+    #[test]
+    fn validate_rejects_broken_reports() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{}").is_err());
+        let wrong_schema = r#"{"schema":"other/v9","benchmark":"x","num_slices":1,"kernels":[]}"#;
+        assert!(validate_report(wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let missing_kernel = format!(
+            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[{{"name":"cache_access_rw","optimized_ms":1.0,"details":{{}}}}]}}"#
+        );
+        assert!(validate_report(&missing_kernel)
+            .unwrap_err()
+            .contains("kmeans_sweep"));
+        let no_speedup = format!(
+            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[
+                {{"name":"kmeans_sweep","optimized_ms":1.0,"details":{{}}}},
+                {{"name":"bbv_projection","reference_ms":2.0,"optimized_ms":1.0,"speedup":2.0,"details":{{}}}},
+                {{"name":"cache_access_rw","optimized_ms":1.0,"details":{{}}}}]}}"#
+        );
+        assert!(validate_report(&no_speedup)
+            .unwrap_err()
+            .contains("speedup"));
+    }
+
+    #[test]
+    fn select_benchmark_falls_back_without_artifacts() {
+        let dir = std::env::temp_dir().join(format!("sampsim-perf-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(select_benchmark(&store, false), "503.bwaves_r");
+        assert_eq!(select_benchmark(&store, true), "505.mcf_r");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

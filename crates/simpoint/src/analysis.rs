@@ -2,9 +2,10 @@
 
 use crate::bbv::Bbv;
 use crate::bic::{bic_score, choose_k};
-use crate::kmeans::{kmeans_best_of, KmeansError, KmeansResult};
+use crate::kmeans::{kmeans_best_of_jobs, KmeansError, KmeansResult};
 use crate::project::{RandomProjection, DEFAULT_DIM};
 use crate::select::{select_simpoints, SimPoint};
+use sampsim_exec::{Jobs, SERIAL};
 use sampsim_util::rng::Xoshiro256StarStar;
 use std::fmt;
 
@@ -128,14 +129,30 @@ impl SimPointAnalysis {
     ///
     /// Returns [`SimPointError::NoSlices`] when `bbvs` is empty.
     pub fn run(&self, bbvs: &[Bbv], slice_size: u64) -> Result<SimPointsResult, SimPointError> {
+        self.run_jobs(bbvs, slice_size, SERIAL)
+    }
+
+    /// [`SimPointAnalysis::run`] with the k-means restarts fanned out over
+    /// `jobs` workers. The job count changes wall-clock time only — the
+    /// restart winner is selected deterministically, so the result is
+    /// bit-identical to the serial run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimPointError::NoSlices`] when `bbvs` is empty.
+    pub fn run_jobs(
+        &self,
+        bbvs: &[Bbv],
+        slice_size: u64,
+        jobs: Jobs,
+    ) -> Result<SimPointsResult, SimPointError> {
         if bbvs.is_empty() {
             return Err(SimPointError::NoSlices);
         }
         let o = &self.options;
         let n = bbvs.len();
         let projection = RandomProjection::new(o.dim, o.seed);
-        let normalized: Vec<Bbv> = bbvs.iter().map(Bbv::normalized).collect();
-        let data = projection.project_all(&normalized);
+        let data = projection.project_all_normalized(bbvs);
 
         // Score candidate k on a subsample when the slice count is large.
         let (score_data, score_n) = if n > o.sample_size {
@@ -156,7 +173,7 @@ impl SimPointAnalysis {
         let max_k = o.max_k.min(score_n);
         let mut bic_scores = Vec::with_capacity(max_k);
         for k in 1..=max_k {
-            let r = kmeans_best_of(
+            let r = kmeans_best_of_jobs(
                 &score_data,
                 score_n,
                 o.dim,
@@ -164,13 +181,14 @@ impl SimPointAnalysis {
                 o.max_iter,
                 o.seed.wrapping_add(k as u64),
                 o.n_init,
+                jobs,
             )?;
             bic_scores.push((k, bic_score(&r, o.dim)));
         }
         let best_k = choose_k(&bic_scores, o.bic_threshold);
 
         // Final clustering at the chosen k over every slice.
-        let final_result: KmeansResult = kmeans_best_of(
+        let final_result: KmeansResult = kmeans_best_of_jobs(
             &data,
             n,
             o.dim,
@@ -178,6 +196,7 @@ impl SimPointAnalysis {
             o.max_iter,
             o.seed.wrapping_add(best_k as u64),
             o.n_init,
+            jobs,
         )?;
         let points = select_simpoints(&final_result, &data, o.dim);
         Ok(SimPointsResult {

@@ -26,7 +26,7 @@ pub fn bic_score(result: &KmeansResult, dim: usize) -> f64 {
     let nf = n as f64;
     let d = dim as f64;
     let mut loglik = 0.0;
-    for &r in &sizes {
+    for &r in sizes {
         if r == 0 {
             continue;
         }

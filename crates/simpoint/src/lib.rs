@@ -58,5 +58,8 @@ pub mod vli;
 mod analysis;
 
 pub use analysis::{SimPointAnalysis, SimPointError, SimPointOptions, SimPointsResult};
-pub use kmeans::{KmeansError, KmeansResult};
+pub use kmeans::{
+    kmeans, kmeans_best_of, kmeans_best_of_jobs, kmeans_best_of_reference, kmeans_reference,
+    KmeansError, KmeansResult,
+};
 pub use select::SimPoint;

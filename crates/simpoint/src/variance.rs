@@ -19,8 +19,7 @@ use crate::SimPointOptions;
 pub fn variance_sweep(bbvs: &[Bbv], ks: &[usize], options: &SimPointOptions) -> Vec<(usize, f64)> {
     assert!(!bbvs.is_empty(), "no slices to analyze");
     let projection = RandomProjection::new(options.dim, options.seed);
-    let normalized: Vec<Bbv> = bbvs.iter().map(Bbv::normalized).collect();
-    let data = projection.project_all(&normalized);
+    let data = projection.project_all_normalized(bbvs);
     let n = bbvs.len();
     ks.iter()
         .map(|&k| {

@@ -34,6 +34,7 @@
 
 pub mod codec;
 pub mod hash;
+pub mod json;
 pub mod plot;
 pub mod prop;
 pub mod rng;

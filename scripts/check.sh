@@ -21,4 +21,14 @@ echo "==> sampsim lint --deny-warnings"
 # depend on scale (run-length rules are proportionality checks).
 cargo run --release -q -p sampsim-cli -- lint --scale 0.01 --deny-warnings
 
+echo "==> sampsim perf --quick (kernel smoke + report schema)"
+# Times the optimized kernels against their naive references at smoke
+# sizes — every timed pair is asserted bit-identical — then validates
+# the emitted report and the committed baseline against the schema.
+perf_report="$(mktemp)"
+trap 'rm -f "$perf_report"' EXIT
+cargo run --release -q -p sampsim-cli -- perf --quick -o "$perf_report" > /dev/null
+cargo run --release -q -p sampsim-cli -- perf --validate "$perf_report"
+cargo run --release -q -p sampsim-cli -- perf --validate BENCH_kernels.json
+
 echo "all checks passed"

@@ -34,6 +34,7 @@ pub use sampsim_analyze as analyze;
 pub use sampsim_cache as cache;
 pub use sampsim_core as core;
 pub use sampsim_exec as exec;
+pub use sampsim_perf as perf;
 pub use sampsim_pin as pin;
 pub use sampsim_pinball as pinball;
 pub use sampsim_simpoint as simpoint;

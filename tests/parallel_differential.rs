@@ -271,6 +271,41 @@ fn suite_benchmarks_are_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn kmeans_restarts_are_bit_identical_across_job_counts() {
+    // The clustering restarts themselves now fan out over the worker
+    // pool: the serial best-of fold and every parallel job count must
+    // pick the same winner, bit for bit — including the naive reference
+    // kernel, which shares the restart seed schedule.
+    use sampsim::simpoint::project::RandomProjection;
+    use sampsim::simpoint::{kmeans_best_of, kmeans_best_of_jobs, kmeans_best_of_reference};
+
+    let program = synthetic(77);
+    let pipeline = Pipeline::new(config(false));
+    let (bbvs, _, _) = pipeline.profile(&program);
+    let projection = RandomProjection::new(15, 0x51AB_0DD5);
+    let data = projection.project_all_normalized(&bbvs);
+    let n = bbvs.len();
+    for k in [2, 7] {
+        let serial = kmeans_best_of(&data, n, 15, k, 60, 9, 5).unwrap();
+        let naive = kmeans_best_of_reference(&data, n, 15, k, 60, 9, 5).unwrap();
+        assert_eq!(serial.assignments, naive.assignments, "pruned vs naive");
+        assert_f64_bits(serial.inertia, naive.inertia, "pruned vs naive inertia");
+        for jobs in job_grid() {
+            let par = kmeans_best_of_jobs(&data, n, 15, k, 60, 9, 5, jobs).unwrap();
+            let what = format!("restarts k={k} (jobs = {jobs})");
+            assert_eq!(par.k, serial.k, "{what}: k");
+            assert_eq!(par.iterations, serial.iterations, "{what}: iterations");
+            assert_eq!(par.assignments, serial.assignments, "{what}: assignments");
+            assert_f64_bits(par.inertia, serial.inertia, &format!("{what}: inertia"));
+            assert_eq!(par.centroids.len(), serial.centroids.len());
+            for (a, b) in par.centroids.iter().zip(&serial.centroids) {
+                assert_f64_bits(*a, *b, &format!("{what}: centroid"));
+            }
+        }
+    }
+}
+
+#[test]
 fn single_slice_program_profiles_identically() {
     // Degenerate sharding: the whole program fits in one slice, so every
     // job count must collapse to the serial path.

@@ -88,6 +88,96 @@ fn kmeans_invariants() {
     });
 }
 
+/// The bounds-pruned k-means kernel is bit-identical to the naive
+/// reference — assignments, centroids, inertia, iteration count — across
+/// random seeds, shapes and iteration caps, including duplicate-heavy
+/// data that forces duplicate centroids and empty-cluster reseeds.
+#[test]
+fn pruned_kmeans_matches_reference_bitwise() {
+    use sampsim::simpoint::kmeans::kmeans_reference;
+    run_cases("pruned-kmeans-bitwise", 48, |g| {
+        let n = g.usize_in(4..120);
+        let dim = g.usize_in(1..12);
+        let k = g.usize_in(1..24);
+        let max_iter = g.u64_in(0..80) as u32;
+        let seed = g.u64_in(0..10_000);
+        let mut rng = sampsim::util::rng::Xoshiro256StarStar::seed_from_u64(seed);
+        let data: Vec<f64> = if g.chance(0.4) {
+            // A handful of distinct points, many exact copies: duplicate
+            // centroids (half-distance 0) and, for k above the distinct
+            // count, empty-cluster reseeds.
+            let distinct = g.usize_in(1..4);
+            let protos: Vec<f64> = (0..distinct * dim).map(|_| rng.next_f64() * 10.0).collect();
+            (0..n)
+                .flat_map(|i| {
+                    let p = i % distinct;
+                    protos[p * dim..(p + 1) * dim].to_vec()
+                })
+                .collect()
+        } else {
+            (0..n * dim).map(|_| rng.next_f64() * 10.0 - 5.0).collect()
+        };
+        let pruned = kmeans(&data, n, dim, k, max_iter, seed).unwrap();
+        let naive = kmeans_reference(&data, n, dim, k, max_iter, seed).unwrap();
+        assert_eq!(pruned.k, naive.k, "k");
+        assert_eq!(pruned.iterations, naive.iterations, "iterations");
+        assert_eq!(pruned.assignments, naive.assignments, "assignments");
+        assert_eq!(
+            pruned.inertia.to_bits(),
+            naive.inertia.to_bits(),
+            "inertia {} vs {}",
+            pruned.inertia,
+            naive.inertia
+        );
+        assert_eq!(pruned.centroids.len(), naive.centroids.len());
+        for (a, b) in pruned.centroids.iter().zip(&naive.centroids) {
+            assert_eq!(a.to_bits(), b.to_bits(), "centroid {a} vs {b}");
+        }
+        assert_eq!(pruned.cluster_sizes(), naive.cluster_sizes());
+    });
+}
+
+/// The sparse batched projection is bit-identical to projecting a dense
+/// per-slice vector through the same matrix, normalized and raw.
+#[test]
+fn sparse_projection_matches_dense_bitwise() {
+    use sampsim::simpoint::project::RandomProjection;
+    run_cases("sparse-projection-bitwise", 48, |g| {
+        let dim = g.usize_in(1..20);
+        let seed = g.u64_in(0..10_000);
+        let nbbv = g.usize_in(1..16);
+        let bbvs: Vec<Bbv> = (0..nbbv)
+            .map(|_| {
+                let mut counts = g.vec_of(0..30, |g| {
+                    (g.u64_in(0..600) as u32, g.u64_in(1..100) as u32)
+                });
+                counts.sort_by_key(|&(b, _)| b);
+                counts.dedup_by_key(|&mut (b, _)| b);
+                Bbv::from_counts(counts)
+            })
+            .collect();
+        let projection = RandomProjection::new(dim, seed);
+        let num_blocks = bbvs
+            .iter()
+            .filter_map(Bbv::max_block)
+            .max()
+            .map_or(0, |m| m + 1);
+        let batch = projection.project_all_normalized(&bbvs);
+        assert_eq!(batch.len(), nbbv * dim);
+        for (i, bbv) in bbvs.iter().enumerate() {
+            let dense = projection.project_dense_reference(&bbv.normalized(), num_blocks);
+            for (a, b) in batch[i * dim..(i + 1) * dim].iter().zip(&dense) {
+                assert_eq!(a.to_bits(), b.to_bits(), "normalized {a} vs {b}");
+            }
+            let sparse_raw = projection.project(bbv);
+            let dense_raw = projection.project_dense_reference(bbv, num_blocks);
+            for (a, b) in sparse_raw.iter().zip(&dense_raw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "raw {a} vs {b}");
+            }
+        }
+    });
+}
+
 /// Percentile reduction keeps weights normalized, returns a subset, is
 /// monotone in the percentile, and the kept points' *original* weight
 /// never exceeds the original total (it covers at least the requested
