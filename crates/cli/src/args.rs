@@ -9,7 +9,7 @@ usage: sampsim <command> [flags]
 
 commands:
   list                         list the synthetic SPEC CPU2017 suite
-  run <bench>                  full sampling study, machine-readable JSON
+  run <bench> [-o FILE]        full sampling study, machine-readable JSON
   profile <bench>              run the whole benchmark under ldstmix+allcache
   simpoints <bench> [-o DIR]   find simulation points; save pinballs to DIR
   replay <FILE>                replay saved regional pinballs with tools
@@ -18,6 +18,8 @@ commands:
   lint [bench]                 static checks over workloads and the config
   perf [-o FILE]               time the optimized kernels against their
                                naive references; write a BENCH_kernels.json
+  serve                        run the sampling-as-a-service daemon
+  request [bench] [-o FILE]    query a running daemon (reply == `run` stdout)
   help                         show this text
 
 flags:
@@ -36,6 +38,18 @@ perf flags:
   --quick                 smoke-test sizes (CI); full sizes otherwise
   --artifacts <DIR>       benchmark artifact directory (default: artifacts)
   --validate <FILE>       only validate an existing report, run nothing
+
+serve flags:
+  --addr <host:port>      listen address (default: 127.0.0.1:7411; port 0
+                          binds an ephemeral port, printed on stdout)
+  --cache-dir <DIR>       on-disk response/stage cache (default: memory only)
+  --queue-depth <n>       admission queue depth before Busy replies (>= 1,
+                          default: 32); --jobs sets the worker-pool size
+
+request flags:
+  --addr <host:port>      daemon address (default: 127.0.0.1:7411)
+  --ping | --stats | --shutdown
+                          control op instead of a run request
 
 <bench> is a SPEC name (e.g. 505.mcf_r) or a unique substring (mcf_r).";
 
@@ -77,11 +91,13 @@ pub struct Parsed {
 pub enum Command {
     /// `sampsim list`
     List,
-    /// `sampsim run <bench>` — the full sampling study with deterministic
-    /// JSON output.
+    /// `sampsim run <bench> [-o FILE]` — the full sampling study with
+    /// deterministic JSON output.
     Run {
         /// Benchmark name or substring.
         bench: String,
+        /// Also write the report to this path (stdout always gets it).
+        out: Option<String>,
     },
     /// `sampsim profile <bench>`
     Profile {
@@ -136,8 +152,42 @@ pub enum Command {
         /// Validate this existing report instead of running kernels.
         validate: Option<String>,
     },
+    /// `sampsim serve [--addr A] [--cache-dir DIR] [--queue-depth N]`
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// On-disk cache directory (`None` = memory tier only).
+        cache_dir: Option<String>,
+        /// Admission-queue depth.
+        queue_depth: usize,
+    },
+    /// `sampsim request [bench] [--addr A] [--ping|--stats|--shutdown]`
+    Request {
+        /// Benchmark name or substring (required for run requests).
+        bench: Option<String>,
+        /// Daemon address.
+        addr: String,
+        /// Which operation to send.
+        op: RequestOp,
+        /// Also write the reply to this path (stdout always gets it).
+        out: Option<String>,
+    },
     /// `sampsim help`
     Help,
+}
+
+/// The operation `sampsim request` sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestOp {
+    /// A full run request (the default).
+    #[default]
+    Run,
+    /// Liveness check.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
 }
 
 /// Output format of `sampsim lint`.
@@ -166,6 +216,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut artifacts: Option<String> = None;
     let mut quick = false;
     let mut validate: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut request_op: Option<RequestOp> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -206,6 +260,33 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             }
             "--deny-warnings" => deny_warnings = true,
             "--quick" => quick = true,
+            "--addr" => {
+                addr = Some(iter.next().ok_or("--addr needs a host:port value")?);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(iter.next().ok_or("--cache-dir needs a path")?);
+            }
+            "--queue-depth" => {
+                let v = iter.next().ok_or("--queue-depth needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --queue-depth value: {v}"))?;
+                if n == 0 {
+                    return Err("--queue-depth must be >= 1".into());
+                }
+                queue_depth = Some(n);
+            }
+            "--ping" | "--stats" | "--shutdown" => {
+                let op = match arg.as_str() {
+                    "--ping" => RequestOp::Ping,
+                    "--stats" => RequestOp::Stats,
+                    _ => RequestOp::Shutdown,
+                };
+                if request_op.is_some_and(|prev| prev != op) {
+                    return Err("--ping, --stats and --shutdown are mutually exclusive".into());
+                }
+                request_op = Some(op);
+            }
             "--validate" => {
                 validate = Some(iter.next().ok_or("--validate needs a path")?);
             }
@@ -223,6 +304,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
         Some("list") => Command::List,
         Some("run") => Command::Run {
             bench: positionals.next().ok_or("run needs a benchmark")?,
+            out,
         },
         Some("profile") => Command::Profile {
             bench: positionals.next().ok_or("profile needs a benchmark")?,
@@ -254,6 +336,31 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             artifacts,
             validate,
         },
+        Some("serve") => Command::Serve {
+            addr: addr.unwrap_or_else(|| sampsim_serve::DEFAULT_ADDR.to_string()),
+            cache_dir,
+            queue_depth: queue_depth.unwrap_or(sampsim_serve::DEFAULT_QUEUE_DEPTH),
+        },
+        Some("request") => {
+            let bench = positionals.next();
+            let op = request_op.unwrap_or_default();
+            if op == RequestOp::Run && bench.is_none() {
+                return Err(
+                    "request needs a benchmark (or one of --ping/--stats/--shutdown)".into(),
+                );
+            }
+            if op != RequestOp::Run && bench.is_some() {
+                return Err(
+                    "control requests (--ping/--stats/--shutdown) take no benchmark".into(),
+                );
+            }
+            Command::Request {
+                bench,
+                addr: addr.unwrap_or_else(|| sampsim_serve::DEFAULT_ADDR.to_string()),
+                op,
+                out,
+            }
+        }
         Some(other) => return Err(format!("unknown command: {other}")),
     };
     if let Some(extra) = positionals.next() {
@@ -311,7 +418,15 @@ mod tests {
         assert_eq!(
             p.command,
             Command::Run {
-                bench: "mcf_r".into()
+                bench: "mcf_r".into(),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse_str("run mcf_r -o report.json").unwrap().command,
+            Command::Run {
+                bench: "mcf_r".into(),
+                out: Some("report.json".into()),
             }
         );
         assert_eq!(p.options.jobs, Jobs::new(2).unwrap());
@@ -401,6 +516,67 @@ mod tests {
         );
         assert!(parse_str("perf --validate").is_err());
         assert!(parse_str("perf extra").is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse_str("serve").unwrap().command,
+            Command::Serve {
+                addr: sampsim_serve::DEFAULT_ADDR.into(),
+                cache_dir: None,
+                queue_depth: sampsim_serve::DEFAULT_QUEUE_DEPTH,
+            }
+        );
+        assert_eq!(
+            parse_str("serve --addr 127.0.0.1:0 --cache-dir /tmp/c --queue-depth 4 --jobs 2")
+                .unwrap()
+                .command,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                cache_dir: Some("/tmp/c".into()),
+                queue_depth: 4,
+            }
+        );
+        assert!(parse_str("serve --queue-depth 0").is_err());
+        assert!(parse_str("serve --queue-depth nope").is_err());
+        assert!(parse_str("serve --addr").is_err());
+    }
+
+    #[test]
+    fn parses_request() {
+        assert_eq!(
+            parse_str("request mcf_r").unwrap().command,
+            Command::Request {
+                bench: Some("mcf_r".into()),
+                addr: sampsim_serve::DEFAULT_ADDR.into(),
+                op: RequestOp::Run,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse_str("request --addr 127.0.0.1:9 --shutdown")
+                .unwrap()
+                .command,
+            Command::Request {
+                bench: None,
+                addr: "127.0.0.1:9".into(),
+                op: RequestOp::Shutdown,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse_str("request --ping").unwrap().command,
+            Command::Request {
+                bench: None,
+                addr: sampsim_serve::DEFAULT_ADDR.into(),
+                op: RequestOp::Ping,
+                out: None,
+            }
+        );
+        assert!(parse_str("request").is_err(), "run op needs a benchmark");
+        assert!(parse_str("request mcf_r --stats").is_err());
+        assert!(parse_str("request --ping --shutdown").is_err());
     }
 
     #[test]

@@ -2,48 +2,49 @@
 
 mod lint;
 mod perf;
+mod serve;
 
 pub use lint::lint;
 pub use perf::perf;
+pub use serve::{request, serve};
 
 use crate::args::Options;
 use sampsim_cache::configs;
 use sampsim_core::metrics::{aggregate_weighted, whole_as_aggregate, AggregatedMetrics};
 use sampsim_core::pipeline::{PinPointsConfig, Pipeline};
 use sampsim_core::runs::{self, WarmupMode};
+use sampsim_core::stage_cache::NoCache;
 use sampsim_pinball::store;
+use sampsim_serve::service::{self, find_benchmark, RunRequest};
 use sampsim_simpoint::SimPointOptions;
-use sampsim_spec2017::{benchmark, BenchmarkId, BenchmarkSpec};
+use sampsim_spec2017::BenchmarkSpec;
 use sampsim_util::stats::with_commas;
 use sampsim_util::table::{fmt_f, Table};
 use sampsim_workload::Program;
+use std::fmt;
+use std::io::Write;
 use std::path::Path;
 
 /// Boxed error for command results.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-fn find_benchmark(pattern: &str) -> Result<BenchmarkSpec, String> {
-    if let Some(id) = BenchmarkId::from_name(pattern) {
-        return Ok(benchmark(id));
+/// A usage-class failure (bad operands rather than a failed run): `main`
+/// maps it to exit code 2, like argument-parse errors.
+#[derive(Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
     }
-    let matches: Vec<BenchmarkId> = BenchmarkId::ALL
-        .iter()
-        .copied()
-        .filter(|id| id.name().contains(pattern))
-        .collect();
-    match matches.as_slice() {
-        [one] => Ok(benchmark(*one)),
-        [] => Err(format!(
-            "no benchmark matches '{pattern}' (try `sampsim list`)"
-        )),
-        many => Err(format!(
-            "'{pattern}' is ambiguous: {}",
-            many.iter()
-                .map(|id| id.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        )),
-    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Opens `path` for writing up front, so a bad report path fails fast
+/// (exit 2) instead of after minutes of pipeline work.
+fn create_report_file(path: &str) -> Result<std::fs::File, UsageError> {
+    std::fs::File::create(path).map_err(|e| UsageError(format!("cannot write {path}: {e}")))
 }
 
 fn pipeline_config(options: &Options) -> PinPointsConfig {
@@ -86,99 +87,38 @@ pub fn list() -> CmdResult {
     Ok(())
 }
 
-/// `sampsim run <bench>` — profile, cluster, replay, aggregate; print one
-/// deterministic JSON document to stdout.
+/// `sampsim run <bench> [-o FILE]` — profile, cluster, replay, aggregate;
+/// print one deterministic JSON document to stdout (and, with `-o`, to
+/// `FILE`).
 ///
-/// The output contains only deterministic quantities (no wall-clock, no
-/// resolved worker count), and every float is printed with Rust's
-/// shortest-round-trip formatting, so the bytes on stdout are identical
-/// for every `--jobs` value. The CLI integration tests rely on this.
-pub fn run(bench: &str, options: &Options) -> CmdResult {
-    let spec = find_benchmark(bench)?;
-    let program = build(&spec, options);
-    let mut config = pipeline_config(options);
-    config.profile_cache = Some(configs::allcache_table1());
+/// The document is rendered by `sampsim_serve::service` — the same code
+/// path the daemon replies through, so served responses are byte-identical
+/// to this stdout by construction. It contains only deterministic
+/// quantities (no wall-clock, no resolved worker count), and every float
+/// is printed with Rust's shortest-round-trip formatting, so the bytes
+/// are identical for every `--jobs` value. The CLI integration tests rely
+/// on this.
+pub fn run(bench: &str, out: Option<&str>, options: &Options) -> CmdResult {
+    let request = RunRequest {
+        bench: bench.to_string(),
+        scale: options.scale.factor(),
+        slice: options.slice,
+        maxk: options.maxk,
+    };
+    let prepared = service::prepare(&request)?;
+    let mut sink = out.map(create_report_file).transpose()?;
     eprintln!(
         "running the sampling study for {} ({} instructions, jobs = {})...",
-        spec.name(),
-        with_commas(program.total_insts()),
+        prepared.name,
+        with_commas(prepared.program.total_insts()),
         options.jobs
     );
-    let result = Pipeline::new(config).run_jobs(&program, options.jobs)?;
-    let regions = runs::run_regions_functional_jobs(
-        &program,
-        &result.regional,
-        configs::allcache_table1(),
-        WarmupMode::Checkpointed,
-        options.jobs,
-    )?;
-    let agg = aggregate_weighted(&regions);
-    let whole = whole_as_aggregate(&result.whole_metrics);
-    println!("{}", run_json(spec.name(), &result, &whole, &agg));
+    let document = service::execute_prepared(&prepared, options.jobs, &NoCache)?;
+    println!("{document}");
+    if let Some(file) = &mut sink {
+        writeln!(file, "{document}")?;
+    }
     Ok(())
-}
-
-/// Renders the `sampsim run` JSON document. Hand-assembled (the build has
-/// no serializer dependency); all floats go through `{:?}` so the text is
-/// the shortest exact representation of the bit pattern.
-fn run_json(
-    name: &str,
-    result: &sampsim_core::pipeline::PipelineResult,
-    whole: &AggregatedMetrics,
-    regional: &AggregatedMetrics,
-) -> String {
-    fn json_f(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v:?}")
-        } else {
-            "null".to_string()
-        }
-    }
-    fn mix(m: &[f64; 4]) -> String {
-        let parts: Vec<String> = m.iter().map(|v| json_f(*v)).collect();
-        format!("[{}]", parts.join(","))
-    }
-    fn agg_obj(a: &AggregatedMetrics) -> String {
-        let mut fields = vec![
-            format!("\"instructions\":{}", a.total_instructions),
-            format!("\"mix_pct\":{}", mix(&a.mix_pct)),
-        ];
-        if let Some(mr) = a.miss_rates {
-            fields.push(format!(
-                "\"miss_rates_pct\":{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l3\":{}}}",
-                json_f(mr.l1i),
-                json_f(mr.l1d),
-                json_f(mr.l2),
-                json_f(mr.l3)
-            ));
-            fields.push(format!("\"l3_accesses\":{}", a.total_l3_accesses));
-        }
-        if let Some(cpi) = a.cpi {
-            fields.push(format!("\"cpi\":{}", json_f(cpi)));
-        }
-        format!("{{{}}}", fields.join(","))
-    }
-    let points: Vec<String> = result
-        .regional
-        .iter()
-        .map(|pb| {
-            format!(
-                "{{\"slice\":{},\"cluster\":{},\"weight\":{}}}",
-                pb.slice_index,
-                pb.cluster,
-                json_f(pb.weight)
-            )
-        })
-        .collect();
-    format!(
-        "{{\"benchmark\":\"{}\",\"slices\":{},\"k\":{},\"points\":[{}],\"whole\":{},\"regional\":{}}}",
-        name,
-        result.num_slices,
-        result.simpoints.k,
-        points.join(","),
-        agg_obj(whole),
-        agg_obj(regional)
-    )
 }
 
 /// `sampsim profile <bench>`.

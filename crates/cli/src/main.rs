@@ -10,6 +10,8 @@
 //! sampsim report   <bench>              full paper-style report (all runs)
 //! sampsim trace    <bench> -o FILE      write an execution trace to disk
 //! sampsim lint     [bench]              static checks (workloads + config)
+//! sampsim serve                         sampling-as-a-service daemon
+//! sampsim request  <bench>              query a daemon (reply == run stdout)
 //! ```
 //!
 //! Global flags: `--scale <f>` (workload scale, default `$SAMPSIM_SCALE`
@@ -32,7 +34,7 @@ fn main() -> ExitCode {
     };
     let result = match parsed.command {
         args::Command::List => commands::list(),
-        args::Command::Run { bench } => commands::run(&bench, &parsed.options),
+        args::Command::Run { bench, out } => commands::run(&bench, out.as_deref(), &parsed.options),
         args::Command::Profile { bench } => commands::profile(&bench, &parsed.options),
         args::Command::SimPoints { bench, out } => {
             commands::simpoints(&bench, out.as_deref(), &parsed.options)
@@ -75,6 +77,17 @@ fn main() -> ExitCode {
             artifacts.as_deref(),
             validate.as_deref(),
         ),
+        args::Command::Serve {
+            addr,
+            cache_dir,
+            queue_depth,
+        } => commands::serve(&addr, cache_dir.as_deref(), queue_depth, &parsed.options),
+        args::Command::Request {
+            bench,
+            addr,
+            op,
+            out,
+        } => commands::request(bench.as_deref(), &addr, op, out.as_deref(), &parsed.options),
         args::Command::Help => {
             println!("{}", args::USAGE);
             Ok(())
@@ -84,6 +97,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            // Usage-class failures (e.g. an unwritable -o path) exit 2,
+            // matching the parse-error convention above.
+            if e.is::<commands::UsageError>() {
+                return ExitCode::from(2);
+            }
             ExitCode::FAILURE
         }
     }

@@ -268,6 +268,141 @@ fn jobs_accepts_explicit_counts_and_auto() {
 }
 
 #[test]
+fn run_writes_report_file_with_dash_o() {
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-run-o-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    let out = sampsim()
+        .args(["run", "omnetpp_s", "--scale", "0.002", "--maxk", "6", "-o"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout always carries the document; -o writes the same bytes.
+    let file = std::fs::read(&path).unwrap();
+    assert_eq!(file, out.stdout, "-o file diverged from stdout");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_unwritable_output_path_is_a_usage_error() {
+    let out = sampsim()
+        .args([
+            "run",
+            "omnetpp_s",
+            "--scale",
+            "0.002",
+            "--maxk",
+            "6",
+            "-o",
+            "/nonexistent-dir/report.json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unwritable -o path exits 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(out.stdout.is_empty(), "no document on a failed run");
+}
+
+/// Kills the daemon on drop so a failed assertion can't leak a child
+/// process; disarmed once the test has shut it down gracefully.
+struct Daemon {
+    child: std::process::Child,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> (Self, String) {
+        use std::io::{BufRead, BufReader};
+        let mut child = sampsim()
+            .arg("serve")
+            .args(args)
+            .args(["--addr", "127.0.0.1:0", "--jobs", "2"])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        // The daemon announces its (ephemeral) address on stdout first.
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("sampsim-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+            .to_string();
+        (Self { child }, addr)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn serve_and_request_roundtrip_matches_run_stdout() {
+    let run = sampsim()
+        .args(["run", "omnetpp_s", "--scale", "0.002", "--maxk", "6"])
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+
+    let (mut daemon, addr) = Daemon::spawn(&[]);
+    let request = |extra: &[&str]| {
+        sampsim()
+            .args(["request", "--addr", &addr])
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+    let bench_args = ["omnetpp_s", "--scale", "0.002", "--maxk", "6"];
+
+    let ping = request(&["--ping"]);
+    assert!(ping.status.success());
+    assert_eq!(ping.stdout, b"{\"ok\":\"pong\"}\n");
+
+    // Cold, then cached: both byte-identical to `sampsim run` stdout.
+    let cold = request(&bench_args);
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert_eq!(cold.stdout, run.stdout, "served reply != `run` stdout");
+    let cached = request(&bench_args);
+    assert!(cached.status.success());
+    assert_eq!(cached.stdout, run.stdout, "cached reply != `run` stdout");
+
+    // Server-side failures surface as exit 1 with the reply on stderr.
+    let unknown = request(&["no-such-bench"]);
+    assert_eq!(unknown.status.code(), Some(1));
+    let err = String::from_utf8(unknown.stderr).unwrap();
+    assert!(err.contains("\"code\":\"unknown-bench\""), "{err}");
+    assert!(unknown.stdout.is_empty(), "error replies stay off stdout");
+
+    let stats = request(&["--stats"]);
+    assert!(stats.status.success());
+    let text = String::from_utf8(stats.stdout).unwrap();
+    assert!(text.starts_with("{\"ok\":\"stats\""), "{text}");
+    assert!(text.contains("\"executions\":1"), "{text}");
+
+    let shutdown = request(&["--shutdown"]);
+    assert!(shutdown.status.success());
+    assert_eq!(shutdown.stdout, b"{\"ok\":\"shutdown\"}\n");
+    let status = daemon.child.wait().unwrap();
+    assert!(status.success(), "daemon must exit 0 after shutdown");
+}
+
+#[test]
 fn run_output_is_byte_identical_across_job_counts() {
     // The determinism contract at the user-visible boundary: the JSON on
     // stdout must be byte-for-byte identical for --jobs 1, an explicit

@@ -59,9 +59,11 @@ pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
 pub mod runs;
+pub mod stage_cache;
 
 pub use bench_result::BenchResult;
 pub use error::CoreError;
 pub use metrics::{AggregatedMetrics, RunMetrics};
 pub use pipeline::{PinPointsConfig, Pipeline, PipelineResult};
 pub use runs::WarmupMode;
+pub use stage_cache::{MemoryStageCache, NoCache, StageCache};

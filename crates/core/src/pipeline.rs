@@ -113,13 +113,51 @@ impl Pipeline {
     ///
     /// Exactly as [`Pipeline::run`].
     pub fn run_jobs(&self, program: &Program, jobs: Jobs) -> Result<PipelineResult, CoreError> {
+        self.run_jobs_cached(program, jobs, &crate::stage_cache::NoCache)
+    }
+
+    /// [`Pipeline::run_jobs`] with the profiling stage memoized through
+    /// `cache` (see [`crate::stage_cache`]). On a hit the whole-program
+    /// execution is skipped and the stored BBVs, slice cursors and metrics
+    /// are reused; undecodable or mismatched entries fall back to a full
+    /// recompute, so a corrupt cache can cost time but never correctness.
+    /// Every output is bit-identical to the uncached run.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Pipeline::run`].
+    pub fn run_jobs_cached(
+        &self,
+        program: &Program,
+        jobs: Jobs,
+        cache: &dyn crate::stage_cache::StageCache,
+    ) -> Result<PipelineResult, CoreError> {
+        use crate::stage_cache::{profile_stage_key, ProfileStage};
+
         let expected_slices = (self.config.slice_size > 0)
             .then(|| program.total_insts().div_ceil(self.config.slice_size));
         let report = self.config.lint(expected_slices);
         if report.has_errors() {
             return Err(CoreError::Config(report.into_diagnostics()));
         }
-        let (bbvs, starts, whole_metrics) = self.profile_jobs(program, jobs);
+        let key = profile_stage_key(program, &self.config);
+        let cached = cache
+            .get(key)
+            .and_then(|bytes| ProfileStage::from_bytes(&bytes).ok())
+            .filter(|stage| stage.matches(program, &self.config));
+        let (bbvs, starts, whole_metrics) = match cached {
+            Some(stage) => (stage.bbvs, stage.starts, stage.metrics),
+            None => {
+                let (bbvs, starts, metrics) = self.profile_jobs(program, jobs);
+                let stage = ProfileStage {
+                    bbvs,
+                    starts,
+                    metrics,
+                };
+                cache.put(key, &stage.to_bytes());
+                (stage.bbvs, stage.starts, stage.metrics)
+            }
+        };
         let num_slices = bbvs.len() as u64;
 
         // -- Clustering (k-means restarts fan out over the same workers).

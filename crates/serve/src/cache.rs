@@ -1,0 +1,271 @@
+//! The two-tier content-addressed result cache.
+//!
+//! Tier 1 is a bounded in-memory LRU; tier 2 is an optional on-disk store
+//! (one file per key under `--cache-dir`). Both tiers are keyed by the
+//! stable content hashes from `sampsim_core::stage_cache` — the same store
+//! holds profiling-stage entries and rendered response documents, kept
+//! apart by their key-domain tags.
+//!
+//! Disk entries are self-checking: a magic/version header, the key (so a
+//! renamed file cannot masquerade as another entry), a length, the
+//! payload, and an FNV-1a checksum. Any mismatch — truncation, bit rot,
+//! version skew — reads as a miss, never as wrong bytes.
+//!
+//! Writes go through a temp file in the same directory followed by an
+//! atomic rename, so concurrent writers and crashed processes can never
+//! leave a half-written entry under a final name.
+
+use sampsim_core::stage_cache::StageCache;
+use sampsim_util::codec::{Decoder, Encoder};
+use sampsim_util::hash::fnv64;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic number of on-disk cache entries.
+pub const ENTRY_MAGIC: u32 = 0x53_534343; // "SSCC"
+/// On-disk entry format version.
+pub const ENTRY_VERSION: u16 = 1;
+
+/// Which tier answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The in-memory LRU.
+    Memory,
+    /// The on-disk store (the entry is promoted to memory on the way out).
+    Disk,
+}
+
+/// Bounded in-memory LRU over content-addressed byte entries.
+struct MemoryLru {
+    entries: HashMap<u64, (Vec<u8>, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl MemoryLru {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(bytes, used)| {
+            *used = tick;
+            bytes.clone()
+        })
+    }
+
+    fn put(&mut self, key: u64, bytes: &[u8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the least-recently-used entry (linear scan: the map is
+            // small and lookups dominate).
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (bytes.to_vec(), self.tick));
+    }
+}
+
+/// The two-tier cache shared by every server worker.
+pub struct TieredCache {
+    memory: Mutex<MemoryLru>,
+    disk: Option<PathBuf>,
+    /// Hits observed through the [`StageCache`] trait (pipeline-internal
+    /// profiling-stage reuse), for the `stats` reply.
+    stage_hits: AtomicU64,
+    /// Unique suffix source for temp files.
+    temp_seq: AtomicU64,
+}
+
+impl TieredCache {
+    /// Creates a cache with an in-memory capacity of `mem_entries` and an
+    /// optional on-disk tier rooted at `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the cache directory cannot be created.
+    pub fn new(mem_entries: usize, dir: Option<&Path>) -> std::io::Result<Self> {
+        if let Some(dir) = dir {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(Self {
+            memory: Mutex::new(MemoryLru {
+                entries: HashMap::new(),
+                capacity: mem_entries,
+                tick: 0,
+            }),
+            disk: dir.map(Path::to_path_buf),
+            stage_hits: AtomicU64::new(0),
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up `key`, reporting which tier answered. Disk hits are
+    /// promoted into the memory tier.
+    pub fn get(&self, key: u64) -> Option<(Vec<u8>, Tier)> {
+        if let Some(bytes) = self.memory.lock().unwrap().get(key) {
+            return Some((bytes, Tier::Memory));
+        }
+        let dir = self.disk.as_ref()?;
+        let bytes = read_entry(&entry_path(dir, key), key)?;
+        self.memory.lock().unwrap().put(key, &bytes);
+        Some((bytes, Tier::Disk))
+    }
+
+    /// Stores `bytes` under `key` in both tiers. Disk failures are
+    /// swallowed: the cache is an accelerator, not a dependency.
+    pub fn put(&self, key: u64, bytes: &[u8]) {
+        self.memory.lock().unwrap().put(key, bytes);
+        if let Some(dir) = &self.disk {
+            let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+            let _ = write_entry(dir, key, bytes, seq);
+        }
+    }
+
+    /// Hits observed through the [`StageCache`] trait.
+    pub fn stage_hits(&self) -> u64 {
+        self.stage_hits.load(Ordering::Relaxed)
+    }
+}
+
+impl StageCache for TieredCache {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let found = TieredCache::get(self, key).map(|(bytes, _)| bytes);
+        if found.is_some() {
+            self.stage_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn put(&self, key: u64, bytes: &[u8]) {
+        TieredCache::put(self, key, bytes);
+    }
+}
+
+fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.bin"))
+}
+
+fn write_entry(dir: &Path, key: u64, bytes: &[u8], seq: u64) -> std::io::Result<()> {
+    let mut enc = Encoder::with_header(ENTRY_MAGIC, ENTRY_VERSION);
+    enc.put_u64(key);
+    enc.put_u64(bytes.len() as u64);
+    enc.put_bytes(bytes);
+    enc.put_u64(fnv64(bytes));
+    let tmp = dir.join(format!(".{key:016x}.{}.{seq}.tmp", std::process::id()));
+    fs::write(&tmp, enc.into_bytes())?;
+    let result = fs::rename(&tmp, entry_path(dir, key));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn read_entry(path: &Path, key: u64) -> Option<Vec<u8>> {
+    let raw = fs::read(path).ok()?;
+    let mut dec = Decoder::with_header(&raw, ENTRY_MAGIC, ENTRY_VERSION).ok()?;
+    if dec.take_u64().ok()? != key {
+        return None;
+    }
+    let len = dec.take_u64().ok()? as usize;
+    if dec.remaining() != len + 8 {
+        return None;
+    }
+    let start = raw.len() - dec.remaining();
+    let bytes = raw[start..start + len].to_vec();
+    let mut tail = Decoder::new(&raw[start + len..]);
+    if tail.take_u64().ok()? != fnv64(&bytes) {
+        return None;
+    }
+    Some(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sampsim-serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = TieredCache::new(2, None).unwrap();
+        assert!(cache.get(1).is_none());
+        cache.put(1, b"one");
+        cache.put(2, b"two");
+        assert_eq!(cache.get(1), Some((b"one".to_vec(), Tier::Memory)));
+        // Key 2 is now the LRU entry; inserting key 3 evicts it.
+        cache.put(3, b"three");
+        assert!(cache.get(2).is_none());
+        assert_eq!(cache.get(1), Some((b"one".to_vec(), Tier::Memory)));
+        assert_eq!(cache.get(3), Some((b"three".to_vec(), Tier::Memory)));
+    }
+
+    #[test]
+    fn disk_tier_persists_and_promotes() {
+        let dir = temp_dir("persist");
+        {
+            let cache = TieredCache::new(4, Some(&dir)).unwrap();
+            cache.put(42, b"payload");
+        }
+        // A fresh cache (cold memory) reads the entry back from disk…
+        let cache = TieredCache::new(4, Some(&dir)).unwrap();
+        assert_eq!(cache.get(42), Some((b"payload".to_vec(), Tier::Disk)));
+        // …and promotes it to the memory tier.
+        assert_eq!(cache.get(42), Some((b"payload".to_vec(), Tier::Memory)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = TieredCache::new(0, Some(&dir)).unwrap();
+        cache.put(7, b"payload");
+        let path = entry_path(&dir, 7);
+
+        // Flip a payload byte: checksum mismatch.
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() - 10;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(cache.get(7).is_none());
+
+        // Truncation.
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 1]).unwrap();
+        assert!(cache.get(7).is_none());
+
+        // A valid entry renamed to another key misses (key field mismatch).
+        cache.put(8, b"other");
+        fs::rename(entry_path(&dir, 8), &path).unwrap();
+        assert!(cache.get(7).is_none());
+
+        // Garbage header.
+        fs::write(&path, b"garbage").unwrap();
+        assert!(cache.get(7).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stage_cache_trait_counts_hits() {
+        let cache = TieredCache::new(4, None).unwrap();
+        assert!(StageCache::get(&cache, 5).is_none());
+        StageCache::put(&cache, 5, b"stage");
+        assert_eq!(StageCache::get(&cache, 5).as_deref(), Some(&b"stage"[..]));
+        assert_eq!(cache.stage_hits(), 1);
+    }
+}

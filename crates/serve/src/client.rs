@@ -1,0 +1,32 @@
+//! A minimal blocking client for the serve protocol: one connection, one
+//! request line, one reply line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Sends one request line to `addr` and returns the reply line (without
+/// the trailing newline).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on connection failure, or
+/// `UnexpectedEof` when the server closes without replying.
+pub fn request_line(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    while reply.ends_with('\n') || reply.ends_with('\r') {
+        reply.pop();
+    }
+    if reply.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without replying",
+        ));
+    }
+    Ok(reply)
+}

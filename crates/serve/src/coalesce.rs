@@ -1,0 +1,198 @@
+//! Request coalescing: N concurrent identical requests, one execution.
+//!
+//! The first thread to claim a response key becomes the *leader* and runs
+//! the pipeline; threads claiming the same key while the flight is open
+//! become *followers* and block until the leader publishes the reply line.
+//! The leader's claim is a guard: if the leader unwinds without
+//! completing (a panic inside the pipeline), the guard's `Drop` publishes
+//! an internal-error reply so followers can never hang.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight computation for a response key.
+pub struct Flight {
+    result: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes the reply line.
+    pub fn wait(&self) -> String {
+        let guard = self.result.lock().unwrap();
+        let guard = self.ready.wait_while(guard, |slot| slot.is_none()).unwrap();
+        guard.clone().expect("wait_while guarantees a value")
+    }
+
+    fn publish(&self, line: String) {
+        *self.result.lock().unwrap() = Some(line);
+        self.ready.notify_all();
+    }
+}
+
+/// The claim table mapping open response keys to flights.
+#[derive(Default)]
+pub struct Coalescer {
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+/// The outcome of claiming a key.
+pub enum Claim<'a> {
+    /// This thread owns the computation; it must call
+    /// [`LeaderGuard::complete`].
+    Leader(LeaderGuard<'a>),
+    /// Another thread is already computing; wait on the flight.
+    Follower(Arc<Flight>),
+}
+
+impl Coalescer {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims `key`: the first claimant becomes the leader, later
+    /// claimants (while the flight is open) become followers.
+    pub fn claim(&self, key: u64) -> Claim<'_> {
+        let mut flights = self.flights.lock().unwrap();
+        if let Some(flight) = flights.get(&key) {
+            return Claim::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key, Arc::clone(&flight));
+        Claim::Leader(LeaderGuard {
+            coalescer: self,
+            key,
+            flight,
+            completed: false,
+        })
+    }
+
+    /// Number of open flights (for tests).
+    pub fn open_flights(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+
+    fn close(&self, key: u64) {
+        self.flights.lock().unwrap().remove(&key);
+    }
+}
+
+/// Proof of leadership for one key. Completing publishes the reply to
+/// every follower and closes the flight; dropping without completing
+/// publishes `fallback_reply` instead (panic safety).
+pub struct LeaderGuard<'a> {
+    coalescer: &'a Coalescer,
+    key: u64,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes the reply line and closes the flight.
+    ///
+    /// Callers that cache responses must insert into the cache *before*
+    /// calling this: once the flight closes, a new claimant for the key
+    /// becomes a fresh leader, and only a cache hit stops it from
+    /// recomputing.
+    pub fn complete(mut self, line: String) {
+        self.completed = true;
+        self.flight.publish(line);
+        self.coalescer.close(self.key);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.flight.publish(crate::protocol::error_reply(
+                "internal",
+                "worker failed before completing the request",
+            ));
+            self.coalescer.close(self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_leader_many_followers() {
+        let coalescer = Coalescer::new();
+        let executions = AtomicUsize::new(0);
+        let replies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| match coalescer.claim(99) {
+                        Claim::Leader(guard) => {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            // Give followers time to pile onto the flight.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            guard.complete("result".into());
+                            "result".to_string()
+                        }
+                        Claim::Follower(flight) => flight.wait(),
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        assert!(replies.iter().all(|r| r == "result"));
+        assert_eq!(coalescer.open_flights(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let coalescer = Coalescer::new();
+        let Claim::Leader(a) = coalescer.claim(1) else {
+            panic!("first claim must lead");
+        };
+        let Claim::Leader(b) = coalescer.claim(2) else {
+            panic!("distinct key must lead");
+        };
+        assert_eq!(coalescer.open_flights(), 2);
+        a.complete("a".into());
+        b.complete("b".into());
+        assert_eq!(coalescer.open_flights(), 0);
+    }
+
+    #[test]
+    fn sequential_claims_after_completion_lead_again() {
+        let coalescer = Coalescer::new();
+        let Claim::Leader(guard) = coalescer.claim(5) else {
+            panic!("first claim must lead");
+        };
+        guard.complete("first".into());
+        // The flight is closed; a new claim starts fresh.
+        assert!(matches!(coalescer.claim(5), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_releases_followers_with_an_error() {
+        let coalescer = Coalescer::new();
+        let flight = {
+            let Claim::Leader(guard) = coalescer.claim(7) else {
+                panic!("first claim must lead");
+            };
+            let Claim::Follower(flight) = coalescer.claim(7) else {
+                panic!("second claim must follow");
+            };
+            drop(guard); // leader dies without completing
+            flight
+        };
+        let line = flight.wait();
+        assert!(line.contains("\"internal\""), "{line}");
+        assert_eq!(coalescer.open_flights(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! One connection carries exactly one request line and receives exactly one
+//! reply line. Requests are parsed with the hardened `sampsim_util::json`
+//! parser (depth-limited, strict trailing-garbage rejection, full surrogate
+//! decoding) and validated strictly: unknown keys are rejected so a typo'd
+//! field can never be silently ignored.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"run","bench":"omnetpp_s","scale":0.002,"slice":20,"maxk":6}
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `bench` is required for `run`; `scale` (default 1.0), `slice` and
+//! `maxk` are optional. Degenerate values such as `"slice":0` or
+//! `"maxk":0` pass protocol validation on purpose: they flow into the
+//! `sampsim-analyze` lint pass, which reports them as structured
+//! `invalid-config` replies with rule codes instead of a blunt parse error.
+//!
+//! # Replies
+//!
+//! A successful `run` reply is the exact `sampsim run` stdout document
+//! (starts `{"benchmark":...`). Every failure is an object:
+//!
+//! ```text
+//! {"error":{"code":"busy","message":"queue full (depth 32)"}}
+//! {"error":{"code":"invalid-config","message":"...","rules":[...]}}
+//! ```
+
+use crate::service::RunRequest;
+use sampsim_analyze::{diagnostic_json, Diagnostic};
+use sampsim_util::json::{self, Value};
+
+/// Maximum accepted request-line length in bytes. Longer lines get a
+/// `bad-request` reply instead of unbounded buffering.
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or fetch from cache) a full sampling study.
+    Run(RunRequest),
+    /// Liveness check.
+    Ping,
+    /// Server counter snapshot.
+    Stats,
+    /// Drain queued work and stop the server.
+    Shutdown,
+}
+
+/// Parses and strictly validates one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message (for a `bad-request` reply) on
+/// malformed JSON, missing/mistyped fields, or unknown keys.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let Value::Object(fields) = &value else {
+        return Err("request must be a JSON object".into());
+    };
+    let op = value
+        .get("op")
+        .ok_or("missing \"op\"")?
+        .as_str()
+        .ok_or("\"op\" must be a string")?;
+    let allowed: &[&str] = match op {
+        "run" => &["op", "bench", "scale", "slice", "maxk"],
+        "ping" | "stats" | "shutdown" => &["op"],
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?} for op {op:?}"));
+        }
+    }
+    match op {
+        "run" => {
+            let bench = value
+                .get("bench")
+                .ok_or("run needs \"bench\"")?
+                .as_str()
+                .ok_or("\"bench\" must be a string")?
+                .to_string();
+            let scale = match value.get("scale") {
+                None => 1.0,
+                Some(v) => {
+                    let f = v.as_f64().ok_or("\"scale\" must be a number")?;
+                    if !(f.is_finite() && f > 0.0) {
+                        return Err("\"scale\" must be finite and positive".into());
+                    }
+                    f
+                }
+            };
+            let slice = match value.get("slice") {
+                None => None,
+                Some(v) => Some(non_negative_integer(v, "slice")?),
+            };
+            let maxk = match value.get("maxk") {
+                None => None,
+                Some(v) => Some(non_negative_integer(v, "maxk")? as usize),
+            };
+            Ok(Request::Run(RunRequest {
+                bench,
+                scale,
+                slice,
+                maxk,
+            }))
+        }
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        _ => unreachable!("op validated above"),
+    }
+}
+
+/// Extracts a non-negative integer that fits a `u64` exactly.
+fn non_negative_integer(v: &Value, name: &str) -> Result<u64, String> {
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("\"{name}\" must be a number"))?;
+    if !(f.is_finite() && f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64) {
+        return Err(format!("\"{name}\" must be a non-negative integer"));
+    }
+    Ok(f as u64)
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a typed failure reply.
+pub fn error_reply(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json_string(code),
+        json_string(message)
+    )
+}
+
+/// Renders the `invalid-config` reply: the summary message plus one
+/// structured rule object per diagnostic (`sampsim lint --format json`
+/// shape).
+pub fn invalid_config_reply(message: &str, diagnostics: &[Diagnostic]) -> String {
+    let rules: Vec<String> = diagnostics.iter().map(diagnostic_json).collect();
+    format!(
+        "{{\"error\":{{\"code\":\"invalid-config\",\"message\":{},\"rules\":[{}]}}}}",
+        json_string(message),
+        rules.join(",")
+    )
+}
+
+/// The reply sent when the admission queue is full.
+pub fn busy_reply(queue_depth: usize) -> String {
+    error_reply("busy", &format!("queue full (depth {queue_depth})"))
+}
+
+/// Reply to `ping`.
+pub fn pong_reply() -> String {
+    "{\"ok\":\"pong\"}".to_string()
+}
+
+/// Reply to `shutdown`.
+pub fn shutdown_reply() -> String {
+    "{\"ok\":\"shutdown\"}".to_string()
+}
+
+/// Whether a reply line is a failure reply (`{"error":...}`).
+pub fn is_error_reply(line: &str) -> bool {
+    json::parse(line)
+        .map(|v| v.get("error").is_some())
+        .unwrap_or(true)
+}
+
+/// Builds the request line the `sampsim request` client sends for a run.
+pub fn run_request_line(
+    bench: &str,
+    scale: f64,
+    slice: Option<u64>,
+    maxk: Option<usize>,
+) -> String {
+    let mut fields = vec![
+        "\"op\":\"run\"".to_string(),
+        format!("\"bench\":{}", json_string(bench)),
+        format!("\"scale\":{scale:?}"),
+    ];
+    if let Some(s) = slice {
+        fields.push(format!("\"slice\":{s}"));
+    }
+    if let Some(k) = maxk {
+        fields.push(format!("\"maxk\":{k}"));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_requests() {
+        let r = parse_request(r#"{"op":"run","bench":"mcf_r","scale":0.5,"slice":20,"maxk":6}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                bench: "mcf_r".into(),
+                scale: 0.5,
+                slice: Some(20),
+                maxk: Some(6),
+            })
+        );
+        // Optional fields default.
+        let r = parse_request(r#"{"op":"run","bench":"mcf_r"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                bench: "mcf_r".into(),
+                scale: 1.0,
+                slice: None,
+                maxk: None,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn degenerate_lintable_values_pass_protocol_validation() {
+        // slice 0 / maxk 0 are the analyze pass's job (SA020/SA021), not
+        // the protocol's: they must parse so the client gets rule codes.
+        let r = parse_request(r#"{"op":"run","bench":"mcf_r","slice":0,"maxk":0}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                bench: "mcf_r".into(),
+                scale: 1.0,
+                slice: Some(0),
+                maxk: Some(0),
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, why) in [
+            ("", "empty"),
+            ("[]", "not an object"),
+            ("{\"op\":\"run\"}", "missing bench"),
+            ("{\"bench\":\"mcf_r\"}", "missing op"),
+            ("{\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"ping\",\"bench\":\"x\"}", "unknown key for ping"),
+            ("{\"op\":\"run\",\"bench\":\"x\",\"wat\":1}", "unknown key"),
+            ("{\"op\":\"run\",\"bench\":7}", "bench not a string"),
+            ("{\"op\":\"run\",\"bench\":\"x\",\"scale\":0}", "scale 0"),
+            ("{\"op\":\"run\",\"bench\":\"x\",\"scale\":-1}", "scale < 0"),
+            (
+                "{\"op\":\"run\",\"bench\":\"x\",\"slice\":1.5}",
+                "fractional slice",
+            ),
+            (
+                "{\"op\":\"run\",\"bench\":\"x\",\"maxk\":-2}",
+                "negative maxk",
+            ),
+            ("{\"op\":\"ping\"} trailing", "trailing garbage"),
+        ] {
+            assert!(parse_request(line).is_err(), "{why}: {line}");
+        }
+    }
+
+    #[test]
+    fn request_line_roundtrips_through_the_parser() {
+        let line = run_request_line("omnetpp_s", 0.002, None, Some(6));
+        let r = parse_request(&line).unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                bench: "omnetpp_s".into(),
+                scale: 0.002,
+                slice: None,
+                maxk: Some(6),
+            })
+        );
+    }
+
+    #[test]
+    fn error_replies_are_valid_json() {
+        for line in [
+            error_reply("bad-request", "uh \"oh\"\nnewline"),
+            busy_reply(32),
+            pong_reply(),
+            shutdown_reply(),
+        ] {
+            let v = sampsim_util::json::parse(&line).unwrap();
+            assert!(v.get("error").is_some() || v.get("ok").is_some());
+        }
+        assert!(is_error_reply(&busy_reply(1)));
+        assert!(!is_error_reply(&pong_reply()));
+        assert!(is_error_reply("not json at all"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The request-independent service layer: benchmark resolution, request
+//! validation, and the deterministic run-document computation.
+//!
+//! `sampsim run` and the daemon both call [`run_document`] (or its two
+//! halves, [`prepare`] and [`execute_prepared`]), so a served reply is
+//! byte-identical to CLI stdout *by construction* — there is exactly one
+//! code path that renders the document.
+
+use crate::protocol;
+use sampsim_analyze::Diagnostic;
+use sampsim_cache::configs;
+use sampsim_core::metrics::{aggregate_weighted, whole_as_aggregate, AggregatedMetrics};
+use sampsim_core::pipeline::{PinPointsConfig, Pipeline, PipelineResult};
+use sampsim_core::runs::{self, WarmupMode};
+use sampsim_core::stage_cache::{response_key, StageCache};
+use sampsim_core::CoreError;
+use sampsim_exec::Jobs;
+use sampsim_simpoint::SimPointOptions;
+use sampsim_spec2017::{benchmark, BenchmarkId, BenchmarkSpec};
+use sampsim_util::scale::Scale;
+use sampsim_workload::Program;
+use std::fmt;
+
+/// A validated run request: everything that determines the response bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Benchmark name or unique substring.
+    pub bench: String,
+    /// Workload scale factor (must be finite and positive).
+    pub scale: f64,
+    /// Slice-size override (`None` = default 10 000, scaled).
+    pub slice: Option<u64>,
+    /// `MaxK` override (`None` = default 35).
+    pub maxk: Option<usize>,
+}
+
+/// A request that passed validation and is ready to execute.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Resolved canonical benchmark name.
+    pub name: String,
+    /// The scaled program to sample.
+    pub program: Program,
+    /// The pipeline configuration (lint-clean).
+    pub config: PinPointsConfig,
+    /// Content-addressed key identifying the response bytes (see
+    /// `sampsim_core::stage_cache::response_key`).
+    pub key: u64,
+}
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The benchmark pattern matched zero or several suite entries.
+    UnknownBench(String),
+    /// A request field failed validation.
+    BadRequest(String),
+    /// The derived pipeline configuration failed the `sampsim-analyze`
+    /// lint pass; carries the structured diagnostics.
+    InvalidConfig(Vec<Diagnostic>),
+    /// The pipeline itself failed.
+    Internal(String),
+}
+
+impl ServiceError {
+    /// Stable machine-readable error code used in failure replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownBench(_) => "unknown-bench",
+            ServiceError::BadRequest(_) => "bad-request",
+            ServiceError::InvalidConfig(_) => "invalid-config",
+            ServiceError::Internal(_) => "internal",
+        }
+    }
+
+    /// Renders the failure reply line for this error.
+    pub fn reply(&self) -> String {
+        match self {
+            ServiceError::InvalidConfig(diags) => {
+                protocol::invalid_config_reply(&self.to_string(), diags)
+            }
+            other => protocol::error_reply(other.code(), &other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownBench(msg) | ServiceError::BadRequest(msg) => f.write_str(msg),
+            ServiceError::InvalidConfig(diags) => {
+                let codes: Vec<&str> = diags.iter().map(|d| d.rule.code()).collect();
+                write!(f, "configuration failed lint: {}", codes.join(", "))
+            }
+            ServiceError::Internal(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Config(diags) => ServiceError::InvalidConfig(diags),
+            other => ServiceError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// Resolves a benchmark name or unique substring against the suite.
+///
+/// # Errors
+///
+/// Returns a human-readable message when nothing matches or the pattern
+/// is ambiguous.
+pub fn find_benchmark(pattern: &str) -> Result<BenchmarkSpec, String> {
+    if let Some(id) = BenchmarkId::from_name(pattern) {
+        return Ok(benchmark(id));
+    }
+    let matches: Vec<BenchmarkId> = BenchmarkId::ALL
+        .iter()
+        .copied()
+        .filter(|id| id.name().contains(pattern))
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(benchmark(*one)),
+        [] => Err(format!(
+            "no benchmark matches '{pattern}' (try `sampsim list`)"
+        )),
+        many => Err(format!(
+            "'{pattern}' is ambiguous: {}",
+            many.iter()
+                .map(|id| id.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
+/// Validates a request end to end: benchmark resolution, scale check,
+/// config construction, and the `sampsim-analyze` lint pass. Pure —
+/// nothing is executed.
+///
+/// # Errors
+///
+/// Returns the typed [`ServiceError`] the failure reply is rendered from.
+pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
+    let spec = find_benchmark(&request.bench).map_err(ServiceError::UnknownBench)?;
+    if !(request.scale.is_finite() && request.scale > 0.0) {
+        return Err(ServiceError::BadRequest(format!(
+            "scale must be finite and positive, got {}",
+            request.scale
+        )));
+    }
+    let scale = Scale::new(request.scale);
+    let program = spec.scaled(scale).build();
+    let mut config = PinPointsConfig {
+        slice_size: request.slice.unwrap_or_else(|| scale.apply(10_000)),
+        profile_cache: Some(configs::allcache_table1()),
+        ..PinPointsConfig::default()
+    };
+    if let Some(maxk) = request.maxk {
+        config.simpoint = SimPointOptions {
+            max_k: maxk,
+            ..config.simpoint
+        };
+    }
+    let expected_slices =
+        (config.slice_size > 0).then(|| program.total_insts().div_ceil(config.slice_size));
+    let report = config.lint(expected_slices);
+    if report.has_errors() {
+        return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
+    }
+    let key = response_key(&program, &config);
+    Ok(Prepared {
+        name: spec.name().to_string(),
+        program,
+        config,
+        key,
+    })
+}
+
+/// Runs the full sampling study for a prepared request and renders the
+/// deterministic run document (no trailing newline). The profiling stage
+/// is memoized through `cache`; the output is bit-identical for every
+/// `jobs` value and cache state.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] on pipeline failure.
+pub fn execute_prepared(
+    prepared: &Prepared,
+    jobs: Jobs,
+    cache: &dyn StageCache,
+) -> Result<String, ServiceError> {
+    let result =
+        Pipeline::new(prepared.config.clone()).run_jobs_cached(&prepared.program, jobs, cache)?;
+    let regions = runs::run_regions_functional_jobs(
+        &prepared.program,
+        &result.regional,
+        configs::allcache_table1(),
+        WarmupMode::Checkpointed,
+        jobs,
+    )?;
+    let agg = aggregate_weighted(&regions);
+    let whole = whole_as_aggregate(&result.whole_metrics);
+    Ok(run_json(&prepared.name, &result, &whole, &agg))
+}
+
+/// [`prepare`] + [`execute_prepared`] in one call.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] on validation or pipeline failure.
+pub fn run_document(
+    request: &RunRequest,
+    jobs: Jobs,
+    cache: &dyn StageCache,
+) -> Result<String, ServiceError> {
+    execute_prepared(&prepare(request)?, jobs, cache)
+}
+
+/// Renders the `sampsim run` JSON document. Hand-assembled (the build has
+/// no serializer dependency); all floats go through `{:?}` so the text is
+/// the shortest exact representation of the bit pattern.
+pub fn run_json(
+    name: &str,
+    result: &PipelineResult,
+    whole: &AggregatedMetrics,
+    regional: &AggregatedMetrics,
+) -> String {
+    fn json_f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn mix(m: &[f64; 4]) -> String {
+        let parts: Vec<String> = m.iter().map(|v| json_f(*v)).collect();
+        format!("[{}]", parts.join(","))
+    }
+    fn agg_obj(a: &AggregatedMetrics) -> String {
+        let mut fields = vec![
+            format!("\"instructions\":{}", a.total_instructions),
+            format!("\"mix_pct\":{}", mix(&a.mix_pct)),
+        ];
+        if let Some(mr) = a.miss_rates {
+            fields.push(format!(
+                "\"miss_rates_pct\":{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l3\":{}}}",
+                json_f(mr.l1i),
+                json_f(mr.l1d),
+                json_f(mr.l2),
+                json_f(mr.l3)
+            ));
+            fields.push(format!("\"l3_accesses\":{}", a.total_l3_accesses));
+        }
+        if let Some(cpi) = a.cpi {
+            fields.push(format!("\"cpi\":{}", json_f(cpi)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+    let points: Vec<String> = result
+        .regional
+        .iter()
+        .map(|pb| {
+            format!(
+                "{{\"slice\":{},\"cluster\":{},\"weight\":{}}}",
+                pb.slice_index,
+                pb.cluster,
+                json_f(pb.weight)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"benchmark\":\"{}\",\"slices\":{},\"k\":{},\"points\":[{}],\"whole\":{},\"regional\":{}}}",
+        name,
+        result.num_slices,
+        result.simpoints.k,
+        points.join(","),
+        agg_obj(whole),
+        agg_obj(regional)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_core::stage_cache::{MemoryStageCache, NoCache};
+
+    fn tiny_request() -> RunRequest {
+        RunRequest {
+            bench: "omnetpp_s".into(),
+            scale: 0.002,
+            slice: None,
+            maxk: Some(6),
+        }
+    }
+
+    #[test]
+    fn find_benchmark_exact_and_substring() {
+        assert_eq!(find_benchmark("505.mcf_r").unwrap().name(), "505.mcf_r");
+        assert_eq!(find_benchmark("xalanc").unwrap().name(), "623.xalancbmk_s");
+        assert!(find_benchmark("nope").is_err());
+        // "mcf" matches both mcf_r and mcf_s.
+        let err = find_benchmark("mcf").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn prepare_validates_and_keys() {
+        let p = prepare(&tiny_request()).unwrap();
+        assert_eq!(p.name, "620.omnetpp_s");
+        assert_eq!(p.config.simpoint.max_k, 6);
+        // Default slice is scaled: 10_000 * 0.002 = 20.
+        assert_eq!(p.config.slice_size, 20);
+        // The key is a pure function of the request.
+        assert_eq!(prepare(&tiny_request()).unwrap().key, p.key);
+        // A different maxk changes the key.
+        let other = prepare(&RunRequest {
+            maxk: Some(7),
+            ..tiny_request()
+        })
+        .unwrap();
+        assert_ne!(other.key, p.key);
+    }
+
+    #[test]
+    fn prepare_rejects_bad_requests_typed() {
+        let unknown = prepare(&RunRequest {
+            bench: "nope".into(),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(unknown.code(), "unknown-bench");
+        let invalid = prepare(&RunRequest {
+            slice: Some(0),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(invalid.code(), "invalid-config");
+        let reply = invalid.reply();
+        assert!(reply.contains("\"rules\":"), "{reply}");
+        assert!(reply.contains("SA020"), "{reply}");
+        let maxk = prepare(&RunRequest {
+            maxk: Some(0),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert!(maxk.reply().contains("SA021"), "{}", maxk.reply());
+    }
+
+    #[test]
+    fn run_document_is_cache_invariant() {
+        let req = tiny_request();
+        let cold = run_document(&req, sampsim_exec::SERIAL, &NoCache).unwrap();
+        let cache = MemoryStageCache::new();
+        let miss = run_document(&req, sampsim_exec::SERIAL, &cache).unwrap();
+        let hit = run_document(&req, sampsim_exec::SERIAL, &cache).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cold, miss);
+        assert_eq!(cold, hit);
+        assert!(cold.starts_with("{\"benchmark\":\"620.omnetpp_s\""));
+    }
+}

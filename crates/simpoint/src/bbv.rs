@@ -5,10 +5,31 @@
 //! of a program's blocks) and L1-normalized before clustering so that slice
 //! length does not influence similarity.
 
+use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
 /// A sparse basic-block vector: `(block, value)` pairs sorted by block id.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Bbv {
     entries: Vec<(u32, f64)>,
+}
+
+impl Encode for Bbv {
+    fn encode(&self, enc: &mut Encoder) {
+        self.entries.encode(enc);
+    }
+}
+
+impl Decode for Bbv {
+    /// Decodes a BBV, revalidating the sortedness invariant so corrupt or
+    /// adversarial bytes (e.g. from an on-disk stage cache) can never
+    /// construct a `Bbv` that `from_counts` would have rejected.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let entries = Vec::<(u32, f64)>::decode(dec)?;
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(DecodeError::Invalid("BBV entries not sorted by block id"));
+        }
+        Ok(Self { entries })
+    }
 }
 
 impl Bbv {
@@ -131,6 +152,17 @@ mod tests {
         // Shared block 0 matches (0.5 each); blocks 2 and 3 contribute 0.5 each.
         assert!((a.manhattan(&b) - 1.0).abs() < 1e-12);
         assert_eq!(a.manhattan(&a), 0.0);
+    }
+
+    #[test]
+    fn codec_roundtrip_and_sortedness_check() {
+        let v = Bbv::from_counts(vec![(1, 30), (4, 70), (9, 1)]);
+        let bytes = sampsim_util::codec::to_bytes(&v);
+        let back: Bbv = sampsim_util::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+        // An unsorted payload is rejected at decode time.
+        let bad = sampsim_util::codec::to_bytes(&vec![(4u32, 1.0f64), (1u32, 1.0f64)]);
+        assert!(sampsim_util::codec::from_bytes::<Bbv>(&bad).is_err());
     }
 
     #[test]

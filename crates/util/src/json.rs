@@ -1,13 +1,27 @@
 //! A minimal JSON reader.
 //!
 //! The offline build has no JSON dependency, yet the perf harness and the
-//! CI gate need to *validate* the reports the CLI emits (all sampsim JSON
-//! is produced by hand-assembled writers). This module parses the full
-//! JSON grammar into a [`Value`] tree — enough to check a schema, not a
-//! serde replacement: numbers are `f64`, objects keep insertion order, and
-//! escape handling covers the sequences our writers emit.
+//! CI gate need to *validate* the reports the CLI emits, and `sampsim
+//! serve` parses requests arriving over TCP (all sampsim JSON is produced
+//! by hand-assembled writers). This module parses the full JSON grammar
+//! into a [`Value`] tree — enough to check a schema, not a serde
+//! replacement: numbers are `f64` and objects keep insertion order.
+//!
+//! Because the server feeds it *untrusted network input*, the parser is
+//! hardened beyond what the trusted report-validation path needs:
+//!
+//! * nesting is capped at [`MAX_DEPTH`] levels (a recursive-descent parser
+//!   must bound recursion or a hostile `[[[[…` overflows the stack),
+//! * anything after the top-level value except whitespace is rejected,
+//! * `\uD800`–`\uDFFF` escapes must form a valid surrogate pair, which is
+//!   decoded to the real code point; lone surrogates are an error rather
+//!   than a silent U+FFFD.
 
 use std::fmt;
+
+/// Maximum container nesting the parser accepts. Documents deeper than
+/// this fail with a [`JsonError`] instead of recursing unboundedly.
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +108,7 @@ pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -107,6 +122,7 @@ pub fn parse(text: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -158,12 +174,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Bounds container recursion. Errors abort the whole parse, so the
+    /// matching decrement only happens on success paths.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -179,6 +207,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -188,10 +217,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -202,6 +233,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -232,19 +264,7 @@ impl Parser<'_> {
                         b'n' => out.push('\n'),
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogates are not paired up — our writers
-                            // never emit them.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
@@ -262,6 +282,43 @@ impl Parser<'_> {
                     out.push_str(s);
                 }
             }
+        }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape (the `\u` itself already
+    /// consumed).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decodes one `\u` escape, pairing UTF-16 surrogates into the real
+    /// code point. Lone or inverted surrogates are rejected — untrusted
+    /// input must not smuggle replacement characters past a schema check.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                    self.pos += 2;
+                    let low = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(self.err("high surrogate not followed by a low surrogate"));
+                    }
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    Ok(char::from_u32(combined).expect("paired surrogates form a valid scalar"))
+                } else {
+                    Err(self.err("unpaired high surrogate"))
+                }
+            }
+            0xDC00..=0xDFFF => Err(self.err("unpaired low surrogate")),
+            _ => Ok(char::from_u32(code).expect("non-surrogate BMP code point")),
         }
     }
 
@@ -322,6 +379,56 @@ mod tests {
     fn parses_escapes_and_unicode() {
         let v = parse(r#""a\n\t\"\\Aü""#).unwrap();
         assert_eq!(v.as_str(), Some("a\n\t\"\\Aü"));
+        assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_the_real_code_point() {
+        // U+1D11E MUSICAL SYMBOL G CLEF as a UTF-16 surrogate pair.
+        assert_eq!(parse(r#""𝄞""#).unwrap().as_str(), Some("𝄞"));
+        // Lowercase hex digits are fine too.
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_not_replaced() {
+        for bad in [
+            r#""\uD834""#,       // high surrogate at end of string
+            r#""\uD834x""#,      // high surrogate followed by a literal
+            r#""\uD834\n""#,     // high surrogate followed by another escape
+            r#""\uDD1E""#,       // low surrogate first
+            r#""\uD834\uD834""#, // two high surrogates
+            r#""\uD834A""#,      // high surrogate + trailing hex-looking literal
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains("surrogate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_bounds_recursion() {
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&deep(MAX_DEPTH)).is_ok());
+        let err = parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Objects count against the same budget, and a hostile prefix with
+        // no closers at all must fail too (the overflow happens on the way
+        // down, before any closer is reached).
+        let bomb = "[{\"k\":".repeat(MAX_DEPTH);
+        assert!(parse(&bomb).unwrap_err().message.contains("nesting"));
+        // Sibling containers do not accumulate depth.
+        let wide = format!("[{}0]", "[1],".repeat(1_000));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for bad in ["{} {}", "1 1", "null,", "[1] x", "\"a\"\"b\"", "{}\u{0}"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains("trailing"), "{bad:?}: {err}");
+        }
+        // Trailing whitespace (including newlines) is fine.
+        assert!(parse("{}  \n\t\r\n").is_ok());
     }
 
     #[test]
@@ -368,5 +475,146 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+}
+
+/// Seeded property tests on the untrusted-input hardening, driven by the
+/// in-repo [`crate::prop`] harness.
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::prop::{run_cases, Gen};
+    use std::fmt::Write;
+
+    /// Renders a [`Value`] back to JSON text (floats via `{:?}`, the
+    /// shortest round-trip form all sampsim writers use).
+    fn render(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => {
+                let _ = write!(out, "{n:?}");
+            }
+            Value::String(s) => render_str(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    render(val, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// A random scalar-or-container tree of bounded depth.
+    fn arb_value(g: &mut Gen, depth: usize) -> Value {
+        let pick = g.usize_in(0..if depth == 0 { 4 } else { 6 });
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(g.chance(0.5)),
+            // Integral and fractional numbers; `{:?}` round-trips both.
+            2 => Value::Number(g.f64_in(-1e9..1e9)),
+            3 => Value::String(arb_string(g)),
+            4 => Value::Array(g.vec_of(0..4, |g| arb_value(g, depth - 1))),
+            _ => Value::Object(g.vec_of(0..4, |g| (arb_string(g), arb_value(g, depth - 1)))),
+        }
+    }
+
+    fn arb_string(g: &mut Gen) -> String {
+        let v = g.vec_of(0..8, |g| match g.usize_in(0..5) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => char::from_u32(g.u64_in(0x20..0x7F) as u32).unwrap(),
+            // Astral-plane characters exercise the surrogate-pair path
+            // when escaped and the raw UTF-8 path when not.
+            _ => char::from_u32(g.u64_in(0x1_0000..0x1_1000) as u32).unwrap(),
+        });
+        v.into_iter().collect()
+    }
+
+    #[test]
+    fn arbitrary_documents_roundtrip() {
+        run_cases("json-roundtrip", 128, |g| {
+            let v = arb_value(g, 3);
+            let mut text = String::new();
+            render(&v, &mut text);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, v, "{text}");
+        });
+    }
+
+    #[test]
+    fn escaped_astral_code_points_roundtrip_via_surrogate_pairs() {
+        run_cases("json-surrogate-pairs", 128, |g| {
+            let code = g.u64_in(0x1_0000..0x11_0000) as u32;
+            let c = char::from_u32(code).expect("astral scalar");
+            let units: Vec<u16> = c.encode_utf16(&mut [0u16; 2]).to_vec();
+            let text = format!("\"\\u{:04x}\\u{:04x}\"", units[0], units[1]);
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed.as_str(), Some(c.to_string().as_str()), "{text}");
+            // The same pair in the wrong order must be rejected.
+            let swapped = format!("\"\\u{:04x}\\u{:04x}\"", units[1], units[0]);
+            assert!(parse(&swapped).is_err(), "{swapped}");
+        });
+    }
+
+    #[test]
+    fn random_depths_respect_the_limit() {
+        run_cases("json-depth-limit", 32, |g| {
+            let n = g.usize_in(1..2 * MAX_DEPTH);
+            let doc = format!("{}1{}", "[".repeat(n), "]".repeat(n));
+            assert_eq!(parse(&doc).is_ok(), n <= MAX_DEPTH, "depth {n}");
+        });
+    }
+
+    #[test]
+    fn random_trailing_garbage_is_rejected() {
+        run_cases("json-trailing-garbage", 64, |g| {
+            let v = arb_value(g, 2);
+            let mut text = String::new();
+            render(&v, &mut text);
+            let garbage = match g.usize_in(0..4) {
+                0 => "x",
+                1 => "{}",
+                2 => "]",
+                _ => "\u{1}",
+            };
+            let doc = format!("{text} {garbage}");
+            assert!(parse(&doc).is_err(), "{doc:?}");
+        });
     }
 }

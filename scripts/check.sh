@@ -26,9 +26,35 @@ echo "==> sampsim perf --quick (kernel smoke + report schema)"
 # sizes — every timed pair is asserted bit-identical — then validates
 # the emitted report and the committed baseline against the schema.
 perf_report="$(mktemp)"
-trap 'rm -f "$perf_report"' EXIT
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$perf_report" "$serve_dir"' EXIT
 cargo run --release -q -p sampsim-cli -- perf --quick -o "$perf_report" > /dev/null
 cargo run --release -q -p sampsim-cli -- perf --validate "$perf_report"
 cargo run --release -q -p sampsim-cli -- perf --validate BENCH_kernels.json
+
+echo "==> sampsim serve smoke (daemon reply == run stdout)"
+# Starts the daemon on an ephemeral port, sends one request, checks the
+# reply is byte-identical to `sampsim run` stdout, then shuts it down
+# gracefully and requires exit code 0.
+cargo build --release -q -p sampsim-cli
+sampsim_bin="target/release/sampsim"
+bench_args=(omnetpp_s --scale 0.002 --maxk 6)
+"$sampsim_bin" serve --addr 127.0.0.1:0 --cache-dir "$serve_dir/cache" --jobs 2 \
+    > "$serve_dir/announce" 2> /dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^sampsim-serve listening on //p' "$serve_dir/announce")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve smoke: daemon never announced its address" >&2; exit 1; }
+"$sampsim_bin" run "${bench_args[@]}" > "$serve_dir/direct.json" 2> /dev/null
+"$sampsim_bin" request "${bench_args[@]}" --addr "$addr" > "$serve_dir/reply.json" 2> /dev/null
+cmp "$serve_dir/direct.json" "$serve_dir/reply.json" \
+    || { echo "serve smoke: served reply != run stdout" >&2; exit 1; }
+"$sampsim_bin" request --stats --addr "$addr" > /dev/null
+"$sampsim_bin" request --shutdown --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; exit 1; }
 
 echo "all checks passed"

@@ -37,6 +37,7 @@ pub use sampsim_exec as exec;
 pub use sampsim_perf as perf;
 pub use sampsim_pin as pin;
 pub use sampsim_pinball as pinball;
+pub use sampsim_serve as serve;
 pub use sampsim_simpoint as simpoint;
 pub use sampsim_spec2017 as spec2017;
 pub use sampsim_uarch as uarch;

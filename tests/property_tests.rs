@@ -396,6 +396,120 @@ fn pipeline_weights_sum_to_one() {
     });
 }
 
+/// The hardened JSON parser survives untrusted input: random documents
+/// round-trip (including astral code points forced through `\u` surrogate
+/// pairs), nesting beyond `MAX_DEPTH` is rejected without a stack
+/// overflow, and trailing garbage after the top-level value is an error.
+#[test]
+fn json_parser_untrusted_input_hardening() {
+    use sampsim::util::json::{self, Value, MAX_DEPTH};
+
+    fn render(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&format!("{n:?}")),
+            Value::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    // Force every char through \u escapes so the parser's
+                    // surrogate-pair path is exercised for astral planes.
+                    let mut buf = [0u16; 2];
+                    for unit in c.encode_utf16(&mut buf) {
+                        out.push_str(&format!("\\u{unit:04x}"));
+                    }
+                }
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(&Value::String(k.clone()), out);
+                    out.push(':');
+                    render(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn arb_value(g: &mut Gen, depth: usize) -> Value {
+        let pick = if depth >= 3 {
+            g.u64_in(0..4)
+        } else {
+            g.u64_in(0..6)
+        };
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(g.u64_in(0..2) == 0),
+            2 => Value::Number((g.u64_in(0..2_000_000) as f64 - 1e6) / 128.0),
+            3 => {
+                let len = g.u64_in(0..8) as usize;
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Mix ASCII, BMP and astral-plane code points.
+                        match g.u64_in(0..3) {
+                            0 => char::from(b'a' + (g.u64_in(0..26) as u8)),
+                            1 => char::from_u32(0x0100 + g.u64_in(0..0x500) as u32).unwrap(),
+                            _ => char::from_u32(0x1F300 + g.u64_in(0..0x100) as u32).unwrap(),
+                        }
+                    })
+                    .collect();
+                Value::String(s)
+            }
+            4 => Value::Array(
+                (0..g.u64_in(0..4))
+                    .map(|_| arb_value(g, depth + 1))
+                    .collect(),
+            ),
+            _ => Value::Object(
+                (0..g.u64_in(0..4))
+                    .map(|i| (format!("k{i}"), arb_value(g, depth + 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    run_cases("json-hardening", 64, |g| {
+        // Round-trip: render → parse reproduces the value exactly.
+        let value = arb_value(g, 0);
+        let mut text = String::new();
+        render(&value, &mut text);
+        assert_eq!(json::parse(&text).unwrap(), value, "input: {text}");
+
+        // Trailing garbage after the top-level value is always an error.
+        let garbage = ["x", "1", "{}", "]", ",", "\"t\""][g.u64_in(0..6) as usize];
+        assert!(
+            json::parse(&format!("{text} {garbage}")).is_err(),
+            "trailing {garbage:?} accepted after {text}"
+        );
+
+        // Nesting: depth ≤ MAX_DEPTH parses, depth > MAX_DEPTH is a
+        // typed error, never a stack overflow.
+        let depth = g.u64_in(1..MAX_DEPTH as u64 + 65) as usize;
+        let bomb = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let parsed = json::parse(&bomb);
+        if depth <= MAX_DEPTH {
+            assert!(parsed.is_ok(), "depth {depth} rejected");
+        } else {
+            assert!(parsed.is_err(), "depth {depth} accepted");
+        }
+    });
+}
+
 /// Deterministic mini-program family indexed by seed.
 fn program_for(seed: u64) -> Program {
     WorkloadSpec::builder("prop", seed)
