@@ -1,0 +1,370 @@
+//! The phase-transition graph: control-flow structure of a program's
+//! schedule.
+//!
+//! A [`Program`]'s schedule is a linear segment list, but the *behavioural*
+//! structure SimPoint exploits is the induced graph over phases: node =
+//! phase, edge = observed transition between consecutive segments.
+//! [`PhaseGraph`] builds that graph and runs the classical passes —
+//! reachability from the entry phase, dominators, and strongly connected
+//! components — on top of the shared [`crate::fixpoint`] engine (Tarjan for
+//! SCCs). [`lint_phase_graph`] turns structural findings into `SA11x`
+//! diagnostics.
+
+use crate::diag::{Diagnostic, Location, Report, Rule};
+use crate::fixpoint::{solve, BitSet};
+use sampsim_workload::{Program, Schedule};
+
+/// The phase-transition graph of one program, with analysis results.
+#[derive(Debug, Clone)]
+pub struct PhaseGraph {
+    num_phases: usize,
+    entry: Option<usize>,
+    succs: Vec<Vec<usize>>,
+    /// Number of schedule segments each phase owns (its *residencies*).
+    residencies: Vec<u64>,
+    reachable: Vec<bool>,
+    dominators: Vec<BitSet>,
+    scc_id: Vec<usize>,
+    num_sccs: usize,
+}
+
+impl PhaseGraph {
+    /// Builds the graph and runs all passes.
+    pub fn build(program: &Program) -> Self {
+        Self::from_schedule(program.phases().len(), program.schedule())
+    }
+
+    /// Builds from loose parts (phase count + schedule); out-of-range
+    /// phase references are ignored here — `SA002` already covers them.
+    pub fn from_schedule(num_phases: usize, schedule: &Schedule) -> Self {
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); num_phases];
+        let mut residencies = vec![0u64; num_phases];
+        let mut entry = None;
+        let mut prev: Option<usize> = None;
+        for seg in schedule.segments() {
+            let p = seg.phase as usize;
+            if p >= num_phases {
+                prev = None;
+                continue;
+            }
+            residencies[p] += 1;
+            if entry.is_none() {
+                entry = Some(p);
+            }
+            if let Some(q) = prev {
+                if !succs[q].contains(&p) {
+                    succs[q].push(p);
+                }
+            }
+            prev = Some(p);
+        }
+
+        // Reachability from the entry phase: forward dataflow over the
+        // two-point lattice.
+        let mut reachable = vec![false; num_phases];
+        if let Some(e) = entry {
+            reachable[e] = true;
+            solve(&mut reachable, &succs, |_, &r| r);
+        }
+
+        let dominators = compute_dominators(num_phases, entry, &succs, &reachable);
+        let (scc_id, num_sccs) = tarjan_sccs(num_phases, &succs);
+
+        Self {
+            num_phases,
+            entry,
+            succs,
+            residencies,
+            reachable,
+            dominators,
+            scc_id,
+            num_sccs,
+        }
+    }
+
+    /// The first scheduled phase, if any.
+    pub fn entry(&self) -> Option<usize> {
+        self.entry
+    }
+
+    /// Deduplicated successor lists (observed phase transitions).
+    pub fn successors(&self) -> &[Vec<usize>] {
+        &self.succs
+    }
+
+    /// How many schedule segments each phase owns.
+    pub fn residencies(&self) -> &[u64] {
+        &self.residencies
+    }
+
+    /// Whether `phase` is reachable from the entry along transitions.
+    pub fn is_reachable(&self, phase: usize) -> bool {
+        self.reachable.get(phase).copied().unwrap_or(false)
+    }
+
+    /// Whether `dom` dominates `phase`: every transition path from the
+    /// entry to `phase` passes through `dom`. Unreachable phases are
+    /// dominated by everything (the standard vacuous convention).
+    pub fn dominates(&self, dom: usize, phase: usize) -> bool {
+        self.dominators.get(phase).is_some_and(|d| d.contains(dom))
+    }
+
+    /// The strongly-connected-component id of each phase.
+    pub fn scc_ids(&self) -> &[usize] {
+        &self.scc_id
+    }
+
+    /// Number of strongly connected components.
+    pub fn num_sccs(&self) -> usize {
+        self.num_sccs
+    }
+
+    /// Whether `phase` sits on a transition cycle: its SCC has more than
+    /// one member, or it has a self-transition.
+    pub fn is_cyclic(&self, phase: usize) -> bool {
+        if phase >= self.num_phases {
+            return false;
+        }
+        let same_scc = self
+            .scc_id
+            .iter()
+            .filter(|&&id| id == self.scc_id[phase])
+            .count();
+        same_scc > 1 || self.succs[phase].contains(&phase)
+    }
+}
+
+/// Iterative dominator computation: `dom(entry) = {entry}`, every other
+/// reachable node starts at the full set and intersects its predecessors'
+/// sets (plus itself) to fixpoint. Runs on the reverse graph so the
+/// worklist engine's forward push applies.
+fn compute_dominators(
+    n: usize,
+    entry: Option<usize>,
+    succs: &[Vec<usize>],
+    reachable: &[bool],
+) -> Vec<BitSet> {
+    let mut doms: Vec<BitSet> = (0..n).map(|_| BitSet::full(n)).collect();
+    let Some(entry) = entry else {
+        return doms;
+    };
+    let mut entry_only = BitSet::empty(n);
+    entry_only.insert(entry);
+    doms[entry] = entry_only;
+    // Simple round-robin iteration: the graph is tiny (phases, not blocks),
+    // so quadratic sweeps converge instantly and keep the meet direction
+    // explicit.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, ss) in succs.iter().enumerate() {
+        for &v in ss {
+            preds[v].push(u);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if v == entry || !reachable[v] {
+                continue;
+            }
+            let mut next = BitSet::full(n);
+            for &p in &preds[v] {
+                if reachable[p] {
+                    next.intersect(&doms[p]);
+                }
+            }
+            next.insert(v);
+            if next != doms[v] {
+                doms[v] = next;
+                changed = true;
+            }
+        }
+    }
+    doms
+}
+
+/// Iterative Tarjan SCC (explicit stack; no recursion on hostile input).
+fn tarjan_sccs(n: usize, succs: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_id = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_sccs = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        // Frames: (node, next-successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(*pos) {
+                *pos += 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc_id[w] = num_sccs;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_sccs += 1;
+                }
+            }
+        }
+    }
+    (scc_id, num_sccs)
+}
+
+/// Structural lints over the phase graph (`SA11x`).
+///
+/// `SA110` flags phases scheduled exactly once in a multi-phase program:
+/// legitimate for startup/shutdown behaviour, but worth a note because
+/// SimPoint's premise is recurring behaviour. All such phases of a
+/// workload are folded into one diagnostic so a suite-wide lint stays
+/// readable.
+pub fn lint_phase_graph(name: &str, num_phases: usize, schedule: &Schedule) -> Report {
+    let graph = PhaseGraph::from_schedule(num_phases, schedule);
+    let mut report = Report::new();
+    if num_phases > 1 {
+        let once: Vec<String> = graph
+            .residencies()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == 1)
+            .map(|(p, _)| p.to_string())
+            .collect();
+        if !once.is_empty() {
+            let message = if once.len() == 1 {
+                format!(
+                    "phase {} owns exactly one schedule segment and never recurs",
+                    once[0]
+                )
+            } else {
+                format!(
+                    "{} of {num_phases} phases own exactly one schedule segment and \
+                     never recur: {}",
+                    once.len(),
+                    once.join(", ")
+                )
+            };
+            report.push(Diagnostic::new(
+                Rule::NonRecurrentPhase,
+                Location::workload_item(name, "schedule"),
+                message,
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_workload::Segment;
+
+    fn sched(phases: &[u32]) -> Schedule {
+        Schedule::new(
+            phases
+                .iter()
+                .map(|&p| Segment {
+                    phase: p,
+                    insts: 100,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reachability_and_entry() {
+        // Phases 0,1 interleave; phase 2 exists but is never scheduled.
+        let g = PhaseGraph::from_schedule(3, &sched(&[0, 1, 0, 1]));
+        assert_eq!(g.entry(), Some(0));
+        assert!(g.is_reachable(0) && g.is_reachable(1));
+        assert!(!g.is_reachable(2));
+        assert_eq!(g.residencies(), &[2, 2, 0]);
+    }
+
+    #[test]
+    fn dominators_of_a_chain() {
+        // 0 -> 1 -> 2 linear: 0 dominates all, 1 dominates 2.
+        let g = PhaseGraph::from_schedule(3, &sched(&[0, 1, 2]));
+        assert!(g.dominates(0, 2) && g.dominates(1, 2) && g.dominates(2, 2));
+        assert!(!g.dominates(2, 1));
+        assert!(g.dominates(0, 1) && !g.dominates(1, 0));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3: neither 1 nor 2 dominates 3.
+        let g = PhaseGraph::from_schedule(4, &sched(&[0, 1, 3, 0, 2, 3]));
+        assert!(g.dominates(0, 3));
+        assert!(!g.dominates(1, 3) && !g.dominates(2, 3));
+    }
+
+    #[test]
+    fn sccs_find_the_interleave_cycle() {
+        // 0 <-> 1 cycle, then a one-way exit to 2.
+        let g = PhaseGraph::from_schedule(3, &sched(&[0, 1, 0, 1, 2]));
+        assert!(g.is_cyclic(0) && g.is_cyclic(1));
+        assert!(!g.is_cyclic(2));
+        assert_eq!(g.scc_ids()[0], g.scc_ids()[1]);
+        assert_ne!(g.scc_ids()[0], g.scc_ids()[2]);
+    }
+
+    #[test]
+    fn self_transition_is_cyclic() {
+        let g = PhaseGraph::from_schedule(2, &sched(&[0, 0, 1]));
+        assert!(g.is_cyclic(0));
+        assert!(!g.is_cyclic(1));
+    }
+
+    #[test]
+    fn empty_schedule_graph() {
+        let g = PhaseGraph::from_schedule(2, &Schedule::new(vec![]).unwrap());
+        assert_eq!(g.entry(), None);
+        assert!(!g.is_reachable(0));
+        assert_eq!(g.num_sccs(), 2, "each node is its own trivial SCC");
+    }
+
+    #[test]
+    fn non_recurrent_phase_noted() {
+        let r = lint_phase_graph("w", 3, &sched(&[0, 1, 0, 2, 0]));
+        assert!(r.fired(Rule::NonRecurrentPhase));
+        assert_eq!(
+            r.diagnostics().len(),
+            1,
+            "phases 1 and 2 fold into one note"
+        );
+        assert!(
+            r.diagnostics()[0].message.contains("1, 2"),
+            "{:?}",
+            r.diagnostics()[0].message
+        );
+        let clean = lint_phase_graph("w", 2, &sched(&[0, 1, 0, 1]));
+        assert!(clean.is_empty());
+        let single = lint_phase_graph("w", 1, &sched(&[0]));
+        assert!(single.is_empty(), "single-phase programs are exempt");
+    }
+}

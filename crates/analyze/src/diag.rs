@@ -38,12 +38,15 @@ impl fmt::Display for Severity {
 
 macro_rules! rules {
     ($( $(#[$meta:meta])* $variant:ident => ($code:literal, $sev:ident, $summary:literal, $help:literal), )*) => {
-        /// Every lint rule, identified by a stable `SA0xx` code.
+        /// Every lint rule, identified by a stable `SAxxx` code.
         ///
         /// Codes are grouped by family: `SA00x`/`SA01x` workload IR lints,
         /// `SA02x` sampling-configuration lints, `SA03x` cache-geometry
-        /// lints, `SA04x` artifact audits. See `docs/lint-rules.md` for the
-        /// full catalogue with rationale and examples.
+        /// lints, `SA04x` artifact audits, `SA10x` memory abstract
+        /// interpretation, `SA11x` phase-graph structure, `SA12x`
+        /// static-vs-dynamic audit oracle. See `docs/lint-rules.md` and
+        /// `docs/static-analysis.md` for the full catalogue with rationale
+        /// and examples.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         pub enum Rule {
             $( $(#[$meta])* $variant, )*
@@ -53,7 +56,7 @@ macro_rules! rules {
             /// All rules, in code order.
             pub const ALL: &'static [Rule] = &[ $( Rule::$variant, )* ];
 
-            /// The stable `SA0xx` code.
+            /// The stable `SAxxx` code.
             pub fn code(self) -> &'static str {
                 match self { $( Rule::$variant => $code, )* }
             }
@@ -134,6 +137,16 @@ rules! {
         "address-stream region has zero size",
         "a stream must cover at least one byte; zero-size regions make \
          address generation divide by zero"),
+    /// A basic block's last instruction is not a branch.
+    MissingTerminalBranch => ("SA013", Error,
+        "basic block does not end in a branch",
+        "the classical basic-block definition requires a terminating \
+         branch; the executor's control flow depends on it"),
+    /// A schedule segment retires zero instructions.
+    ZeroLengthSegment => ("SA014", Error,
+        "schedule segment retires zero instructions",
+        "empty segments make seek arithmetic ambiguous; drop the segment \
+         or give it a positive instruction count"),
 
     // ---- sampling-configuration lints (SA02x) ----
     /// `slice_size` is zero.
@@ -256,6 +269,82 @@ rules! {
         "two simulation points share a slice or cluster",
         "each occupied cluster contributes exactly one representative \
          slice; duplicates double-count execution weight"),
+
+    // ---- memory abstract interpretation (SA10x) ----
+    /// A stride maps every access of a stream into one cache set.
+    SetAliasingStride => ("SA100", Warning,
+        "stride aliases all accesses of a stream into a single cache set",
+        "the stride is a multiple of sets * line_bytes, so the stream \
+         conflict-misses in one set while the rest of the cache idles; \
+         pick a stride coprime to the set span or shrink the region"),
+    /// A stride degenerates the walk to a single address or skips the
+    /// region entirely.
+    DegenerateStride => ("SA101", Warning,
+        "stride degenerates the stream's walk",
+        "a zero stride pins the stream to one address and a stride >= the \
+         region size wraps every step; neither exercises the working set \
+         the region declares"),
+    /// A declared stream is never referenced by any instruction.
+    DeadStream => ("SA102", Note,
+        "address stream is never referenced by the phase's instructions",
+        "the stream's working set is declared but never touched; drop it \
+         or add memory instructions that use it"),
+    /// The program's code span exceeds the L1I capacity.
+    CodeFootprintExceedsL1I => ("SA103", Note,
+        "static code footprint exceeds the L1 instruction cache",
+        "instruction fetch will miss persistently; this is realistic for \
+         large codes but worth confirming against the modelled frontend"),
+    /// A page-sized stride sweeps more pages than the DTLB holds.
+    TlbThrashingStride => ("SA104", Warning,
+        "stride touches a new page every access across more pages than \
+         the DTLB holds",
+        "every access of the stream costs a TLB miss; use a sub-page \
+         stride or shrink the region below entries * page_bytes"),
+
+    // ---- phase-graph structure (SA11x) ----
+    /// A phase appears exactly once in the schedule of a multi-phase
+    /// program.
+    NonRecurrentPhase => ("SA110", Note,
+        "phase is scheduled exactly once and never recurs",
+        "SimPoint exploits recurring behaviour; a once-only phase is \
+         either startup/shutdown code (fine) or a sign the interleave \
+         generator failed to revisit it"),
+
+    // ---- static-vs-dynamic audit oracle (SA12x) ----
+    /// A profiled BBV counts a block its slice's phases do not own.
+    BbvBlockOutsideSlice => ("SA120", Error,
+        "profiled BBV counts a block no scheduled phase of the slice owns",
+        "the static schedule proves which blocks can retire in each \
+         slice; a count outside that set means an executor bug or a \
+         corrupted profile"),
+    /// A profiled block count exceeds its static upper bound.
+    BbvCountExceedsBound => ("SA121", Error,
+        "profiled block count exceeds its static per-slice bound",
+        "a block cannot retire more instructions than the schedule \
+         allots to the phases that own it; the profile is inconsistent \
+         with the program"),
+    /// A slice's BBV total does not equal the slice's instruction count.
+    BbvTotalMismatch => ("SA122", Error,
+        "slice BBV total does not match the slice's instruction count",
+        "every retired instruction belongs to exactly one block, so \
+         per-slice BBV totals are fully determined by the schedule"),
+    /// A captured cursor is inconsistent with the schedule.
+    CursorScheduleMismatch => ("SA123", Error,
+        "captured cursor is inconsistent with the program schedule",
+        "a cursor's (segment, offset) pair must re-derive its retired \
+         count from the schedule's prefix sums; a mismatch means the \
+         checkpoint is corrupt or from a different build"),
+    /// An audit artifact failed to decode.
+    ArtifactUnreadable => ("SA124", Error,
+        "audit artifact is unreadable or truncated",
+        "the artifact failed header or payload decoding; regenerate it \
+         with `sampsim audit --update`"),
+    /// A captured stream state violates its pattern's reachable domain.
+    StreamStateOutsideDomain => ("SA125", Error,
+        "captured stream state is outside its pattern's reachable domain",
+        "stride walks keep pos < size and pos a multiple of \
+         gcd(stride, size); random streams never advance pos; a state \
+         outside that domain cannot arise from execution"),
 }
 
 impl fmt::Display for Rule {
@@ -443,7 +532,7 @@ mod tests {
     fn codes_are_unique_and_stable_prefixed() {
         let mut seen = std::collections::HashSet::new();
         for &r in Rule::ALL {
-            assert!(r.code().starts_with("SA0"), "{}", r.code());
+            assert!(r.code().starts_with("SA"), "{}", r.code());
             assert_eq!(r.code().len(), 5, "{}", r.code());
             assert!(seen.insert(r.code()), "duplicate code {}", r.code());
             assert!(!r.summary().is_empty());

@@ -1,0 +1,149 @@
+//! A generic worklist fixpoint solver over join-semilattices.
+//!
+//! Dataflow passes ([`crate::cfg`], [`crate::absint`]) share one engine:
+//! each graph node carries a lattice value, a transfer function produces
+//! the value a node pushes to its successors, and [`solve`] iterates a
+//! worklist until nothing changes. Termination is the usual argument —
+//! every [`JoinSemiLattice::join`] either leaves the target unchanged
+//! (node not re-queued) or moves it strictly up a finite-height lattice.
+//!
+//! The solver is deliberately small so that the branch-trace and
+//! multi-threaded IR analyses planned in the roadmap can reuse it with
+//! their own domains.
+
+/// A value that can absorb another, reporting whether it changed.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self`; returns `true` when `self` changed
+    /// (i.e. moved strictly up the lattice).
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+impl JoinSemiLattice for bool {
+    fn join(&mut self, other: &Self) -> bool {
+        let changed = !*self && *other;
+        *self |= *other;
+        changed
+    }
+}
+
+/// A fixed-capacity bit set, the classic dataflow domain (used for
+/// dominator sets, where join is intersection — see [`BitSet::intersect`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over `len` elements.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over `len` elements.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts `i`; returns `true` if it was absent.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let absent = self.words[w] & b == 0;
+        self.words[w] |= b;
+        absent
+    }
+
+    /// Whether `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Intersects with `other`; returns `true` when `self` shrank. This is
+    /// the *meet* for must-analyses (dominators): run it through [`solve`]
+    /// by treating the shrinking direction as "up".
+    pub fn intersect(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Number of present elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the present elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// Runs a forward dataflow to fixpoint.
+///
+/// `states` holds the initial per-node values; `succs[n]` lists the
+/// successors of node `n`; `transfer(n, &states[n])` computes the value
+/// node `n` propagates. Every node is queued once initially; a node is
+/// re-queued whenever its state absorbs new information.
+pub fn solve<L, F>(states: &mut [L], succs: &[Vec<usize>], mut transfer: F)
+where
+    L: JoinSemiLattice,
+    F: FnMut(usize, &L) -> L,
+{
+    let n = states.len();
+    assert_eq!(succs.len(), n, "graph/state size mismatch");
+    let mut queued = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).collect();
+    while let Some(node) = worklist.pop() {
+        queued[node] = false;
+        let out = transfer(node, &states[node]);
+        for &s in &succs[node] {
+            if states[s].join(&out) && !queued[s] {
+                queued[s] = true;
+                worklist.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_reachability_converges() {
+        // 0 -> 1 -> 2 -> 1 (cycle), 3 isolated.
+        let succs = vec![vec![1], vec![2], vec![1], vec![]];
+        let mut reach = vec![true, false, false, false];
+        solve(&mut reach, &succs, |_, &r| r);
+        assert_eq!(reach, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::empty(130);
+        assert!(a.insert(0));
+        assert!(a.insert(129));
+        assert!(!a.insert(129));
+        assert!(a.contains(129) && !a.contains(64));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 129]);
+        let full = BitSet::full(130);
+        assert_eq!(full.count(), 130);
+        let mut b = full.clone();
+        assert!(b.intersect(&a));
+        assert_eq!(b, a);
+        assert!(!b.intersect(&full), "intersect with superset is a no-op");
+    }
+}

@@ -11,23 +11,43 @@
 //!
 //! Rule families:
 //!
-//! * `SA001`–`SA012` — workload IR ([`lint_program`])
+//! * `SA001`–`SA014` — workload IR ([`lint_program`])
 //! * `SA020`–`SA028` — sampling configuration ([`lint_sampling_config`])
 //! * `SA030`–`SA034` — cache-hierarchy geometry ([`lint_hierarchy`])
 //! * `SA040`–`SA049` — artifact audits ([`audit_simpoints`],
 //!   [`audit_regions`], [`audit_bbvs`])
+//! * `SA100`–`SA104` — memory abstract interpretation ([`lint_memory`])
+//! * `SA110` — phase-graph structure ([`lint_phase_graph`])
+//! * `SA120`–`SA125` — static-vs-dynamic audit oracle
+//!   ([`audit_bbvs_static`], [`audit_cursors`], [`AuditSummary`])
+//!
+//! The deeper passes are built on a small reusable framework: a worklist
+//! fixpoint solver over join-semilattices ([`fixpoint`]), a
+//! phase-transition graph with reachability/dominance/SCC passes
+//! ([`cfg`]), and abstract domains for address streams ([`absint`]). See
+//! `docs/static-analysis.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod artifact;
+pub mod cfg;
 pub mod config;
 pub mod diag;
+pub mod fixpoint;
 pub mod render;
+pub mod staticbbv;
 pub mod workload;
 
+pub use absint::{lint_memory, Interval, MemorySummary, StrideClass};
 pub use artifact::{audit_bbvs, audit_regions, audit_simpoints, WEIGHT_SUM_TOLERANCE};
+pub use cfg::{lint_phase_graph, PhaseGraph};
 pub use config::{lint_hierarchy, lint_sampling_config, lint_simpoint_options, SamplingConfig};
 pub use diag::{Diagnostic, Location, Report, Rule, Severity};
+pub use fixpoint::{solve, BitSet, JoinSemiLattice};
 pub use render::{diagnostic_json, render_human, render_json_lines};
-pub use workload::{lint_program, lint_program_parts};
+pub use staticbbv::{
+    audit_bbvs_static, audit_cursors, diagnose_unreadable_artifact, AuditSummary, StaticBbvBounds,
+};
+pub use workload::{diagnose_ir_error, lint_program, lint_program_parts};

@@ -1,13 +1,15 @@
-//! Workload IR lints (`SA001`–`SA012`): structural validity of basic
+//! Workload IR lints (`SA001`–`SA014`): structural validity of basic
 //! blocks, phases and the schedule.
 //!
 //! [`lint_program`] checks a fully built [`Program`];
 //! [`lint_program_parts`] runs the same rules over loose parts, which lets
-//! callers (and tests) validate IR that `Program::new` itself would reject
-//! with a panic.
+//! callers (and tests) validate IR that `Program::new` itself rejects with
+//! a typed [`IrError`]. [`diagnose_ir_error`] maps each constructor
+//! rejection onto the lint rule that detects the same condition, so the
+//! two validation paths speak one diagnostic language.
 
 use crate::diag::{Diagnostic, Location, Report, Rule};
-use sampsim_workload::{BasicBlock, Phase, Program, Schedule};
+use sampsim_workload::{BasicBlock, InstKind, IrError, Phase, Program, Schedule};
 
 /// Lints a built program.
 pub fn lint_program(program: &Program) -> Report {
@@ -29,14 +31,25 @@ pub fn lint_program_parts(
     let mut report = Report::new();
     let loc = |item: String| Location::workload_item(name, item);
 
-    // SA010: empty blocks.
+    // SA010/SA013: empty blocks, non-branch terminators.
     for (b, block) in blocks.iter().enumerate() {
-        if block.insts.is_empty() {
-            report.push(Diagnostic::new(
+        match block.insts.last() {
+            None => report.push(Diagnostic::new(
                 Rule::EmptyBlock,
                 loc(format!("block {b}")),
                 format!("block {b} contains no instructions"),
-            ));
+            )),
+            Some(last) if !matches!(last.kind, InstKind::Branch { .. }) => {
+                report.push(Diagnostic::new(
+                    Rule::MissingTerminalBranch,
+                    loc(format!("block {b}")),
+                    format!(
+                        "block {b} at {:#x} ends in {:?}, not a branch",
+                        block.pc, last.kind
+                    ),
+                ));
+            }
+            Some(_) => {}
         }
     }
 
@@ -190,6 +203,18 @@ pub fn lint_program_parts(
         }
     }
 
+    // SA014: zero-length segments. `Schedule::new` rejects these, so this
+    // only fires on schedules decoded from hostile or corrupt input.
+    for (i, seg) in schedule.segments().iter().enumerate() {
+        if seg.insts == 0 {
+            report.push(Diagnostic::new(
+                Rule::ZeroLengthSegment,
+                loc(format!("schedule segment {i}")),
+                format!("segment {i} retires zero instructions"),
+            ));
+        }
+    }
+
     // SA002: dangling phase references from the schedule.
     for (i, seg) in schedule.segments().iter().enumerate() {
         if (seg.phase as usize) >= phases.len() {
@@ -235,6 +260,49 @@ pub fn lint_program_parts(
     report
 }
 
+/// Maps a typed IR construction error onto the lint rule that detects the
+/// same condition, producing a [`Diagnostic`] in the shared format.
+///
+/// This is the bridge between the two validation paths: constructors
+/// reject malformed IR with an [`IrError`], lints re-detect the same
+/// defects on loose parts; both now surface identically.
+pub fn diagnose_ir_error(name: &str, err: &IrError) -> Diagnostic {
+    let rule = match err {
+        IrError::EmptyBlock { .. } => Rule::EmptyBlock,
+        IrError::MissingTerminalBranch { .. } => Rule::MissingTerminalBranch,
+        IrError::EmptyPhase => Rule::EmptyPhase,
+        IrError::BadBlockWeights { .. } => Rule::BadBlockWeights,
+        IrError::BadSelectionNoise { .. } => Rule::BadSelectionNoise,
+        IrError::ZeroSizeRegion { .. } => Rule::ZeroSizeRegion,
+        IrError::ZeroLengthSegment { .. } => Rule::ZeroLengthSegment,
+        IrError::DanglingPhaseRef { .. } => Rule::DanglingPhaseRef,
+        IrError::DanglingBlockRef { .. } => Rule::DanglingBlockRef,
+        IrError::StreamBaseMismatch { .. } => Rule::StreamBaseMismatch,
+        IrError::DanglingStreamRef { .. } => Rule::DanglingStreamRef,
+    };
+    let item = match err {
+        IrError::EmptyBlock { pc } | IrError::MissingTerminalBranch { pc } => {
+            format!("block at {pc:#x}")
+        }
+        IrError::ZeroSizeRegion { base } => format!("region at {base:#x}"),
+        IrError::ZeroLengthSegment { segment } | IrError::DanglingPhaseRef { segment, .. } => {
+            format!("schedule segment {segment}")
+        }
+        IrError::DanglingBlockRef { phase, .. }
+        | IrError::StreamBaseMismatch { phase, .. }
+        | IrError::DanglingStreamRef { phase, .. } => format!("phase {phase}"),
+        IrError::EmptyPhase
+        | IrError::BadBlockWeights { .. }
+        | IrError::BadSelectionNoise { .. } => String::new(),
+    };
+    let location = if item.is_empty() {
+        Location::workload(name)
+    } else {
+        Location::workload_item(name, item)
+    };
+    Diagnostic::new(rule, location, err.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +318,71 @@ mod tests {
             .build();
         let report = lint_program(&program);
         assert!(report.is_empty(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn ir_errors_map_to_matching_rules() {
+        let cases = [
+            (IrError::EmptyBlock { pc: 0x40 }, Rule::EmptyBlock),
+            (
+                IrError::MissingTerminalBranch { pc: 0x40 },
+                Rule::MissingTerminalBranch,
+            ),
+            (IrError::EmptyPhase, Rule::EmptyPhase),
+            (
+                IrError::BadBlockWeights {
+                    blocks: 2,
+                    weights: 1,
+                },
+                Rule::BadBlockWeights,
+            ),
+            (
+                IrError::BadSelectionNoise { noise: 2.0 },
+                Rule::BadSelectionNoise,
+            ),
+            (IrError::ZeroSizeRegion { base: 8 }, Rule::ZeroSizeRegion),
+            (
+                IrError::ZeroLengthSegment { segment: 3 },
+                Rule::ZeroLengthSegment,
+            ),
+            (
+                IrError::DanglingPhaseRef {
+                    segment: 0,
+                    phase: 9,
+                    num_phases: 1,
+                },
+                Rule::DanglingPhaseRef,
+            ),
+            (
+                IrError::DanglingBlockRef {
+                    phase: 0,
+                    block: 9,
+                    num_blocks: 1,
+                },
+                Rule::DanglingBlockRef,
+            ),
+            (
+                IrError::StreamBaseMismatch {
+                    phase: 1,
+                    actual: 0,
+                    expected: 2,
+                },
+                Rule::StreamBaseMismatch,
+            ),
+            (
+                IrError::DanglingStreamRef {
+                    phase: 0,
+                    block: 0,
+                    stream: 4,
+                    num_streams: 1,
+                },
+                Rule::DanglingStreamRef,
+            ),
+        ];
+        for (err, rule) in cases {
+            let d = diagnose_ir_error("w", &err);
+            assert_eq!(d.rule, rule, "{err}");
+            assert_eq!(d.message, err.to_string());
+        }
     }
 }

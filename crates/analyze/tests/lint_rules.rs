@@ -2,9 +2,11 @@
 //! one clean counterpart, plus a golden test of the JSON renderer shape.
 
 use sampsim_analyze::{
-    audit_bbvs, audit_regions, audit_simpoints, lint_hierarchy, lint_program, lint_program_parts,
-    lint_sampling_config, lint_simpoint_options, render_json_lines, Diagnostic, Location, Report,
-    Rule, SamplingConfig,
+    audit_bbvs, audit_bbvs_static, audit_cursors, audit_regions, audit_simpoints,
+    diagnose_ir_error, diagnose_unreadable_artifact, lint_hierarchy, lint_memory, lint_phase_graph,
+    lint_program, lint_program_parts, lint_sampling_config, lint_simpoint_options,
+    render_json_lines, AuditSummary, Diagnostic, Location, Report, Rule, SamplingConfig, Severity,
+    StaticBbvBounds,
 };
 use sampsim_cache::{configs, HierarchyConfig};
 use sampsim_pinball::RegionalPinball;
@@ -77,6 +79,7 @@ fn schedule(phases: &[u32]) -> Schedule {
             })
             .collect(),
     )
+    .unwrap()
 }
 
 /// A minimal structurally valid (blocks, phases, schedule) triple.
@@ -217,7 +220,7 @@ fn sa008_overlapping_stream_regions() {
 #[test]
 fn sa009_empty_schedule() {
     let (blocks, mut phases, _) = clean_parts();
-    let sched = Schedule::new(Vec::new());
+    let sched = Schedule::new(Vec::new()).unwrap();
     phases[0].blocks = vec![0];
     let report = lint_parts(&blocks, &phases, &sched);
     assert!(report.fired(Rule::EmptySchedule));
@@ -258,6 +261,27 @@ fn sa012_zero_size_region() {
 #[test]
 fn built_suite_program_is_clean() {
     assert!(lint_program(&built_program()).is_empty());
+}
+
+#[test]
+fn sa013_missing_terminal_branch() {
+    let (mut blocks, phases, sched) = clean_parts();
+    blocks[0].insts.push(StaticInst {
+        kind: InstKind::Alu,
+    }); // branch no longer last
+    assert!(lint_parts(&blocks, &phases, &sched).fired(Rule::MissingTerminalBranch));
+    let (blocks, phases, sched) = clean_parts();
+    assert!(!lint_parts(&blocks, &phases, &sched).fired(Rule::MissingTerminalBranch));
+}
+
+#[test]
+fn sa014_zero_length_segment() {
+    // `Schedule::new` rejects the segment at construction; the typed error
+    // maps onto the same rule the defensive lint check carries.
+    let err = Schedule::new(vec![Segment { phase: 0, insts: 0 }]).unwrap_err();
+    let diag = diagnose_ir_error("fixture", &err);
+    assert_eq!(diag.rule, Rule::ZeroLengthSegment);
+    assert!(Schedule::new(vec![Segment { phase: 0, insts: 1 }]).is_ok());
 }
 
 // ------------------------------------------------------------ config rules
@@ -508,6 +532,227 @@ fn sa049_duplicate_points() {
     assert!(audit_simpoints(&r, "fixture").fired(Rule::DuplicatePoints));
 }
 
+// ----------------------------------------- memory abstract interpretation
+
+/// A structurally valid program with one memory phase whose single stream
+/// uses `pattern` over a `size`-byte region.
+fn stream_program(pattern: AddressPattern, size: u64) -> Program {
+    let blocks = vec![mem_block(0x1000, 0)];
+    let mut p = phase(vec![0]);
+    p.streams = vec![StreamSpec {
+        region: MemRegion {
+            base: 0x1_0000,
+            size,
+        },
+        pattern,
+    }];
+    Program::new("mem-fixture", blocks, vec![p], schedule(&[0]), 13).unwrap()
+}
+
+fn stride_program(stride: u64, size: u64) -> Program {
+    stream_program(AddressPattern::Stride { stride }, size)
+}
+
+#[test]
+fn sa100_set_aliasing_stride() {
+    // allcache L1D: 32 KiB / 32-way / 32 B lines = 32 sets, 1 KiB set
+    // span. A 1 KiB stride over 64 KiB lands 64 lines in ONE set.
+    let h = hierarchy();
+    assert!(lint_memory(&stride_program(1024, 64 * 1024), &h).fired(Rule::SetAliasingStride));
+    // 64 B strides rotate through all sets: clean.
+    assert!(!lint_memory(&stride_program(64, 64 * 1024), &h).fired(Rule::SetAliasingStride));
+    // Same stride over 32 KiB: 32 resident lines fit the 32 ways.
+    assert!(!lint_memory(&stride_program(1024, 32 * 1024), &h).fired(Rule::SetAliasingStride));
+}
+
+#[test]
+fn sa101_degenerate_stride() {
+    let h = hierarchy();
+    assert!(lint_memory(&stride_program(0, 4096), &h).fired(Rule::DegenerateStride));
+    assert!(lint_memory(&stride_program(4096, 4096), &h).fired(Rule::DegenerateStride));
+    assert!(!lint_memory(&stride_program(64, 4096), &h).fired(Rule::DegenerateStride));
+}
+
+#[test]
+fn sa102_dead_stream() {
+    // The phase owns a stream, but its only block is pure ALU: no
+    // instruction can ever reference the stream.
+    let mut p = phase(vec![0]);
+    p.streams = vec![stream(0x1_0000, 4096)];
+    let dead = Program::new(
+        "mem-fixture",
+        vec![alu_block(0x1000)],
+        vec![p],
+        schedule(&[0]),
+        13,
+    )
+    .unwrap();
+    assert!(lint_memory(&dead, &hierarchy()).fired(Rule::DeadStream));
+    // The mem-block program references stream 0: clean.
+    assert!(!lint_memory(&stride_program(64, 4096), &hierarchy()).fired(Rule::DeadStream));
+}
+
+#[test]
+fn sa103_code_footprint_exceeds_l1i() {
+    // Two blocks 40 KiB apart span more code than the 32 KiB L1I.
+    let blocks = vec![alu_block(0x1000), alu_block(0x1000 + 40 * 1024)];
+    let p = Program::new(
+        "mem-fixture",
+        blocks,
+        vec![phase(vec![0, 1])],
+        schedule(&[0]),
+        13,
+    )
+    .unwrap();
+    let report = lint_memory(&p, &hierarchy());
+    assert!(report.fired(Rule::CodeFootprintExceedsL1I));
+    // The finding is informational, not a deny-warnings failure.
+    assert_eq!(report.exit_code(true), 0);
+    // Adjacent blocks: clean.
+    let blocks = vec![alu_block(0x1000), alu_block(0x2000)];
+    let p = Program::new(
+        "mem-fixture",
+        blocks,
+        vec![phase(vec![0, 1])],
+        schedule(&[0]),
+        13,
+    )
+    .unwrap();
+    assert!(!lint_memory(&p, &hierarchy()).fired(Rule::CodeFootprintExceedsL1I));
+}
+
+#[test]
+fn sa104_tlb_thrashing_stride() {
+    // Page-sized strides over 1 MiB touch 256 pages; the 64-entry DTLB
+    // (4 KiB pages) covers only 256 KiB.
+    let h = hierarchy();
+    assert!(lint_memory(&stride_program(4096, 1 << 20), &h).fired(Rule::TlbThrashingStride));
+    // Same stride over a region the TLB reach covers: clean.
+    assert!(!lint_memory(&stride_program(4096, 128 * 1024), &h).fired(Rule::TlbThrashingStride));
+    // Sub-page strides: clean regardless of region size.
+    assert!(!lint_memory(&stride_program(64, 1 << 20), &h).fired(Rule::TlbThrashingStride));
+}
+
+// --------------------------------------------------------- phase graph
+
+#[test]
+fn sa110_non_recurrent_phase() {
+    // Phases 1 and 2 each run exactly once: SimPoint cannot tell their
+    // one-shot slices from recurring behavior.
+    let report = lint_phase_graph("fixture", 3, &schedule(&[0, 1, 0, 2, 0]));
+    assert!(report.fired(Rule::NonRecurrentPhase));
+    // Both phases fold into one per-workload note naming each.
+    assert_eq!(report.diagnostics().len(), 1);
+    assert!(report.diagnostics()[0].message.contains("1, 2"));
+    // Every phase recurs: clean.
+    assert!(lint_phase_graph("fixture", 2, &schedule(&[0, 1, 0, 1])).is_empty());
+    // A single-phase program is exempt (nothing to confuse).
+    assert!(lint_phase_graph("fixture", 1, &schedule(&[0])).is_empty());
+}
+
+// ------------------------------------------- static-vs-dynamic oracle
+
+/// A clean dynamic profile for `stride_program(64, 4096)`: each slice
+/// retires exactly its granted instructions in the phase's only block.
+fn clean_bbvs(program: &Program, bounds: &StaticBbvBounds) -> Vec<Bbv> {
+    let block = program.phases()[0].blocks[0];
+    (0..bounds.num_slices())
+        .map(|i| Bbv::from_counts(vec![(block, bounds.slice_total(i) as u32)]))
+        .collect()
+}
+
+#[test]
+fn sa120_bbv_block_outside_slice() {
+    let p = stride_program(64, 4096);
+    let bounds = StaticBbvBounds::derive(&p, 100);
+    let mut bbvs = clean_bbvs(&p, &bounds);
+    assert!(audit_bbvs_static(&p, &bounds, &bbvs).is_empty());
+    // Replace slice 3's count with one in a block no scheduled phase owns.
+    bbvs[3] = Bbv::from_counts(vec![(999, bounds.slice_total(3) as u32)]);
+    assert!(audit_bbvs_static(&p, &bounds, &bbvs).fired(Rule::BbvBlockOutsideSlice));
+}
+
+#[test]
+fn sa121_bbv_count_exceeds_bound() {
+    let p = stride_program(64, 4096);
+    let bounds = StaticBbvBounds::derive(&p, 100);
+    let block = p.phases()[0].blocks[0];
+    let mut bbvs = clean_bbvs(&p, &bounds);
+    // Keep another block under-counted so the total still matches: only
+    // the per-block cap is violated.
+    bbvs[2] = Bbv::from_counts(vec![(block, bounds.slice_total(2) as u32 + 500)]);
+    let report = audit_bbvs_static(&p, &bounds, &bbvs);
+    assert!(report.fired(Rule::BbvCountExceedsBound));
+}
+
+#[test]
+fn sa122_bbv_total_mismatch() {
+    let p = stride_program(64, 4096);
+    let bounds = StaticBbvBounds::derive(&p, 100);
+    let block = p.phases()[0].blocks[0];
+    let mut bbvs = clean_bbvs(&p, &bounds);
+    bbvs[1] = Bbv::from_counts(vec![(block, 7)]); // slice grants 100
+    assert!(audit_bbvs_static(&p, &bounds, &bbvs).fired(Rule::BbvTotalMismatch));
+    // Wrong slice count is the same rule at the profile level.
+    let short = clean_bbvs(&p, &bounds)[..3].to_vec();
+    assert!(audit_bbvs_static(&p, &bounds, &short).fired(Rule::BbvTotalMismatch));
+    assert!(audit_bbvs_static(&p, &bounds, &clean_bbvs(&p, &bounds)).is_empty());
+}
+
+#[test]
+fn sa123_cursor_schedule_mismatch() {
+    let p = stride_program(64, 4096);
+    let clean = vec![Cursor::start(&p)];
+    assert!(audit_cursors(&p, 100, &clean).is_empty());
+    // A slice-0 cursor claiming retired instructions contradicts the
+    // schedule.
+    let mut bad = Cursor::start(&p);
+    bad.retired = 123;
+    assert!(audit_cursors(&p, 100, &[bad]).fired(Rule::CursorScheduleMismatch));
+    // Cursor carrying the wrong number of stream states.
+    let mut bad = Cursor::start(&p);
+    bad.streams.push(0);
+    assert!(audit_cursors(&p, 100, &[bad]).fired(Rule::CursorScheduleMismatch));
+}
+
+#[test]
+fn sa125_stream_state_outside_domain() {
+    let p = stride_program(64, 4096);
+    // Position 13 is not a multiple of gcd(64, 4096): unreachable.
+    let mut bad = Cursor::start(&p);
+    bad.streams[0] = 13;
+    assert!(audit_cursors(&p, 100, &[bad]).fired(Rule::StreamStateOutsideDomain));
+    // Position past the region: unreachable.
+    let mut bad = Cursor::start(&p);
+    bad.streams[0] = 4096;
+    assert!(audit_cursors(&p, 100, &[bad]).fired(Rule::StreamStateOutsideDomain));
+    // A reachable stride position: clean.
+    let mut ok = Cursor::start(&p);
+    ok.streams[0] = 128;
+    assert!(audit_cursors(&p, 100, &[ok]).is_empty());
+    // Distribution-sampled streams never advance their position.
+    let p = stream_program(AddressPattern::Random, 4096);
+    let mut bad = Cursor::start(&p);
+    bad.streams[0] = 64;
+    assert!(audit_cursors(&p, 100, &[bad]).fired(Rule::StreamStateOutsideDomain));
+}
+
+#[test]
+fn sa124_artifact_unreadable() {
+    let p = stride_program(64, 4096);
+    let bounds = StaticBbvBounds::derive(&p, 100);
+    let summary = AuditSummary::capture(&p, 1.0, &bounds);
+    let bytes = summary.to_bytes();
+    // Valid bytes round-trip and check clean.
+    assert!(AuditSummary::from_bytes(&bytes).is_ok());
+    assert!(summary.check("x.art", &p, 1.0, &bounds).is_empty());
+    // Garbage is rejected with a typed decode error that maps to SA124.
+    let err = AuditSummary::from_bytes(b"not an artifact").unwrap_err();
+    let diag = diagnose_unreadable_artifact("x.art", &err);
+    assert_eq!(diag.rule, Rule::ArtifactUnreadable);
+    assert_eq!(diag.rule.severity(), Severity::Error);
+}
+
 // --------------------------------------------------------------- renderer
 
 #[test]
@@ -528,11 +773,16 @@ fn json_renderer_golden_shape() {
         Location::artifact("out/505.mcf_r.pb"),
         "digest \"mismatch\"",
     ));
+    report.push(Diagnostic::new(
+        Rule::DeadStream,
+        Location::workload_item("505.mcf_r", "phase 0, stream 1"),
+        "stream 1 is never referenced",
+    ));
     let lines: Vec<String> = render_json_lines(&report)
         .lines()
         .map(String::from)
         .collect();
-    assert_eq!(lines.len(), 3);
+    assert_eq!(lines.len(), 4);
     assert_eq!(
         lines[0],
         "{\"code\":\"SA001\",\"severity\":\"error\",\
@@ -552,6 +802,16 @@ fn json_renderer_golden_shape() {
     // Escaping inside messages survives round-tripping into the line.
     assert!(lines[2].contains("\"message\":\"digest \\\"mismatch\\\"\""));
     assert!(lines[2].contains("\"kind\":\"artifact\",\"path\":\"out/505.mcf_r.pb\""));
+    // The SA1xx families render through the same shape, with note
+    // severity spelled out.
+    assert_eq!(
+        lines[3],
+        "{\"code\":\"SA102\",\"severity\":\"note\",\
+         \"location\":{\"kind\":\"workload\",\"workload\":\"505.mcf_r\",\
+         \"item\":\"phase 0, stream 1\"},\
+         \"message\":\"stream 1 is never referenced\",\"help\":\"%HELP%\"}"
+            .replace("%HELP%", Rule::DeadStream.help())
+    );
 }
 
 #[test]

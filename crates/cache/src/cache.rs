@@ -67,6 +67,14 @@ impl CacheConfig {
     pub fn sets(&self) -> u64 {
         self.size_bytes / (u64::from(self.ways) * self.line_bytes)
     }
+
+    /// Bytes between two addresses that index the same set
+    /// (`sets * line_bytes`). Address streams whose stride is a multiple
+    /// of this span conflict in a single set; static analysis uses it to
+    /// flag such pathologies.
+    pub fn set_span_bytes(&self) -> u64 {
+        self.sets() * self.line_bytes
+    }
 }
 
 /// Access/miss counters for one cache.

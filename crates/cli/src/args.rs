@@ -16,6 +16,8 @@ commands:
   report <bench>               whole vs regional vs reduced vs warmup report
   trace <bench> -o FILE        write an execution trace (--limit N insts)
   lint [bench]                 static checks over workloads and the config
+  audit [bench]                differentially check dynamic profiles against
+                               static per-slice bounds (executor oracle)
   perf [-o FILE]               time the optimized kernels against their
                                naive references; write a BENCH_kernels.json
   serve                        run the sampling-as-a-service daemon
@@ -33,6 +35,12 @@ lint flags:
   --format <human|json>   output format (default: human)
   --deny-warnings         exit non-zero on warnings too
   --artifacts <DIR>       also audit saved .pb pinball files in DIR
+
+audit flags:
+  --format / --deny-warnings   as for lint
+  --artifacts <DIR>       check shipped .art audit summaries in DIR instead
+                          of running the dynamic differential pass
+  --update                (re)write the .art summaries in --artifacts DIR
 
 perf flags:
   --quick                 smoke-test sizes (CI); full sizes otherwise
@@ -141,6 +149,20 @@ pub enum Command {
         /// Directory of saved `.pb` pinball files to audit.
         artifacts: Option<String>,
     },
+    /// `sampsim audit [bench]` — the static-vs-dynamic oracle.
+    Audit {
+        /// Benchmark name or substring (`None` = whole suite).
+        bench: Option<String>,
+        /// Output format.
+        format: LintFormat,
+        /// Treat warnings as errors when computing the exit code.
+        deny_warnings: bool,
+        /// Directory of `.art` audit summaries (and `.pb` pinballs) to
+        /// check instead of running the dynamic pass.
+        artifacts: Option<String>,
+        /// Rewrite the `.art` summaries in `--artifacts`.
+        update: bool,
+    },
     /// `sampsim perf [--quick] [-o FILE]`
     Perf {
         /// Smoke-test sizes instead of measurement sizes.
@@ -215,6 +237,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut deny_warnings = false;
     let mut artifacts: Option<String> = None;
     let mut quick = false;
+    let mut update = false;
     let mut validate: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -260,6 +283,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             }
             "--deny-warnings" => deny_warnings = true,
             "--quick" => quick = true,
+            "--update" => update = true,
             "--addr" => {
                 addr = Some(iter.next().ok_or("--addr needs a host:port value")?);
             }
@@ -330,6 +354,18 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             deny_warnings,
             artifacts,
         },
+        Some("audit") => {
+            if update && artifacts.is_none() {
+                return Err("audit --update needs --artifacts <DIR>".into());
+            }
+            Command::Audit {
+                bench: positionals.next(),
+                format,
+                deny_warnings,
+                artifacts,
+                update,
+            }
+        }
         Some("perf") => Command::Perf {
             quick,
             out,
@@ -479,6 +515,34 @@ mod tests {
         );
         assert!(parse_str("lint --format yaml").is_err());
         assert!(parse_str("lint --artifacts").is_err());
+    }
+
+    #[test]
+    fn parses_audit() {
+        assert_eq!(
+            parse_str("audit").unwrap().command,
+            Command::Audit {
+                bench: None,
+                format: LintFormat::Human,
+                deny_warnings: false,
+                artifacts: None,
+                update: false,
+            }
+        );
+        assert_eq!(
+            parse_str("audit mcf_r --format json --deny-warnings --artifacts arts --update")
+                .unwrap()
+                .command,
+            Command::Audit {
+                bench: Some("mcf_r".into()),
+                format: LintFormat::Json,
+                deny_warnings: true,
+                artifacts: Some("arts".into()),
+                update: true,
+            }
+        );
+        // --update without a directory to write into is a usage error.
+        assert!(parse_str("audit --update").is_err());
     }
 
     #[test]

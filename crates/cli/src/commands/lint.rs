@@ -2,7 +2,11 @@
 //! configuration and (optionally) saved pinball artifacts.
 
 use crate::args::{LintFormat, Options};
-use sampsim_analyze::{audit_regions, lint_program, render_human, render_json_lines, Report, Rule};
+use sampsim_analyze::{
+    audit_regions, lint_memory, lint_phase_graph, lint_program, render_human, render_json_lines,
+    Report, Rule,
+};
+use sampsim_cache::configs;
 use sampsim_pinball::store;
 use sampsim_spec2017::BenchmarkSpec;
 use std::path::Path;
@@ -29,6 +33,15 @@ pub fn lint(
     for spec in &specs {
         let program = spec.scaled(options.scale).build();
         report.merge(lint_program(&program));
+        // The deeper framework passes: phase-transition graph structure
+        // and memory abstract interpretation against the paper's
+        // `allcache` hierarchy (the geometry every profile runs against).
+        report.merge(lint_phase_graph(
+            program.name(),
+            program.phases().len(),
+            program.schedule(),
+        ));
+        report.merge(lint_memory(&program, &configs::allcache_table1()));
         // Run-length proportionality rules (SA022/SA028) depend on the
         // program; keep only those here so config-wide findings are not
         // repeated once per benchmark.
@@ -65,8 +78,12 @@ pub fn lint(
 }
 
 /// Audits every regional-pinball file (`*.pb`, excluding `*.whole.pb`) in
-/// `dir` against the benchmark named inside it.
-fn audit_artifact_dir(dir: &Path, options: &Options) -> Result<Report, Box<dyn std::error::Error>> {
+/// `dir` against the benchmark named inside it. Shared with `sampsim
+/// audit --artifacts`.
+pub(super) fn audit_artifact_dir(
+    dir: &Path,
+    options: &Options,
+) -> Result<Report, Box<dyn std::error::Error>> {
     let mut report = Report::new();
     let mut paths: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(Result::ok)

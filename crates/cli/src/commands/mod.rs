@@ -1,9 +1,11 @@
 //! Subcommand implementations.
 
+mod audit;
 mod lint;
 mod perf;
 mod serve;
 
+pub use audit::audit;
 pub use lint::lint;
 pub use perf::perf;
 pub use serve::{request, serve};

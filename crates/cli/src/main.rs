@@ -10,6 +10,7 @@
 //! sampsim report   <bench>              full paper-style report (all runs)
 //! sampsim trace    <bench> -o FILE      write an execution trace to disk
 //! sampsim lint     [bench]              static checks (workloads + config)
+//! sampsim audit    [bench]              static-vs-dynamic differential oracle
 //! sampsim serve                         sampling-as-a-service daemon
 //! sampsim request  <bench>              query a daemon (reply == run stdout)
 //! ```
@@ -62,6 +63,32 @@ fn main() -> ExitCode {
                 Ok(code) => ExitCode::from(code),
                 Err(e) => {
                     eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        args::Command::Audit {
+            bench,
+            format,
+            deny_warnings,
+            artifacts,
+            update,
+        } => {
+            // Same exit-code convention as lint.
+            return match commands::audit(
+                bench.as_deref(),
+                format,
+                deny_warnings,
+                artifacts.as_deref(),
+                update,
+                &parsed.options,
+            ) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    if e.is::<commands::UsageError>() {
+                        return ExitCode::from(2);
+                    }
                     ExitCode::FAILURE
                 }
             };

@@ -134,9 +134,7 @@ impl Pipeline {
     ) -> Result<PipelineResult, CoreError> {
         use crate::stage_cache::{profile_stage_key, ProfileStage};
 
-        let expected_slices = (self.config.slice_size > 0)
-            .then(|| program.total_insts().div_ceil(self.config.slice_size));
-        let report = self.config.lint(expected_slices);
+        let report = self.preflight(program);
         if report.has_errors() {
             return Err(CoreError::Config(report.into_diagnostics()));
         }
@@ -177,6 +175,28 @@ impl Pipeline {
             regional,
             num_slices,
         })
+    }
+
+    /// The full static-analysis preflight: configuration lints plus the
+    /// program-level passes — IR structure, phase-graph shape, and (when a
+    /// cache hierarchy is configured) the memory abstract interpretation
+    /// against its geometry. [`Pipeline::run`] refuses to execute on
+    /// error-severity findings; callers wanting the warnings/notes (CLI
+    /// `lint`, the serve daemon) call this directly.
+    pub fn preflight(&self, program: &Program) -> sampsim_analyze::Report {
+        let expected_slices = (self.config.slice_size > 0)
+            .then(|| program.total_insts().div_ceil(self.config.slice_size));
+        let mut report = self.config.lint(expected_slices);
+        report.merge(sampsim_analyze::lint_program(program));
+        report.merge(sampsim_analyze::lint_phase_graph(
+            program.name(),
+            program.phases().len(),
+            program.schedule(),
+        ));
+        if let Some(hierarchy) = &self.config.profile_cache {
+            report.merge(sampsim_analyze::lint_memory(program, hierarchy));
+        }
+        report
     }
 
     fn make_regionals(

@@ -139,7 +139,9 @@ pub fn find_benchmark(pattern: &str) -> Result<BenchmarkSpec, String> {
 }
 
 /// Validates a request end to end: benchmark resolution, scale check,
-/// config construction, and the `sampsim-analyze` lint pass. Pure —
+/// config construction, and the full `sampsim-analyze` preflight — config
+/// lints plus the program-level passes (IR structure, phase graph, memory
+/// abstract interpretation against the `allcache` hierarchy). Pure —
 /// nothing is executed.
 ///
 /// # Errors
@@ -166,9 +168,7 @@ pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
             ..config.simpoint
         };
     }
-    let expected_slices =
-        (config.slice_size > 0).then(|| program.total_insts().div_ceil(config.slice_size));
-    let report = config.lint(expected_slices);
+    let report = Pipeline::new(config.clone()).preflight(&program);
     if report.has_errors() {
         return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
     }

@@ -192,15 +192,21 @@ fn control_and_failure_replies_are_typed() {
     let unknown = client::request_line(&addr, "{\"op\":\"run\",\"bench\":\"nope\"}").unwrap();
     assert!(unknown.contains("\"code\":\"unknown-bench\""), "{unknown}");
 
-    // slice 0 passes the protocol and is rejected by the analyze lint
-    // pass with a structured rule list (SA020), not a panic.
+    // slice 0 passes the protocol and is rejected by the full analysis
+    // preflight with a structured rule list (SA020), not a panic. Sending
+    // maxk 0 in the same request proves the reply carries the *complete*
+    // report — one rule object per finding, in `lint --format json` shape
+    // — rather than just the first failure.
     let invalid = client::request_line(
         &addr,
-        "{\"op\":\"run\",\"bench\":\"omnetpp_s\",\"scale\":0.002,\"slice\":0}",
+        "{\"op\":\"run\",\"bench\":\"omnetpp_s\",\"scale\":0.002,\"slice\":0,\"maxk\":0}",
     )
     .unwrap();
     assert!(invalid.contains("\"code\":\"invalid-config\""), "{invalid}");
+    assert!(invalid.contains("\"rules\":["), "{invalid}");
     assert!(invalid.contains("SA020"), "{invalid}");
+    assert!(invalid.contains("SA021"), "{invalid}");
+    assert!(invalid.contains("\"severity\":\"error\""), "{invalid}");
     assert!(protocol::is_error_reply(&invalid));
 
     client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();

@@ -6,6 +6,7 @@
 //! code footprint of a program is laid out contiguously from
 //! [`CODE_BASE`].
 
+use crate::error::IrError;
 use crate::mem::MemClass;
 use sampsim_util::hash::Fnv64;
 
@@ -108,16 +109,19 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// Creates a block at `pc`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `insts` is empty or does not end in a branch.
-    pub fn new(pc: u64, insts: Vec<StaticInst>) -> Self {
-        assert!(!insts.is_empty(), "basic block must be non-empty");
-        assert!(
-            matches!(insts.last().unwrap().kind, InstKind::Branch { .. }),
-            "basic block must end in a branch"
-        );
-        Self { insts, pc }
+    /// Returns [`IrError::EmptyBlock`] when `insts` is empty and
+    /// [`IrError::MissingTerminalBranch`] when the last instruction is not
+    /// a branch.
+    pub fn new(pc: u64, insts: Vec<StaticInst>) -> Result<Self, IrError> {
+        let Some(last) = insts.last() else {
+            return Err(IrError::EmptyBlock { pc });
+        };
+        if !matches!(last.kind, InstKind::Branch { .. }) {
+            return Err(IrError::MissingTerminalBranch { pc });
+        }
+        Ok(Self { insts, pc })
     }
 
     /// Number of instructions.
@@ -166,27 +170,31 @@ mod tests {
                 },
                 branch(),
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(b.pc_of(0), CODE_BASE);
         assert_eq!(b.pc_of(1), CODE_BASE + INST_BYTES);
         assert_eq!(b.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "must end in a branch")]
     fn block_must_end_in_branch() {
-        BasicBlock::new(
-            0,
+        let err = BasicBlock::new(
+            0x40,
             vec![StaticInst {
                 kind: InstKind::Alu,
             }],
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, IrError::MissingTerminalBranch { pc: 0x40 });
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn block_must_be_nonempty() {
-        BasicBlock::new(0, vec![]);
+        assert_eq!(
+            BasicBlock::new(0, vec![]).unwrap_err(),
+            IrError::EmptyBlock { pc: 0 }
+        );
     }
 
     #[test]
@@ -250,7 +258,8 @@ mod tests {
                 },
                 branch(),
             ],
-        );
+        )
+        .unwrap();
         let b = BasicBlock::new(
             0,
             vec![
@@ -259,7 +268,8 @@ mod tests {
                 },
                 branch(),
             ],
-        );
+        )
+        .unwrap();
         let mut ha = Fnv64::new();
         a.hash_into(&mut ha);
         let mut hb = Fnv64::new();

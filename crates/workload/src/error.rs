@@ -1,0 +1,186 @@
+//! Typed construction errors for the workload IR.
+//!
+//! Every IR constructor ([`crate::Program::new`], [`crate::Schedule::new`],
+//! [`crate::Phase::new`], [`crate::BasicBlock::new`],
+//! [`crate::MemRegion::new`]) validates its input and returns an
+//! [`IrError`] instead of panicking, so malformed IR surfaces as a value a
+//! caller can route into diagnostics. The `sampsim-analyze` crate maps each
+//! variant onto the lint rule that detects the same condition
+//! (`SA001`/`SA002`/…), so constructor rejections and lint findings speak
+//! the same language.
+
+use std::fmt;
+
+/// Why a workload IR constructor rejected its input.
+///
+/// Each variant corresponds to exactly one `sampsim-analyze` lint rule;
+/// the mapping lives in `sampsim_analyze::diagnose_ir_error`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A basic block holds no instructions (lint `SA010`).
+    EmptyBlock {
+        /// Program counter the block was declared at.
+        pc: u64,
+    },
+    /// A basic block's last instruction is not a branch (lint `SA013`).
+    MissingTerminalBranch {
+        /// Program counter of the offending block.
+        pc: u64,
+    },
+    /// A phase owns no basic blocks (lint `SA004`).
+    EmptyPhase,
+    /// `block_weights` does not parallel `blocks`, or a weight is not a
+    /// positive finite value (lint `SA005`).
+    BadBlockWeights {
+        /// Number of blocks in the phase.
+        blocks: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// `selection_noise` lies outside `[0, 1]` (lint `SA006`).
+    BadSelectionNoise {
+        /// The rejected noise value.
+        noise: f64,
+    },
+    /// A stream region covers zero bytes (lint `SA012`).
+    ZeroSizeRegion {
+        /// Base address of the rejected region.
+        base: u64,
+    },
+    /// A schedule segment retires zero instructions (lint `SA014`).
+    ZeroLengthSegment {
+        /// Index of the offending segment.
+        segment: usize,
+    },
+    /// The schedule names a phase outside the phase table (lint `SA002`).
+    DanglingPhaseRef {
+        /// Index of the offending segment.
+        segment: usize,
+        /// The out-of-range phase id.
+        phase: u32,
+        /// Number of phases the program owns.
+        num_phases: usize,
+    },
+    /// A phase names a block outside the block table (lint `SA001`).
+    DanglingBlockRef {
+        /// Index of the offending phase.
+        phase: usize,
+        /// The out-of-range block id.
+        block: u32,
+        /// Number of blocks the program owns.
+        num_blocks: usize,
+    },
+    /// A phase's `stream_base` does not equal the running stream count
+    /// (lint `SA011`).
+    StreamBaseMismatch {
+        /// Index of the offending phase.
+        phase: usize,
+        /// The base the phase declared.
+        actual: u32,
+        /// The densely packed base it should declare.
+        expected: u32,
+    },
+    /// A memory instruction indexes a stream the phase does not own
+    /// (lint `SA007`).
+    DanglingStreamRef {
+        /// Index of the offending phase.
+        phase: usize,
+        /// Block the instruction lives in.
+        block: u32,
+        /// The out-of-range stream operand.
+        stream: u16,
+        /// Number of streams the phase owns.
+        num_streams: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyBlock { pc } => {
+                write!(f, "basic block at {pc:#x} must be non-empty")
+            }
+            IrError::MissingTerminalBranch { pc } => {
+                write!(f, "basic block at {pc:#x} must end in a branch")
+            }
+            IrError::EmptyPhase => f.write_str("phase must have at least one block"),
+            IrError::BadBlockWeights { blocks, weights } if blocks != weights => {
+                write!(
+                    f,
+                    "block/weight length mismatch: {blocks} block(s), {weights} weight(s)"
+                )
+            }
+            IrError::BadBlockWeights { .. } => {
+                f.write_str("block weights must be positive and finite")
+            }
+            IrError::BadSelectionNoise { noise } => {
+                write!(f, "selection noise {noise} must be in [0, 1]")
+            }
+            IrError::ZeroSizeRegion { base } => {
+                write!(f, "region at {base:#x} must have positive size")
+            }
+            IrError::ZeroLengthSegment { segment } => {
+                write!(f, "schedule segment {segment} must be non-empty")
+            }
+            IrError::DanglingPhaseRef {
+                segment,
+                phase,
+                num_phases,
+            } => write!(
+                f,
+                "schedule segment {segment} references phase {phase} of {num_phases}"
+            ),
+            IrError::DanglingBlockRef {
+                phase,
+                block,
+                num_blocks,
+            } => write!(f, "phase {phase} references block {block} of {num_blocks}"),
+            IrError::StreamBaseMismatch {
+                phase,
+                actual,
+                expected,
+            } => write!(
+                f,
+                "phase {phase} stream_base is {actual}, expected {expected}: \
+                 phase stream bases must be densely packed"
+            ),
+            IrError::DanglingStreamRef {
+                phase,
+                block,
+                stream,
+                num_streams,
+            } => write!(
+                f,
+                "instruction in block {block} of phase {phase} references \
+                 stream {stream} of {num_streams}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_values() {
+        let e = IrError::DanglingBlockRef {
+            phase: 2,
+            block: 9,
+            num_blocks: 4,
+        };
+        assert_eq!(e.to_string(), "phase 2 references block 9 of 4");
+        let e = IrError::BadBlockWeights {
+            blocks: 3,
+            weights: 1,
+        };
+        assert!(e.to_string().contains("length mismatch"), "{e}");
+        let e = IrError::BadBlockWeights {
+            blocks: 2,
+            weights: 2,
+        };
+        assert!(e.to_string().contains("positive"), "{e}");
+    }
+}

@@ -359,7 +359,8 @@ mod tests {
                         kind: InstKind::Branch { bias: 50000 },
                     },
                 ],
-            ),
+            )
+            .unwrap(),
             BasicBlock::new(
                 0x400100,
                 vec![
@@ -370,7 +371,8 @@ mod tests {
                         kind: InstKind::Branch { bias: 10000 },
                     },
                 ],
-            ),
+            )
+            .unwrap(),
             BasicBlock::new(
                 0x400200,
                 vec![
@@ -381,27 +383,30 @@ mod tests {
                         kind: InstKind::Branch { bias: 60000 },
                     },
                 ],
-            ),
+            )
+            .unwrap(),
         ];
         let phases = vec![
             Phase::new(
                 vec![0, 1],
                 vec![3.0, 1.0],
                 vec![StreamSpec {
-                    region: MemRegion::new(0x1000_0000, 1 << 16),
+                    region: MemRegion::new(0x1000_0000, 1 << 16).unwrap(),
                     pattern: AddressPattern::Stride { stride: 64 },
                 }],
                 0,
-            ),
+            )
+            .unwrap(),
             Phase::new(
                 vec![2],
                 vec![1.0],
                 vec![StreamSpec {
-                    region: MemRegion::new(0x2000_0000, 1 << 20),
+                    region: MemRegion::new(0x2000_0000, 1 << 20).unwrap(),
                     pattern: AddressPattern::Random,
                 }],
                 1,
-            ),
+            )
+            .unwrap(),
         ];
         let schedule = Schedule::new(vec![
             Segment {
@@ -416,8 +421,9 @@ mod tests {
                 phase: 0,
                 insts: 200,
             },
-        ]);
-        Program::new("exec-test", blocks, phases, schedule, 7)
+        ])
+        .unwrap();
+        Program::new("exec-test", blocks, phases, schedule, 7).unwrap()
     }
 
     #[test]

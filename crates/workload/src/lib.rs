@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod error;
 pub mod exec;
 pub mod mem;
 pub mod phase;
@@ -55,6 +56,7 @@ pub mod schedule;
 pub mod spec;
 
 pub use block::{BasicBlock, InstKind, StaticInst};
+pub use error::IrError;
 pub use exec::{Cursor, Executor, Retired};
 pub use mem::{AddressPattern, MemClass, MemRegion, StreamSpec};
 pub use phase::Phase;

@@ -6,6 +6,7 @@
 //! [`AddressPattern`] (how it walks that region). Streams carry a small
 //! runtime state ([`StreamState`]) that is captured inside checkpoints.
 
+use crate::error::IrError;
 use sampsim_util::hash::Fnv64;
 use sampsim_util::rng::Xoshiro256StarStar;
 
@@ -77,12 +78,14 @@ pub struct MemRegion {
 impl MemRegion {
     /// Creates a region.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `size` is zero.
-    pub fn new(base: u64, size: u64) -> Self {
-        assert!(size > 0, "region size must be positive");
-        Self { base, size }
+    /// Returns [`IrError::ZeroSizeRegion`] when `size` is zero.
+    pub fn new(base: u64, size: u64) -> Result<Self, IrError> {
+        if size == 0 {
+            return Err(IrError::ZeroSizeRegion { base });
+        }
+        Ok(Self { base, size })
     }
 
     /// Whether `addr` falls inside the region.
@@ -228,7 +231,7 @@ mod tests {
     #[test]
     fn stride_wraps_in_region() {
         let spec = StreamSpec {
-            region: MemRegion::new(1000, 64),
+            region: MemRegion::new(1000, 64).unwrap(),
             pattern: AddressPattern::Stride { stride: 16 },
         };
         let mut st = StreamState::default();
@@ -240,7 +243,7 @@ mod tests {
     #[test]
     fn random_stays_in_region() {
         let spec = StreamSpec {
-            region: MemRegion::new(4096, 1 << 20),
+            region: MemRegion::new(4096, 1 << 20).unwrap(),
             pattern: AddressPattern::Random,
         };
         let mut st = StreamState::default();
@@ -254,7 +257,7 @@ mod tests {
     #[test]
     fn chase_is_deterministic_and_in_region() {
         let spec = StreamSpec {
-            region: MemRegion::new(0, 4096),
+            region: MemRegion::new(0, 4096).unwrap(),
             pattern: AddressPattern::PointerChase,
         };
         let mut a = StreamState::default();
@@ -272,7 +275,7 @@ mod tests {
     #[test]
     fn chase_covers_many_addresses() {
         let spec = StreamSpec {
-            region: MemRegion::new(0, 1 << 16),
+            region: MemRegion::new(0, 1 << 16).unwrap(),
             pattern: AddressPattern::PointerChase,
         };
         let mut st = StreamState::default();
@@ -289,9 +292,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "region size must be positive")]
-    fn zero_region_panics() {
-        MemRegion::new(0, 0);
+    fn zero_region_rejected() {
+        assert_eq!(
+            MemRegion::new(0x20, 0).unwrap_err(),
+            IrError::ZeroSizeRegion { base: 0x20 }
+        );
     }
 }
 
@@ -303,7 +308,7 @@ mod skew_tests {
     #[test]
     fn skewed_random_favors_low_addresses() {
         let spec = StreamSpec {
-            region: MemRegion::new(0, 1 << 20),
+            region: MemRegion::new(0, 1 << 20).unwrap(),
             pattern: AddressPattern::SkewedRandom { theta_x10: 30 },
         };
         let mut st = StreamState::default();
@@ -320,7 +325,7 @@ mod skew_tests {
     #[test]
     fn theta_ten_is_uniformish() {
         let spec = StreamSpec {
-            region: MemRegion::new(0, 1 << 20),
+            region: MemRegion::new(0, 1 << 20).unwrap(),
             pattern: AddressPattern::SkewedRandom { theta_x10: 10 },
         };
         let mut st = StreamState::default();
@@ -336,7 +341,7 @@ mod skew_tests {
     #[test]
     fn skewed_stays_in_region() {
         let spec = StreamSpec {
-            region: MemRegion::new(4096, 8192),
+            region: MemRegion::new(4096, 8192).unwrap(),
             pattern: AddressPattern::SkewedRandom { theta_x10: 25 },
         };
         let mut st = StreamState::default();

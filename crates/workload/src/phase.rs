@@ -6,6 +6,7 @@
 //! distribution — producing the long, repetitive, self-similar behaviour
 //! that SimPoint's basic-block vectors pick up.
 
+use crate::error::IrError;
 use crate::mem::StreamSpec;
 use sampsim_util::hash::Fnv64;
 
@@ -32,44 +33,49 @@ pub struct Phase {
 impl Phase {
     /// Creates a phase.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `blocks` is empty, the weight table length mismatches, or
-    /// any weight is non-positive.
+    /// Returns [`IrError::EmptyPhase`] when `blocks` is empty and
+    /// [`IrError::BadBlockWeights`] when the weight table length
+    /// mismatches or any weight is not a positive finite value.
     pub fn new(
         blocks: Vec<u32>,
         block_weights: Vec<f64>,
         streams: Vec<StreamSpec>,
         stream_base: u32,
-    ) -> Self {
-        assert!(!blocks.is_empty(), "phase must have at least one block");
-        assert_eq!(
-            blocks.len(),
-            block_weights.len(),
-            "block/weight length mismatch"
-        );
-        assert!(
-            block_weights.iter().all(|&w| w > 0.0),
-            "block weights must be positive"
-        );
-        Self {
+    ) -> Result<Self, IrError> {
+        if blocks.is_empty() {
+            return Err(IrError::EmptyPhase);
+        }
+        if blocks.len() != block_weights.len()
+            || !block_weights.iter().all(|w| w.is_finite() && *w > 0.0)
+        {
+            return Err(IrError::BadBlockWeights {
+                blocks: blocks.len(),
+                weights: block_weights.len(),
+            });
+        }
+        Ok(Self {
             blocks,
             block_weights,
             streams,
             stream_base,
             selection_noise: 0.15,
-        }
+        })
     }
 
     /// Overrides the random fraction of block selections (builder-style).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `noise` is in `[0, 1]`.
-    pub fn with_selection_noise(mut self, noise: f64) -> Self {
-        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+    /// Returns [`IrError::BadSelectionNoise`] unless `noise` is in
+    /// `[0, 1]`.
+    pub fn with_selection_noise(mut self, noise: f64) -> Result<Self, IrError> {
+        if !(0.0..=1.0).contains(&noise) {
+            return Err(IrError::BadSelectionNoise { noise });
+        }
         self.selection_noise = noise;
-        self
+        Ok(self)
     }
 
     /// Cumulative weight table used for fast weighted selection.
@@ -107,30 +113,46 @@ mod tests {
 
     #[test]
     fn cumulative_weights_monotone() {
-        let p = Phase::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0], vec![], 0);
+        let p = Phase::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0], vec![], 0).unwrap();
         assert_eq!(p.cumulative_weights(), vec![1.0, 3.0, 6.0]);
     }
 
     #[test]
-    #[should_panic(expected = "at least one block")]
-    fn empty_phase_panics() {
-        Phase::new(vec![], vec![], vec![], 0);
+    fn empty_phase_rejected() {
+        assert_eq!(
+            Phase::new(vec![], vec![], vec![], 0).unwrap_err(),
+            IrError::EmptyPhase
+        );
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn weight_mismatch_panics() {
-        Phase::new(vec![0], vec![], vec![], 0);
+    fn weight_mismatch_rejected() {
+        assert_eq!(
+            Phase::new(vec![0], vec![], vec![], 0).unwrap_err(),
+            IrError::BadBlockWeights {
+                blocks: 1,
+                weights: 0
+            }
+        );
+    }
+
+    #[test]
+    fn bad_noise_rejected() {
+        let p = Phase::new(vec![0], vec![1.0], vec![], 0).unwrap();
+        assert_eq!(
+            p.with_selection_noise(1.5).unwrap_err(),
+            IrError::BadSelectionNoise { noise: 1.5 }
+        );
     }
 
     #[test]
     fn hash_includes_streams() {
         let s = StreamSpec {
-            region: MemRegion::new(0, 64),
+            region: MemRegion::new(0, 64).unwrap(),
             pattern: AddressPattern::Random,
         };
-        let a = Phase::new(vec![0], vec![1.0], vec![s], 0);
-        let b = Phase::new(vec![0], vec![1.0], vec![], 0);
+        let a = Phase::new(vec![0], vec![1.0], vec![s], 0).unwrap();
+        let b = Phase::new(vec![0], vec![1.0], vec![], 0).unwrap();
         let mut ha = Fnv64::new();
         a.hash_into(&mut ha);
         let mut hb = Fnv64::new();

@@ -6,6 +6,7 @@
 //! pinball checkpoints.
 
 use crate::block::BasicBlock;
+use crate::error::IrError;
 use crate::phase::Phase;
 use crate::schedule::Schedule;
 use sampsim_util::hash::Fnv64;
@@ -25,48 +26,59 @@ pub struct Program {
 impl Program {
     /// Assembles a program and computes its digest.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the schedule references a phase out of range, a phase
-    /// references a block out of range, or stream bases are inconsistent.
+    /// Returns an [`IrError`] if the schedule references a phase out of
+    /// range, a phase references a block out of range, stream bases are
+    /// inconsistent, or an instruction indexes a stream its phase does
+    /// not own.
     pub fn new(
         name: impl Into<String>,
         blocks: Vec<BasicBlock>,
         phases: Vec<Phase>,
         schedule: Schedule,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, IrError> {
         let name = name.into();
-        for seg in schedule.segments() {
-            assert!(
-                (seg.phase as usize) < phases.len(),
-                "schedule references phase {} of {}",
-                seg.phase,
-                phases.len()
-            );
+        for (segment, seg) in schedule.segments().iter().enumerate() {
+            if (seg.phase as usize) >= phases.len() {
+                return Err(IrError::DanglingPhaseRef {
+                    segment,
+                    phase: seg.phase,
+                    num_phases: phases.len(),
+                });
+            }
         }
         let mut num_streams = 0u32;
-        for phase in &phases {
+        for (phase_idx, phase) in phases.iter().enumerate() {
             for &b in &phase.blocks {
-                assert!(
-                    (b as usize) < blocks.len(),
-                    "phase references block {b} of {}",
-                    blocks.len()
-                );
+                if (b as usize) >= blocks.len() {
+                    return Err(IrError::DanglingBlockRef {
+                        phase: phase_idx,
+                        block: b,
+                        num_blocks: blocks.len(),
+                    });
+                }
             }
-            assert_eq!(
-                phase.stream_base, num_streams,
-                "phase stream bases must be densely packed"
-            );
+            if phase.stream_base != num_streams {
+                return Err(IrError::StreamBaseMismatch {
+                    phase: phase_idx,
+                    actual: phase.stream_base,
+                    expected: num_streams,
+                });
+            }
             num_streams += phase.streams.len() as u32;
-            for block_id in &phase.blocks {
-                for inst in &blocks[*block_id as usize].insts {
+            for &block_id in &phase.blocks {
+                for inst in &blocks[block_id as usize].insts {
                     if let Some(s) = inst.stream() {
-                        assert!(
-                            (s as usize) < phase.streams.len(),
-                            "instruction references stream {s} of {}",
-                            phase.streams.len()
-                        );
+                        if (s as usize) >= phase.streams.len() {
+                            return Err(IrError::DanglingStreamRef {
+                                phase: phase_idx,
+                                block: block_id,
+                                stream: s,
+                                num_streams: phase.streams.len(),
+                            });
+                        }
                     }
                 }
             }
@@ -84,7 +96,7 @@ impl Program {
         }
         schedule.hash_into(&mut h);
         let digest = h.finish();
-        Self {
+        Ok(Self {
             name,
             blocks,
             phases,
@@ -92,7 +104,7 @@ impl Program {
             seed,
             num_streams,
             digest,
-        }
+        })
     }
 
     /// Program name (benchmark name for suite programs).
@@ -153,7 +165,8 @@ mod tests {
                     kind: InstKind::Branch { bias: 60000 },
                 },
             ],
-        )]
+        )
+        .unwrap()]
     }
 
     #[test]
@@ -161,61 +174,84 @@ mod tests {
         let p1 = Program::new(
             "a",
             tiny_blocks(),
-            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0).unwrap()],
             Schedule::new(vec![Segment {
                 phase: 0,
                 insts: 10,
-            }]),
+            }])
+            .unwrap(),
             1,
-        );
+        )
+        .unwrap();
         let p2 = Program::new(
             "a",
             tiny_blocks(),
-            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0).unwrap()],
             Schedule::new(vec![Segment {
                 phase: 0,
                 insts: 10,
-            }]),
+            }])
+            .unwrap(),
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(p1.digest(), p2.digest());
         let p3 = Program::new(
             "a",
             tiny_blocks(),
-            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0).unwrap()],
             Schedule::new(vec![Segment {
                 phase: 0,
                 insts: 11,
-            }]),
+            }])
+            .unwrap(),
             1,
-        );
+        )
+        .unwrap();
         assert_ne!(p1.digest(), p3.digest());
     }
 
     #[test]
-    #[should_panic(expected = "references phase")]
     fn schedule_phase_bounds_checked() {
-        Program::new(
+        let err = Program::new(
             "a",
             tiny_blocks(),
-            vec![Phase::new(vec![0], vec![1.0], vec![], 0)],
+            vec![Phase::new(vec![0], vec![1.0], vec![], 0).unwrap()],
             Schedule::new(vec![Segment {
                 phase: 5,
                 insts: 10,
-            }]),
+            }])
+            .unwrap(),
             1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            IrError::DanglingPhaseRef {
+                segment: 0,
+                phase: 5,
+                num_phases: 1
+            }
         );
     }
 
     #[test]
-    #[should_panic(expected = "references block")]
     fn phase_block_bounds_checked() {
-        Program::new(
+        let err = Program::new(
             "a",
             tiny_blocks(),
-            vec![Phase::new(vec![9], vec![1.0], vec![], 0)],
-            Schedule::new(vec![]),
+            vec![Phase::new(vec![9], vec![1.0], vec![], 0).unwrap()],
+            Schedule::new(vec![]).unwrap(),
             1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            IrError::DanglingBlockRef {
+                phase: 0,
+                block: 9,
+                num_blocks: 1
+            }
         );
     }
 }

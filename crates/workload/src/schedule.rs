@@ -4,6 +4,7 @@
 //! phase for a number of instructions. It is generated once at program
 //! build time so execution is trivially seekable and checkpointable.
 
+use crate::error::IrError;
 use sampsim_util::hash::Fnv64;
 
 /// A contiguous stretch of execution within one phase.
@@ -25,16 +26,16 @@ pub struct Schedule {
 impl Schedule {
     /// Creates a schedule from segments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any segment is empty.
-    pub fn new(segments: Vec<Segment>) -> Self {
-        assert!(
-            segments.iter().all(|s| s.insts > 0),
-            "segments must be non-empty"
-        );
+    /// Returns [`IrError::ZeroLengthSegment`] if any segment retires zero
+    /// instructions.
+    pub fn new(segments: Vec<Segment>) -> Result<Self, IrError> {
+        if let Some(segment) = segments.iter().position(|s| s.insts == 0) {
+            return Err(IrError::ZeroLengthSegment { segment });
+        }
         let total = segments.iter().map(|s| s.insts).sum();
-        Self { segments, total }
+        Ok(Self { segments, total })
     }
 
     /// The segments in execution order.
@@ -92,7 +93,8 @@ mod tests {
                 insts: 20,
             },
             Segment { phase: 0, insts: 5 },
-        ]);
+        ])
+        .unwrap();
         assert_eq!(s.total_insts(), 35);
         assert_eq!(s.phase_insts(0), 15);
         assert_eq!(s.phase_insts(1), 20);
@@ -101,14 +103,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_segment_panics() {
-        Schedule::new(vec![Segment { phase: 0, insts: 0 }]);
+    fn empty_segment_rejected() {
+        assert_eq!(
+            Schedule::new(vec![Segment { phase: 0, insts: 0 }]).unwrap_err(),
+            IrError::ZeroLengthSegment { segment: 0 }
+        );
     }
 
     #[test]
     fn empty_schedule_is_valid() {
-        let s = Schedule::new(vec![]);
+        let s = Schedule::new(vec![]).unwrap();
         assert!(s.is_empty());
         assert_eq!(s.total_insts(), 0);
     }

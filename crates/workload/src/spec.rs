@@ -328,7 +328,8 @@ impl WorkloadSpec {
                 .iter()
                 .map(|g| {
                     let size = g.ws_bytes.max(64);
-                    let region = MemRegion::new(next_region_base, size);
+                    let region = MemRegion::new(next_region_base, size)
+                        .expect("generated region has positive size");
                     next_region_base += size.div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN;
                     let pattern = match g.kind {
                         StreamKind::Stride { stride } => AddressPattern::Stride { stride },
@@ -378,7 +379,9 @@ impl WorkloadSpec {
                     kind: InstKind::Branch { bias },
                 });
                 let id = blocks.len() as u32;
-                blocks.push(BasicBlock::new(next_pc, insts));
+                blocks.push(
+                    BasicBlock::new(next_pc, insts).expect("generated block ends in a branch"),
+                );
                 next_pc += len as u64 * INST_BYTES;
                 // Pad block starts to 64 B so i-footprint resembles real code.
                 next_pc = next_pc.div_ceil(64) * 64;
@@ -395,11 +398,16 @@ impl WorkloadSpec {
             // phases on sampling noise.
             let share = spec.weight / total_weight;
             let noise = (0.02 / share.max(1e-9)).clamp(0.03, 0.15);
-            phases.push(Phase::new(ids, weights, streams, stream_base).with_selection_noise(noise));
+            phases.push(
+                Phase::new(ids, weights, streams, stream_base)
+                    .and_then(|p| p.with_selection_noise(noise))
+                    .expect("generated phase is structurally valid"),
+            );
             stream_base += spec.streams.len() as u32;
         }
         let schedule = self.build_schedule(&mut rng);
         Program::new(self.name.clone(), blocks, phases, schedule, self.seed)
+            .expect("generated IR is structurally valid")
     }
 
     fn build_schedule(&self, rng: &mut Xoshiro256StarStar) -> Schedule {
@@ -432,7 +440,7 @@ impl WorkloadSpec {
             }
         }
         rng.shuffle(&mut segments);
-        Schedule::new(segments)
+        Schedule::new(segments).expect("generated segments are non-empty")
     }
 }
 

@@ -21,6 +21,25 @@ echo "==> sampsim lint --deny-warnings"
 # depend on scale (run-length rules are proportionality checks).
 cargo run --release -q -p sampsim-cli -- lint --scale 0.01 --deny-warnings
 
+echo "==> sampsim lint --format json (schema check)"
+# Every diagnostic line must conform to the documented JSON shape. The
+# maxk-0 config guarantees at least one diagnostic flows through; lint
+# exits 1 on findings by design, so only exit codes >= 2 are failures.
+{ cargo run --release -q -p sampsim-cli -- lint omnetpp_s --scale 0.002 --maxk 0 --format json \
+    || [ "$?" -eq 1 ]; } \
+    | cargo run --release -q -p sampsim-analyze --example validate_lint_json
+
+echo "==> sampsim audit (dynamic differential, full suite)"
+# The executor oracle: profiles every benchmark and checks the dynamic
+# BBVs and slice cursors against bounds derived statically from the
+# schedule. A clean executor can never fire these.
+cargo run --release -q -p sampsim-cli -- audit --scale 0.002 --deny-warnings 2> /dev/null
+
+echo "==> sampsim audit --artifacts (shipped .art summaries)"
+# The committed summaries pin the scale-0.01 builds; any drift in the
+# generators or the bounds derivation fails here.
+cargo run --release -q -p sampsim-cli -- audit --scale 0.01 --deny-warnings --artifacts artifacts
+
 echo "==> sampsim perf --quick (kernel smoke + report schema)"
 # Times the optimized kernels against their naive references at smoke
 # sizes — every timed pair is asserted bit-identical — then validates
