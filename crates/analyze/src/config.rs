@@ -122,6 +122,24 @@ pub fn lint_simpoint_options(options: &SimPointOptions) -> Report {
     report
 }
 
+/// Validates a requested sampling-strategy name against the engine
+/// registry (`SA130`). Used by serve request validation and the CLI
+/// before a strategy string is turned into a pipeline configuration.
+pub fn lint_strategy_name(name: &str) -> Report {
+    let mut report = Report::new();
+    if !sampsim_simpoint::STRATEGY_NAMES.contains(&name) {
+        report.push(Diagnostic::new(
+            Rule::UnknownStrategy,
+            Location::config("strategy"),
+            format!(
+                "strategy '{name}' is not registered (known: {})",
+                sampsim_simpoint::STRATEGY_NAMES.join(", ")
+            ),
+        ));
+    }
+    report
+}
+
 /// Lints a cache hierarchy (`SA030`–`SA034`). `field` prefixes the
 /// location (e.g. `profile_cache`).
 pub fn lint_hierarchy(config: &HierarchyConfig, field: &str) -> Report {
@@ -245,6 +263,20 @@ fn lint_tlb(tlb: &TlbConfig, field: &str) -> Report {
 mod tests {
     use super::*;
     use sampsim_cache::configs;
+
+    #[test]
+    fn strategy_names_validate_against_the_registry() {
+        for name in sampsim_simpoint::STRATEGY_NAMES {
+            assert!(lint_strategy_name(name).is_empty(), "{name}");
+        }
+        let report = lint_strategy_name("frobnicate");
+        assert!(report.has_errors());
+        let diags = report.into_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::UnknownStrategy);
+        assert_eq!(diags[0].rule.code(), "SA130");
+        assert!(diags[0].message.contains("frobnicate"));
+    }
 
     #[test]
     fn default_options_and_paper_hierarchies_are_clean() {

@@ -44,7 +44,8 @@ macro_rules! rules {
         /// `SA02x` sampling-configuration lints, `SA03x` cache-geometry
         /// lints, `SA04x` artifact audits, `SA10x` memory abstract
         /// interpretation, `SA11x` phase-graph structure, `SA12x`
-        /// static-vs-dynamic audit oracle. See `docs/lint-rules.md` and
+        /// static-vs-dynamic audit oracle, `SA13x` sampling-strategy
+        /// validation. See `docs/lint-rules.md` and
         /// `docs/static-analysis.md` for the full catalogue with rationale
         /// and examples.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -345,6 +346,14 @@ rules! {
         "stride walks keep pos < size and pos a multiple of \
          gcd(stride, size); random streams never advance pos; a state \
          outside that domain cannot arise from execution"),
+
+    // ---- sampling-strategy validation (SA13x) ----
+    /// A requested sampling-strategy name is not in the registry.
+    UnknownStrategy => ("SA130", Error,
+        "requested sampling strategy is not registered",
+        "strategy names are resolved against the engine registry \
+         (simpoint, stratified2p, rss); check the spelling or see \
+         docs/sampling-strategies.md for how to register a new one"),
 }
 
 impl fmt::Display for Rule {

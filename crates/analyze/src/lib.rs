@@ -43,7 +43,9 @@ pub mod workload;
 pub use absint::{lint_memory, Interval, MemorySummary, StrideClass};
 pub use artifact::{audit_bbvs, audit_regions, audit_simpoints, WEIGHT_SUM_TOLERANCE};
 pub use cfg::{lint_phase_graph, PhaseGraph};
-pub use config::{lint_hierarchy, lint_sampling_config, lint_simpoint_options, SamplingConfig};
+pub use config::{
+    lint_hierarchy, lint_sampling_config, lint_simpoint_options, lint_strategy_name, SamplingConfig,
+};
 pub use diag::{Diagnostic, Location, Report, Rule, Severity};
 pub use fixpoint::{solve, BitSet, JoinSemiLattice};
 pub use render::{diagnostic_json, render_human, render_json_lines};

@@ -9,6 +9,8 @@
 //! --no-cache         recompute instead of using the artifact cache
 //! --bench <name>     restrict suite figures to one benchmark (substring)
 //! --jobs <n|auto>    worker threads for uncached benchmarks (default: auto)
+//! --strategy <name>  region-selection strategy (simpoint | stratified2p |
+//!                    rss; default: simpoint)
 //! --quiet            suppress progress lines
 //! ```
 //!
@@ -19,10 +21,11 @@
 #![warn(missing_docs)]
 
 use sampsim_core::artifacts::ArtifactStore;
-use sampsim_core::bench_result::BenchResult;
+use sampsim_core::bench_result::{BenchResult, StudyConfig};
 use sampsim_core::experiments::Study;
 use sampsim_core::CoreError;
 use sampsim_exec::Jobs;
+use sampsim_simpoint::{StrategySpec, STRATEGY_NAMES};
 use sampsim_spec2017::BenchmarkId;
 use sampsim_util::scale::Scale;
 
@@ -37,6 +40,8 @@ pub struct Cli {
     pub filter: Option<String>,
     /// Worker threads for the benchmark fan-out.
     pub jobs: Jobs,
+    /// Region-selection strategy (`StrategySpec::SimPoint` by default).
+    pub strategy: StrategySpec,
     /// Progress printing.
     pub verbose: bool,
 }
@@ -53,6 +58,7 @@ impl Cli {
         let mut artifacts = Some("artifacts".to_string());
         let mut filter = None;
         let mut jobs = Jobs::Auto;
+        let mut strategy = StrategySpec::default();
         let mut verbose = true;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -82,11 +88,21 @@ impl Cli {
                         Err(e) => die(&e),
                     }
                 }
+                "--strategy" => {
+                    let v = args.next().unwrap_or_default();
+                    match StrategySpec::parse(&v) {
+                        Some(spec) => strategy = spec,
+                        None => die(&format!(
+                            "unknown --strategy '{v}' (known: {})",
+                            STRATEGY_NAMES.join(", ")
+                        )),
+                    }
+                }
                 "--quiet" => verbose = false,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale <f> --artifacts <dir> --no-cache --bench <name> \
-                         --jobs <n|auto> --quiet"
+                         --jobs <n|auto> --strategy <name> --quiet"
                     );
                     std::process::exit(0);
                 }
@@ -98,13 +114,21 @@ impl Cli {
             artifacts,
             filter,
             jobs,
+            strategy,
             verbose,
         }
     }
 
-    /// Builds the study described by the flags.
+    /// Builds the study described by the flags. A non-default
+    /// `--strategy` flows into the pipeline configuration (and therefore
+    /// into artifact cache keys, which hash the full configuration).
     pub fn study(&self) -> Study {
         let mut study = Study::new(self.scale);
+        if self.strategy != StrategySpec::default() {
+            let mut config = StudyConfig::default();
+            config.pinpoints.strategy = self.strategy.clone();
+            study = study.with_config(config);
+        }
         study.verbose = self.verbose;
         if let Some(dir) = &self.artifacts {
             match ArtifactStore::open(dir) {
@@ -200,6 +224,19 @@ mod tests {
         let benches = cli.benchmarks();
         assert_eq!(benches.len(), 1);
         assert_eq!(benches[0].name(), "505.mcf_r");
+    }
+
+    #[test]
+    fn strategy_flag_flows_into_the_study_config() {
+        let cli = parse("");
+        assert_eq!(cli.strategy, StrategySpec::SimPoint);
+        assert_eq!(
+            cli.study().config().pinpoints.strategy,
+            StrategySpec::SimPoint
+        );
+        let cli = parse("--strategy rss --no-cache");
+        assert_eq!(cli.strategy.name(), "rss");
+        assert_eq!(cli.study().config().pinpoints.strategy.name(), "rss");
     }
 
     #[test]

@@ -14,6 +14,8 @@ commands:
   simpoints <bench> [-o DIR]   find simulation points; save pinballs to DIR
   replay <FILE>                replay saved regional pinballs with tools
   report <bench>               whole vs regional vs reduced vs warmup report
+  compare <bench> [-o FILE]    run every registered sampling strategy and
+                               report CPI / miss-rate error vs the whole run
   trace <bench> -o FILE        write an execution trace (--limit N insts)
   lint [bench]                 static checks over workloads and the config
   audit [bench]                differentially check dynamic profiles against
@@ -30,6 +32,14 @@ flags:
   --maxk <n>     maximum cluster count (default: 35)
   --jobs <n>     worker threads ('auto' or >= 1; default: auto). Results
                  are bit-identical for every job count.
+  --strategy <name>
+                 region-selection strategy for run/request (one of:
+                 simpoint, stratified2p, rss; default: simpoint)
+
+compare flags:
+  --reps <n>              replicate selections per strategy for the error
+                          bars (>= 1, default: 5)
+  --validate <FILE>       only validate an existing report, run nothing
 
 lint flags:
   --format <human|json>   output format (default: human)
@@ -72,6 +82,9 @@ pub struct Options {
     pub maxk: Option<usize>,
     /// Worker threads for parallel replay/profiling.
     pub jobs: Jobs,
+    /// Sampling-strategy name (`None` = the pipeline default, SimPoint).
+    /// Validated against the strategy registry by the command, not here.
+    pub strategy: Option<String>,
 }
 
 impl Default for Options {
@@ -81,6 +94,7 @@ impl Default for Options {
             slice: None,
             maxk: None,
             jobs: Jobs::Auto,
+            strategy: None,
         }
     }
 }
@@ -128,6 +142,19 @@ pub enum Command {
     Report {
         /// Benchmark name or substring.
         bench: String,
+    },
+    /// `sampsim compare <bench> [--reps N] [-o FILE]` — run every
+    /// registered sampling strategy and report its CPI and cache-miss-rate
+    /// error against the whole-program run, with confidence intervals.
+    Compare {
+        /// Benchmark name or substring (`None` only with `--validate`).
+        bench: Option<String>,
+        /// Also write the JSON report to this path (stdout always gets it).
+        out: Option<String>,
+        /// Replicates per strategy (`None` = the driver default).
+        reps: Option<usize>,
+        /// Validate this existing report instead of running the study.
+        validate: Option<String>,
     },
     /// `sampsim trace <bench> -o FILE`
     Trace {
@@ -238,6 +265,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut artifacts: Option<String> = None;
     let mut quick = false;
     let mut update = false;
+    let mut reps: Option<usize> = None;
     let mut validate: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -265,6 +293,17 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             "--jobs" => {
                 let v = iter.next().ok_or("--jobs needs a value")?;
                 options.jobs = v.parse()?;
+            }
+            "--strategy" => {
+                options.strategy = Some(iter.next().ok_or("--strategy needs a name")?);
+            }
+            "--reps" => {
+                let v = iter.next().ok_or("--reps needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --reps value: {v}"))?;
+                if n == 0 {
+                    return Err("--reps must be >= 1".into());
+                }
+                reps = Some(n);
             }
             "-o" | "--out" => {
                 out = Some(iter.next().ok_or("-o needs a path")?);
@@ -343,6 +382,21 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
         Some("report") => Command::Report {
             bench: positionals.next().ok_or("report needs a benchmark")?,
         },
+        Some("compare") => {
+            let bench = positionals.next();
+            if validate.is_none() && bench.is_none() {
+                return Err("compare needs a benchmark (or --validate <FILE>)".into());
+            }
+            if validate.is_some() && bench.is_some() {
+                return Err("compare --validate takes no benchmark".into());
+            }
+            Command::Compare {
+                bench,
+                out,
+                reps,
+                validate,
+            }
+        }
         Some("trace") => Command::Trace {
             bench: positionals.next().ok_or("trace needs a benchmark")?,
             out: out.take().ok_or("trace needs -o FILE")?,
@@ -489,6 +543,48 @@ mod tests {
             }
         );
         assert!(parse_str("trace mcf_r").is_err(), "missing -o");
+    }
+
+    #[test]
+    fn parses_compare_and_strategy() {
+        assert_eq!(
+            parse_str("compare mcf_r").unwrap().command,
+            Command::Compare {
+                bench: Some("mcf_r".into()),
+                out: None,
+                reps: None,
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("compare mcf_r --reps 3 -o cmp.json")
+                .unwrap()
+                .command,
+            Command::Compare {
+                bench: Some("mcf_r".into()),
+                out: Some("cmp.json".into()),
+                reps: Some(3),
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("compare --validate cmp.json").unwrap().command,
+            Command::Compare {
+                bench: None,
+                out: None,
+                reps: None,
+                validate: Some("cmp.json".into()),
+            }
+        );
+        assert!(parse_str("compare").is_err(), "needs bench or --validate");
+        assert!(parse_str("compare mcf_r --validate cmp.json").is_err());
+        assert!(parse_str("compare mcf_r --reps 0").is_err());
+        assert!(parse_str("compare mcf_r --reps nope").is_err());
+
+        let p = parse_str("run mcf_r --strategy rss").unwrap();
+        assert_eq!(p.options.strategy.as_deref(), Some("rss"));
+        assert_eq!(parse_str("run mcf_r").unwrap().options.strategy, None);
+        assert!(parse_str("run mcf_r --strategy").is_err());
     }
 
     #[test]

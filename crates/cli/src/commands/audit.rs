@@ -36,7 +36,7 @@ pub fn audit(
         Some(pattern) => vec![super::find_benchmark(pattern)?],
         None => sampsim_spec2017::suite(),
     };
-    let config = super::pipeline_config(options);
+    let config = super::pipeline_config(options)?;
     if config.slice_size == 0 {
         return Err(Box::new(super::UsageError(
             "audit needs a positive --slice".into(),

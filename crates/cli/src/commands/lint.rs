@@ -24,7 +24,7 @@ pub fn lint(
         Some(pattern) => vec![super::find_benchmark(pattern)?],
         None => sampsim_spec2017::suite(),
     };
-    let config = super::pipeline_config(options);
+    let config = super::pipeline_config(options)?;
     let mut report = Report::new();
 
     // The configuration itself, once (run-length independent rules).

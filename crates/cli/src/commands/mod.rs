@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
 mod audit;
+mod compare;
 mod lint;
 mod perf;
 mod serve;
 
 pub use audit::audit;
+pub use compare::compare;
 pub use lint::lint;
 pub use perf::perf;
 pub use serve::{request, serve};
@@ -18,7 +20,7 @@ use sampsim_core::runs::{self, WarmupMode};
 use sampsim_core::stage_cache::NoCache;
 use sampsim_pinball::store;
 use sampsim_serve::service::{self, find_benchmark, RunRequest};
-use sampsim_simpoint::SimPointOptions;
+use sampsim_simpoint::{SimPointOptions, StrategySpec};
 use sampsim_spec2017::BenchmarkSpec;
 use sampsim_util::stats::with_commas;
 use sampsim_util::table::{fmt_f, Table};
@@ -49,7 +51,23 @@ fn create_report_file(path: &str) -> Result<std::fs::File, UsageError> {
     std::fs::File::create(path).map_err(|e| UsageError(format!("cannot write {path}: {e}")))
 }
 
-fn pipeline_config(options: &Options) -> PinPointsConfig {
+/// Resolves `--strategy` against the engine registry. A name that is not
+/// registered is a usage-class failure (SA130, exit 2) — same class as a
+/// bad flag value, caught before any pipeline work starts.
+fn validated_strategy(options: &Options) -> Result<Option<StrategySpec>, UsageError> {
+    let Some(name) = &options.strategy else {
+        return Ok(None);
+    };
+    let report = sampsim_analyze::lint_strategy_name(name);
+    if let Some(d) = report.diagnostics().first() {
+        return Err(UsageError(format!("[{}] {}", d.rule.code(), d.message)));
+    }
+    Ok(Some(
+        StrategySpec::parse(name).expect("registry-validated strategy names always parse"),
+    ))
+}
+
+fn pipeline_config(options: &Options) -> Result<PinPointsConfig, UsageError> {
     let mut config = PinPointsConfig {
         slice_size: options.slice.unwrap_or_else(|| options.scale.apply(10_000)),
         ..PinPointsConfig::default()
@@ -60,7 +78,10 @@ fn pipeline_config(options: &Options) -> PinPointsConfig {
             ..config.simpoint
         };
     }
-    config
+    if let Some(spec) = validated_strategy(options)? {
+        config.strategy = spec;
+    }
+    Ok(config)
 }
 
 fn build(spec: &BenchmarkSpec, options: &Options) -> Program {
@@ -101,11 +122,13 @@ pub fn list() -> CmdResult {
 /// are identical for every `--jobs` value. The CLI integration tests rely
 /// on this.
 pub fn run(bench: &str, out: Option<&str>, options: &Options) -> CmdResult {
+    validated_strategy(options)?;
     let request = RunRequest {
         bench: bench.to_string(),
         scale: options.scale.factor(),
         slice: options.slice,
         maxk: options.maxk,
+        strategy: options.strategy.clone(),
     };
     let prepared = service::prepare(&request)?;
     let mut sink = out.map(create_report_file).transpose()?;
@@ -150,7 +173,7 @@ pub fn profile(bench: &str, options: &Options) -> CmdResult {
 pub fn simpoints(bench: &str, out: Option<&str>, options: &Options) -> CmdResult {
     let spec = find_benchmark(bench)?;
     let program = build(&spec, options);
-    let config = pipeline_config(options);
+    let config = pipeline_config(options)?;
     eprintln!(
         "slicing {} at {} instructions/slice, MaxK = {}...",
         spec.name(),
@@ -228,7 +251,7 @@ pub fn replay(path: &str, options: &Options) -> CmdResult {
 pub fn report(bench: &str, options: &Options) -> CmdResult {
     let spec = find_benchmark(bench)?;
     let program = build(&spec, options);
-    let config = pipeline_config(options);
+    let config = pipeline_config(options)?;
     eprintln!(
         "running the full study for {} (whole + regions)...",
         spec.name()
@@ -354,7 +377,7 @@ mod tests {
             maxk: Some(7),
             ..Options::default()
         };
-        let c = pipeline_config(&opts);
+        let c = pipeline_config(&opts).unwrap();
         assert_eq!(c.slice_size, 1234);
         assert_eq!(c.simpoint.max_k, 7);
         let defaults = pipeline_config(&Options {
@@ -362,7 +385,23 @@ mod tests {
             slice: None,
             maxk: None,
             ..Options::default()
-        });
+        })
+        .unwrap();
         assert_eq!(defaults.slice_size, 5_000);
+    }
+
+    #[test]
+    fn pipeline_config_validates_strategy_names() {
+        let named = |name: &str| Options {
+            strategy: Some(name.to_string()),
+            ..Options::default()
+        };
+        for name in sampsim_simpoint::STRATEGY_NAMES {
+            let config = pipeline_config(&named(name)).unwrap();
+            assert_eq!(config.strategy.name(), *name);
+        }
+        let err = pipeline_config(&named("frobnicate")).unwrap_err();
+        assert!(err.0.contains("SA130"), "{}", err.0);
+        assert!(err.0.contains("frobnicate"), "{}", err.0);
     }
 }

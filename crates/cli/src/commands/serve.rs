@@ -57,7 +57,13 @@ pub fn request(
     let line = match op {
         RequestOp::Run => {
             let bench = bench.ok_or("request needs a benchmark")?;
-            protocol::run_request_line(bench, options.scale.factor(), options.slice, options.maxk)
+            protocol::run_request_line(
+                bench,
+                options.scale.factor(),
+                options.slice,
+                options.maxk,
+                options.strategy.as_deref(),
+            )
         }
         RequestOp::Ping => "{\"op\":\"ping\"}".to_string(),
         RequestOp::Stats => "{\"op\":\"stats\"}".to_string(),

@@ -8,6 +8,7 @@
 //! sampsim simpoints <bench> -o <dir>    find simulation points, save pinballs
 //! sampsim replay   <dir>/<bench>.pb     replay saved pinballs with tools
 //! sampsim report   <bench>              full paper-style report (all runs)
+//! sampsim compare  <bench>              cross-strategy efficacy study, JSON
 //! sampsim trace    <bench> -o FILE      write an execution trace to disk
 //! sampsim lint     [bench]              static checks (workloads + config)
 //! sampsim audit    [bench]              static-vs-dynamic differential oracle
@@ -42,6 +43,18 @@ fn main() -> ExitCode {
         }
         args::Command::Replay { path } => commands::replay(&path, &parsed.options),
         args::Command::Report { bench } => commands::report(&bench, &parsed.options),
+        args::Command::Compare {
+            bench,
+            out,
+            reps,
+            validate,
+        } => commands::compare(
+            bench.as_deref(),
+            out.as_deref(),
+            reps,
+            validate.as_deref(),
+            &parsed.options,
+        ),
         args::Command::Trace { bench, out, limit } => {
             commands::trace(&bench, &out, limit, &parsed.options)
         }

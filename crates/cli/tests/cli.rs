@@ -543,3 +543,158 @@ fn run_output_is_byte_identical_across_job_counts() {
     assert_eq!(serial, capture(Some("3")), "--jobs 3 diverged");
     assert_eq!(serial, capture(None), "default jobs diverged");
 }
+
+#[test]
+fn compare_output_is_golden_byte_stable_and_validates() {
+    use sampsim_util::json::{self, Value};
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-compare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("compare.json");
+    let args = [
+        "compare",
+        "omnetpp_s",
+        "--scale",
+        "0.002",
+        "--maxk",
+        "6",
+        "--reps",
+        "2",
+    ];
+    let capture = |jobs: Option<&str>, out_path: Option<&std::path::Path>| -> Vec<u8> {
+        let mut cmd = sampsim();
+        cmd.args(args);
+        if let Some(j) = jobs {
+            cmd.args(["--jobs", j]);
+        }
+        if let Some(p) = out_path {
+            cmd.arg("-o").arg(p);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "jobs {jobs:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+
+    // The golden shape: a single schema-tagged JSON line with truth plus
+    // one row per registered strategy, each carrying mean/ci95/error_pct
+    // estimates for CPI and every cache level.
+    let serial = capture(Some("1"), Some(&path));
+    let text = String::from_utf8(serial.clone()).unwrap();
+    assert_eq!(text.lines().count(), 1, "one JSON line: {text}");
+    let doc = json::parse(text.trim()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("sampsim-compare/v1")
+    );
+    assert_eq!(
+        doc.get("bench").and_then(Value::as_str),
+        Some("620.omnetpp_s")
+    );
+    assert!(
+        doc.get("truth")
+            .unwrap()
+            .get("cpi")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    let rows = doc.get("strategies").and_then(Value::as_array).unwrap();
+    let names: Vec<&str> = rows
+        .iter()
+        .map(|r| r.get("strategy").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["simpoint", "stratified2p", "rss"]);
+    for row in rows {
+        assert_eq!(row.get("replicates").and_then(Value::as_f64), Some(2.0));
+        for metric in [row.get("cpi").unwrap()] {
+            for field in ["mean", "ci95", "error_pct"] {
+                assert!(metric.get(field).and_then(Value::as_f64).is_some());
+            }
+        }
+        let mr = row.get("miss_rates_pct").unwrap();
+        for level in ["l1i", "l1d", "l2", "l3"] {
+            assert!(mr.get(level).unwrap().get("ci95").is_some());
+        }
+    }
+
+    // Byte stability: -o mirrors stdout, and the bytes never depend on
+    // the job count.
+    let file = std::fs::read(&path).unwrap();
+    assert_eq!(file, serial, "-o file diverged from stdout");
+    assert_eq!(serial, capture(Some("3"), None), "--jobs 3 diverged");
+    assert_eq!(serial, capture(None, None), "default jobs diverged");
+
+    // --validate accepts the real report and exits 0...
+    let out = sampsim()
+        .args(["compare", "--validate"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...and rejects registry drift (a dropped strategy row) with the
+    // usage-error exit code. The rss row is the last element of the
+    // strategies array, so cutting from its opening comma to the array
+    // close removes exactly that object.
+    let trimmed = text.trim_end();
+    let cut = trimmed.find(",{\"strategy\":\"rss\"").unwrap();
+    assert!(trimmed.ends_with("}]}"), "unexpected report tail");
+    let broken = dir.join("broken.json");
+    std::fs::write(&broken, format!("{}]}}\n", &trimmed[..cut])).unwrap();
+    let out = sampsim()
+        .args(["compare", "--validate"])
+        .arg(&broken)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "drifted report must exit 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("rss") && err.contains("missing"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_accepts_registered_strategies_and_rejects_unknown_names() {
+    for strategy in ["stratified2p", "rss"] {
+        let out = sampsim()
+            .args([
+                "run",
+                "omnetpp_s",
+                "--scale",
+                "0.002",
+                "--strategy",
+                strategy,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--strategy {strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("\"points\":"), "{text}");
+    }
+    let out = sampsim()
+        .args([
+            "run",
+            "omnetpp_s",
+            "--scale",
+            "0.002",
+            "--strategy",
+            "frobnicate",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown strategy exits 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SA130"), "{err}");
+    assert!(err.contains("frobnicate"), "{err}");
+}

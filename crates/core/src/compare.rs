@@ -1,0 +1,506 @@
+//! The cross-strategy efficacy study: every registered sampling strategy
+//! versus whole-program truth, with error bars.
+//!
+//! This is the engine behind `sampsim compare`. It profiles the program
+//! **once** (the strategy-agnostic BBV pass, exactly what the stage cache
+//! shares across strategies), measures whole-program truth in the timing
+//! model, then evaluates each strategy in [`STRATEGY_NAMES`] order:
+//!
+//! 1. Build `replicates` independent selections. Single-shot strategies
+//!    (simpoint, stratified2p) are seed-resampled — replicate `r` shifts
+//!    the strategy's master seed by `r · φ64` (replicate 0 is the base
+//!    configuration); `rss` produces its replicate sets natively.
+//! 2. Replay every replicate's regions in the timing model and form the
+//!    weighted aggregate (CPI + per-level cache miss rates). Replicates
+//!    share one warmup policy — the plain preceding-window warmup that
+//!    synthetic point sets get — so strategies are compared like for
+//!    like.
+//! 3. Report each metric as mean over replicates, a normal-theory 95%
+//!    confidence half-width (`1.96·s/√R`), and the relative error of the
+//!    mean against truth.
+//!
+//! The report is schema-versioned single-line JSON ([`SCHEMA`]); floats
+//! render via `{:?}` (shortest exact representation), and every stage is
+//! deterministic per job count, so the bytes are identical across
+//! `--jobs` values. [`validate_report`] checks a report against the
+//! schema **and the registry**: a strategy registered in the engine but
+//! missing from a report (or vice versa) is a validation failure, which
+//! is how `scripts/check.sh` fails loudly on registry drift.
+
+use crate::error::CoreError;
+use crate::metrics::{aggregate_weighted, whole_as_aggregate, AggregatedMetrics};
+use crate::pipeline::{PinPointsConfig, Pipeline};
+use crate::runs::{run_regions_timing_jobs, run_whole_timing, WarmupMode};
+use sampsim_cache::configs;
+use sampsim_exec::Jobs;
+use sampsim_simpoint::strategy::reseeded_simpoint_options;
+use sampsim_simpoint::{
+    Rss, RssOptions, SamplingStrategy, SimPoint, SimPointsResult, StrategyInput, StrategySpec,
+    STRATEGY_NAMES,
+};
+use sampsim_uarch::CoreConfig;
+use sampsim_util::json::{self, Value};
+use sampsim_util::stats::{relative_error_pct, Summary};
+use sampsim_workload::Program;
+
+/// Schema identifier stamped into every compare report.
+pub const SCHEMA: &str = "sampsim-compare/v1";
+
+/// Default replicate count per strategy.
+pub const DEFAULT_REPLICATES: usize = 5;
+
+/// One metric's replicate statistics versus truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Mean of the per-replicate estimates.
+    pub mean: f64,
+    /// Normal-theory 95% confidence half-width, `1.96·s/√R` (0 when
+    /// `R < 2`).
+    pub ci95: f64,
+    /// Relative error of the mean against whole-program truth, percent.
+    pub error_pct: f64,
+}
+
+impl Estimate {
+    fn from_samples(samples: &[f64], truth: f64) -> Self {
+        let mut s = Summary::new();
+        for &v in samples {
+            s.add(v);
+        }
+        let mean = s.mean();
+        let ci95 = if samples.len() >= 2 {
+            1.96 * s.stddev() / (samples.len() as f64).sqrt()
+        } else {
+            0.0
+        };
+        Estimate {
+            mean,
+            ci95,
+            error_pct: relative_error_pct(mean, truth),
+        }
+    }
+}
+
+/// Per-level cache miss-rate estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRateEstimates {
+    /// L1 instruction cache.
+    pub l1i: Estimate,
+    /// L1 data cache.
+    pub l1d: Estimate,
+    /// Unified L2.
+    pub l2: Estimate,
+    /// Unified L3 (LLC).
+    pub l3: Estimate,
+}
+
+/// One strategy's row in the study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyReport {
+    /// Registry name.
+    pub strategy: String,
+    /// Regions the primary (replicate 0) selection chose.
+    pub regions: usize,
+    /// Replicates evaluated.
+    pub replicates: usize,
+    /// CPI estimate versus truth.
+    pub cpi: Estimate,
+    /// Miss-rate estimates versus truth.
+    pub miss_rates: MissRateEstimates,
+}
+
+/// The whole study: truth plus one row per registered strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Benchmark / program name.
+    pub bench: String,
+    /// Slices the profile divided into.
+    pub slices: u64,
+    /// Slice length in instructions.
+    pub slice_size: u64,
+    /// Replicates per strategy.
+    pub replicates: usize,
+    /// Whole-program truth (timing run over the full execution).
+    pub truth: AggregatedMetrics,
+    /// One row per strategy, in [`STRATEGY_NAMES`] order.
+    pub strategies: Vec<StrategyReport>,
+}
+
+/// Runs the study: one shared profile, whole-program truth, then every
+/// registered strategy × `replicates` selections through the timing
+/// model. Deterministic per job count — the report bytes never depend on
+/// `jobs`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] when the configuration fails preflight
+/// and [`CoreError::SimPoint`] when the program is too short to slice.
+pub fn compare_strategies(
+    program: &Program,
+    config: &PinPointsConfig,
+    replicates: usize,
+    jobs: Jobs,
+) -> Result<CompareReport, CoreError> {
+    let pipeline = Pipeline::new(config.clone());
+    let preflight = pipeline.preflight(program);
+    if preflight.has_errors() {
+        return Err(CoreError::Config(preflight.into_diagnostics()));
+    }
+    // One strategy-agnostic profiling pass shared by every strategy and
+    // replicate — the amortization the stage cache already exploits.
+    let (bbvs, starts, _) = pipeline.profile_jobs(program, jobs);
+    let input = StrategyInput {
+        bbvs: &bbvs,
+        slice_size: config.slice_size,
+    };
+    let truth = whole_as_aggregate(&run_whole_timing(
+        program,
+        CoreConfig::table3(),
+        configs::i7_table3(),
+    ));
+    let truth_cpi = truth.cpi.expect("timing truth carries CPI");
+    let truth_mr = truth.miss_rates.expect("timing truth carries miss rates");
+    let reps = replicates.max(1);
+
+    let mut strategies = Vec::with_capacity(STRATEGY_NAMES.len());
+    for spec in StrategySpec::registry() {
+        // Replicate selections: native for rss, seed-resampled otherwise.
+        let point_sets: Vec<Vec<SimPoint>> = match &spec {
+            StrategySpec::Rss(base) => {
+                let rss = Rss::new(RssOptions {
+                    replicates: reps,
+                    ..*base
+                });
+                rss.select(&input, jobs)?.replicates
+            }
+            _ => {
+                let mut sets = Vec::with_capacity(reps);
+                for r in 0..reps as u64 {
+                    let simpoint = if matches!(spec, StrategySpec::SimPoint) {
+                        reseeded_simpoint_options(&config.simpoint, r)
+                    } else {
+                        config.simpoint
+                    };
+                    let strategy = spec.reseeded(r).build(&simpoint);
+                    sets.push(strategy.select(&input, jobs)?.points);
+                }
+                sets
+            }
+        };
+
+        let mut cpi = Vec::with_capacity(point_sets.len());
+        let mut l1i = Vec::with_capacity(point_sets.len());
+        let mut l1d = Vec::with_capacity(point_sets.len());
+        let mut l2 = Vec::with_capacity(point_sets.len());
+        let mut l3 = Vec::with_capacity(point_sets.len());
+        for points in &point_sets {
+            // Synthetic result: empty assignments give every replicate of
+            // every strategy the same plain preceding-window warmup.
+            let simpoints = SimPointsResult {
+                k: points.len(),
+                slice_size: config.slice_size,
+                assignments: Vec::new(),
+                points: points.clone(),
+                bic_scores: Vec::new(),
+                avg_variance: 0.0,
+            };
+            let regional = pipeline.regionals_for(program, &simpoints, &starts);
+            let measured = run_regions_timing_jobs(
+                program,
+                &regional,
+                CoreConfig::table3(),
+                configs::i7_table3(),
+                WarmupMode::Checkpointed,
+                jobs,
+            )?;
+            let agg = aggregate_weighted(&measured);
+            cpi.push(agg.cpi.expect("timing replay carries CPI"));
+            let mr = agg.miss_rates.expect("timing replay carries miss rates");
+            l1i.push(mr.l1i);
+            l1d.push(mr.l1d);
+            l2.push(mr.l2);
+            l3.push(mr.l3);
+        }
+        strategies.push(StrategyReport {
+            strategy: spec.name().to_string(),
+            regions: point_sets[0].len(),
+            replicates: point_sets.len(),
+            cpi: Estimate::from_samples(&cpi, truth_cpi),
+            miss_rates: MissRateEstimates {
+                l1i: Estimate::from_samples(&l1i, truth_mr.l1i),
+                l1d: Estimate::from_samples(&l1d, truth_mr.l1d),
+                l2: Estimate::from_samples(&l2, truth_mr.l2),
+                l3: Estimate::from_samples(&l3, truth_mr.l3),
+            },
+        });
+    }
+    Ok(CompareReport {
+        bench: program.name().to_string(),
+        slices: bbvs.len() as u64,
+        slice_size: config.slice_size,
+        replicates: reps,
+        truth,
+        strategies,
+    })
+}
+
+impl CompareReport {
+    /// Renders the single-line `sampsim-compare/v1` JSON document (no
+    /// trailing newline). Floats go through `{:?}` so the text is the
+    /// shortest exact representation of the bit pattern — byte-stable
+    /// across job counts because every input is.
+    pub fn to_json(&self) -> String {
+        fn json_f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn estimate(e: &Estimate) -> String {
+            format!(
+                "{{\"mean\":{},\"ci95\":{},\"error_pct\":{}}}",
+                json_f(e.mean),
+                json_f(e.ci95),
+                json_f(e.error_pct)
+            )
+        }
+        let truth_mr = self.truth.miss_rates.expect("truth carries miss rates");
+        let truth = format!(
+            "{{\"cpi\":{},\"miss_rates_pct\":{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l3\":{}}}}}",
+            json_f(self.truth.cpi.expect("truth carries CPI")),
+            json_f(truth_mr.l1i),
+            json_f(truth_mr.l1d),
+            json_f(truth_mr.l2),
+            json_f(truth_mr.l3)
+        );
+        let rows: Vec<String> = self
+            .strategies
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"strategy\":\"{}\",\"regions\":{},\"replicates\":{},\"cpi\":{},\
+                     \"miss_rates_pct\":{{\"l1i\":{},\"l1d\":{},\"l2\":{},\"l3\":{}}}}}",
+                    s.strategy,
+                    s.regions,
+                    s.replicates,
+                    estimate(&s.cpi),
+                    estimate(&s.miss_rates.l1i),
+                    estimate(&s.miss_rates.l1d),
+                    estimate(&s.miss_rates.l2),
+                    estimate(&s.miss_rates.l3)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{}\",\"bench\":\"{}\",\"slices\":{},\"slice_size\":{},\
+             \"replicates\":{},\"truth\":{},\"strategies\":[{}]}}",
+            SCHEMA,
+            self.bench,
+            self.slices,
+            self.slice_size,
+            self.replicates,
+            truth,
+            rows.join(",")
+        )
+    }
+}
+
+fn check_estimate(v: &Value, what: &str) -> Result<(), String> {
+    for field in ["mean", "ci95", "error_pct"] {
+        v.get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{what}.{field}: missing or not a number"))?;
+    }
+    Ok(())
+}
+
+fn check_miss_rates(v: &Value, what: &str, as_estimates: bool) -> Result<(), String> {
+    let mr = v
+        .get("miss_rates_pct")
+        .ok_or_else(|| format!("{what}.miss_rates_pct: missing"))?;
+    for level in ["l1i", "l1d", "l2", "l3"] {
+        let entry = mr
+            .get(level)
+            .ok_or_else(|| format!("{what}.miss_rates_pct.{level}: missing"))?;
+        if as_estimates {
+            check_estimate(entry, &format!("{what}.miss_rates_pct.{level}"))?;
+        } else if entry.as_f64().is_none() {
+            return Err(format!("{what}.miss_rates_pct.{level}: not a number"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a compare report against the `sampsim-compare/v1` schema and
+/// the strategy registry.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: wrong schema tag,
+/// missing or malformed fields, a registered strategy absent from the
+/// report, or a reported strategy the registry does not know. The
+/// registry checks make `scripts/check.sh` fail loudly when a strategy is
+/// added to (or dropped from) the engine without the report following.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("schema: missing or not a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema: expected \"{SCHEMA}\", got \"{schema}\""));
+    }
+    doc.get("bench")
+        .and_then(Value::as_str)
+        .ok_or("bench: missing or not a string")?;
+    for field in ["slices", "slice_size", "replicates"] {
+        let v = doc
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{field}: missing or not a number"))?;
+        if v < 1.0 {
+            return Err(format!("{field}: must be >= 1, got {v}"));
+        }
+    }
+    let truth = doc.get("truth").ok_or("truth: missing")?;
+    truth
+        .get("cpi")
+        .and_then(Value::as_f64)
+        .ok_or("truth.cpi: missing or not a number")?;
+    check_miss_rates(truth, "truth", false)?;
+
+    let strategies = doc
+        .get("strategies")
+        .and_then(Value::as_array)
+        .ok_or("strategies: missing or not an array")?;
+    let mut reported = Vec::with_capacity(strategies.len());
+    for (i, row) in strategies.iter().enumerate() {
+        let what = format!("strategies[{i}]");
+        let name = row
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{what}.strategy: missing or not a string"))?;
+        if !STRATEGY_NAMES.contains(&name) {
+            return Err(format!(
+                "{what}.strategy: \"{name}\" is not a registered strategy \
+                 (registry: {STRATEGY_NAMES:?})"
+            ));
+        }
+        if reported.contains(&name.to_string()) {
+            return Err(format!("{what}.strategy: \"{name}\" appears twice"));
+        }
+        for field in ["regions", "replicates"] {
+            let v = row
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{what}.{field}: missing or not a number"))?;
+            if v < 1.0 {
+                return Err(format!("{what}.{field}: must be >= 1, got {v}"));
+            }
+        }
+        check_estimate(
+            row.get("cpi")
+                .ok_or_else(|| format!("{what}.cpi: missing"))?,
+            &format!("{what}.cpi"),
+        )?;
+        check_miss_rates(row, &what, true)?;
+        reported.push(name.to_string());
+    }
+    for required in STRATEGY_NAMES {
+        if !reported.iter().any(|n| n == required) {
+            return Err(format!(
+                "strategies: registered strategy \"{required}\" is missing from the report \
+                 (reported: {reported:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampsim_simpoint::SimPointOptions;
+    use sampsim_workload::spec::{InterleaveSpec, PhaseSpec, WorkloadSpec};
+
+    fn program() -> Program {
+        WorkloadSpec::builder("compare-test", 13)
+            .total_insts(120_000)
+            .phase(PhaseSpec::memory_bound(1.0))
+            .phase(PhaseSpec::compute_bound(1.0))
+            .interleave(InterleaveSpec {
+                mean_segment: 6_000,
+                jitter: 0.3,
+                align: 0,
+            })
+            .build()
+            .build()
+    }
+
+    fn config() -> PinPointsConfig {
+        PinPointsConfig {
+            slice_size: 1_000,
+            simpoint: SimPointOptions {
+                max_k: 6,
+                ..Default::default()
+            },
+            warmup_slices: 5,
+            profile_cache: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_covers_registry_and_validates() {
+        let report = compare_strategies(&program(), &config(), 3, sampsim_exec::SERIAL).unwrap();
+        assert_eq!(report.strategies.len(), STRATEGY_NAMES.len());
+        for (row, name) in report.strategies.iter().zip(STRATEGY_NAMES) {
+            assert_eq!(row.strategy, *name);
+            assert_eq!(row.replicates, 3);
+            assert!(row.regions >= 1);
+            assert!(row.cpi.mean > 0.0, "{name}: cpi {:?}", row.cpi);
+            assert!(row.cpi.error_pct >= 0.0);
+            assert!(row.cpi.ci95 >= 0.0);
+        }
+        let json = report.to_json();
+        validate_report(&json).unwrap();
+    }
+
+    #[test]
+    fn report_bytes_are_job_count_invariant() {
+        let reference = compare_strategies(&program(), &config(), 2, sampsim_exec::SERIAL)
+            .unwrap()
+            .to_json();
+        for jobs in [Jobs::new(2).unwrap(), Jobs::new(5).unwrap(), Jobs::Auto] {
+            let report = compare_strategies(&program(), &config(), 2, jobs)
+                .unwrap()
+                .to_json();
+            assert_eq!(report, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let mut report =
+            compare_strategies(&program(), &config(), 2, sampsim_exec::SERIAL).unwrap();
+        let json = report.to_json();
+        // Dropping a registered strategy must fail loudly.
+        report.strategies.pop();
+        let err = validate_report(&report.to_json()).unwrap_err();
+        assert!(err.contains("rss") && err.contains("missing"), "{err}");
+        // A duplicated strategy row must fail loudly.
+        let duplicated = json.replace("\"strategy\":\"rss\"", "\"strategy\":\"simpoint\"");
+        assert!(validate_report(&duplicated).unwrap_err().contains("twice"));
+        // An unregistered strategy must fail loudly.
+        let unknown = json.replace("\"strategy\":\"rss\"", "\"strategy\":\"frobnicate\"");
+        assert!(validate_report(&unknown)
+            .unwrap_err()
+            .contains("frobnicate"));
+        // Wrong schema tag.
+        let wrong = json.replace(SCHEMA, "sampsim-compare/v0");
+        assert!(validate_report(&wrong).unwrap_err().contains("schema"));
+        // Not JSON at all.
+        assert!(validate_report("nonsense").is_err());
+    }
+}

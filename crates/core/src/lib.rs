@@ -54,6 +54,7 @@
 
 pub mod artifacts;
 pub mod bench_result;
+pub mod compare;
 pub mod error;
 pub mod experiments;
 pub mod metrics;

@@ -10,7 +10,7 @@ use sampsim_pin::engine;
 use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix, MixCounts};
 use sampsim_pinball::{RegionalPinball, WarmupRecord, WholePinball};
 use sampsim_simpoint::bbv::Bbv;
-use sampsim_simpoint::{SimPointAnalysis, SimPointOptions, SimPointsResult};
+use sampsim_simpoint::{SimPoint, SimPointOptions, SimPointsResult, StrategyInput, StrategySpec};
 use sampsim_workload::{Cursor, Executor, Program};
 use std::time::Instant;
 
@@ -30,6 +30,12 @@ pub struct PinPointsConfig {
     /// Cache hierarchy profiled during the whole-run pass (Table I), or
     /// `None` to skip cache simulation in the profiling pass.
     pub profile_cache: Option<HierarchyConfig>,
+    /// Region-selection strategy. The default (`simpoint`) reproduces the
+    /// paper's method via [`SimPointOptions`]; `stratified2p` and `rss`
+    /// carry their own parameters. The profiling pass is strategy-agnostic
+    /// — stage-cached BBVs are reused across strategies (only
+    /// [`crate::stage_cache::response_key`] covers the strategy).
+    pub strategy: StrategySpec,
 }
 
 impl Default for PinPointsConfig {
@@ -39,6 +45,7 @@ impl Default for PinPointsConfig {
             simpoint: SimPointOptions::default(),
             warmup_slices: 48,
             profile_cache: None,
+            strategy: StrategySpec::SimPoint,
         }
     }
 }
@@ -73,6 +80,11 @@ pub struct PipelineResult {
     pub regional: Vec<RegionalPinball>,
     /// Number of slices the execution divided into.
     pub num_slices: u64,
+    /// Repeated-subsampling point sets, when the strategy produces them
+    /// (`rss` does; single-shot strategies leave this empty). Feed each
+    /// set through [`Pipeline::regionals_for`] to turn the spread of
+    /// per-replicate estimates into error bars.
+    pub replicates: Vec<Vec<SimPoint>>,
 }
 
 /// Runs the PinPoints flow over a program.
@@ -158,12 +170,20 @@ impl Pipeline {
         };
         let num_slices = bbvs.len() as u64;
 
-        // -- Clustering (k-means restarts fan out over the same workers).
-        let simpoints = SimPointAnalysis::new(self.config.simpoint).run_jobs(
-            &bbvs,
-            self.config.slice_size,
+        // -- Region selection through the strategy trait. The `simpoint`
+        // strategy runs the exact code `SimPointAnalysis::run_jobs` always
+        // ran (k-means restarts fan out over the same workers); the
+        // differential suite pins this dispatch bit-identical to the
+        // pre-trait path.
+        let strategy = self.config.strategy.build(&self.config.simpoint);
+        let selection = strategy.select(
+            &StrategyInput {
+                bbvs: &bbvs,
+                slice_size: self.config.slice_size,
+            },
             jobs,
         )?;
+        let (simpoints, replicates) = selection.into_parts(self.config.slice_size);
 
         // -- Regional pinballs.
         let regional = self.make_regionals(program, &simpoints, &starts);
@@ -174,6 +194,7 @@ impl Pipeline {
             simpoints,
             regional,
             num_slices,
+            replicates,
         })
     }
 
@@ -533,6 +554,7 @@ mod tests {
             },
             warmup_slices: 3,
             profile_cache: None,
+            strategy: StrategySpec::SimPoint,
         }
     }
 
@@ -638,6 +660,7 @@ mod tests {
             },
             warmup_slices: 3,
             profile_cache: None,
+            strategy: StrategySpec::SimPoint,
         };
         let r = Pipeline::new(cfg).run(&p).unwrap();
         assert_eq!(r.num_slices, 1);

@@ -277,6 +277,7 @@ mod tests {
             },
             warmup_slices: 4,
             profile_cache: None,
+            ..Default::default()
         })
         .run(p)
         .unwrap()
@@ -363,6 +364,7 @@ mod tests {
             },
             warmup_slices: 25,
             profile_cache: None,
+            ..Default::default()
         })
         .run(&p)
         .unwrap();

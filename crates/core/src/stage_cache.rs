@@ -15,9 +15,11 @@
 //!   slice_size, profile-cache geometry)`. SimPoint options are *excluded*:
 //!   re-clustering the same profile with a different `MaxK` reuses the
 //!   cached profiling pass, which is exactly the sweep the paper performs.
-//! * [`response_key`] — the profile inputs plus `warmup_slices` and the
-//!   full SimPoint option fingerprint; two requests share a response key
-//!   iff the deterministic pipeline output is bit-identical.
+//! * [`response_key`] — the profile inputs plus `warmup_slices`, the full
+//!   SimPoint option fingerprint and the sampling-strategy fingerprint;
+//!   two requests share a response key iff the deterministic pipeline
+//!   output is bit-identical. Strategies deliberately do *not* enter the
+//!   profile key: switching strategies reuses the cached profiling pass.
 //!
 //! The program's [`digest`](sampsim_workload::Program::digest) is a
 //! content hash over the generated artifact (blocks, schedule, streams),
@@ -174,13 +176,17 @@ pub fn profile_stage_key(program: &Program, config: &PinPointsConfig) -> u64 {
 }
 
 /// Cache key for a complete deterministic run response: the profile
-/// inputs plus the clustering and warmup configuration.
+/// inputs plus the selection (strategy + parameters) and warmup
+/// configuration. The strategy fingerprint covers the strategy identity
+/// and every selection-relevant parameter, so two requests share a
+/// response key iff the deterministic pipeline output is bit-identical.
 pub fn response_key(program: &Program, config: &PinPointsConfig) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("sampsim/response/run/v1");
+    h.write_str("sampsim/response/run/v2");
     write_profile_inputs(&mut h, program, config);
     h.write_u64(config.warmup_slices);
     h.write_u64(simpoint_fingerprint(&config.simpoint));
+    h.write_u64(config.strategy.fingerprint(&config.simpoint));
     h.finish()
 }
 
@@ -268,6 +274,7 @@ mod tests {
             },
             warmup_slices: 3,
             profile_cache: Some(configs::allcache_table1()),
+            strategy: sampsim_simpoint::StrategySpec::SimPoint,
         }
     }
 
@@ -337,6 +344,23 @@ mod tests {
         rewarm.warmup_slices = 9;
         assert_eq!(profile_stage_key(&p, &base), profile_stage_key(&p, &rewarm));
         assert_ne!(response_key(&p, &base), response_key(&p, &rewarm));
+
+        // Different sampling strategy → same profile key (stage-cached
+        // BBVs are reused across strategies), different response key.
+        for name in sampsim_simpoint::STRATEGY_NAMES.iter().skip(1) {
+            let mut restrat = base.clone();
+            restrat.strategy = sampsim_simpoint::StrategySpec::parse(name).unwrap();
+            assert_eq!(
+                profile_stage_key(&p, &base),
+                profile_stage_key(&p, &restrat),
+                "{name}"
+            );
+            assert_ne!(
+                response_key(&p, &base),
+                response_key(&p, &restrat),
+                "{name}"
+            );
+        }
 
         // Dropping the profile hierarchy changes both.
         let mut nocache = base.clone();

@@ -10,16 +10,19 @@
 //!
 //! ```text
 //! {"op":"run","bench":"omnetpp_s","scale":0.002,"slice":20,"maxk":6}
+//! {"op":"run","bench":"omnetpp_s","scale":0.002,"strategy":"rss"}
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! `bench` is required for `run`; `scale` (default 1.0), `slice` and
-//! `maxk` are optional. Degenerate values such as `"slice":0` or
-//! `"maxk":0` pass protocol validation on purpose: they flow into the
-//! `sampsim-analyze` lint pass, which reports them as structured
-//! `invalid-config` replies with rule codes instead of a blunt parse error.
+//! `bench` is required for `run`; `scale` (default 1.0), `slice`, `maxk`
+//! and `strategy` (a sampling-strategy name; default `simpoint`) are
+//! optional. Degenerate values such as `"slice":0`, `"maxk":0` or an
+//! unregistered strategy name pass protocol validation on purpose: they
+//! flow into the `sampsim-analyze` lint pass, which reports them as
+//! structured `invalid-config` replies with rule codes (`SA020`, `SA021`,
+//! `SA130`) instead of a blunt parse error.
 //!
 //! # Replies
 //!
@@ -69,7 +72,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .as_str()
         .ok_or("\"op\" must be a string")?;
     let allowed: &[&str] = match op {
-        "run" => &["op", "bench", "scale", "slice", "maxk"],
+        "run" => &["op", "bench", "scale", "slice", "maxk", "strategy"],
         "ping" | "stats" | "shutdown" => &["op"],
         other => return Err(format!("unknown op {other:?}")),
     };
@@ -104,11 +107,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => None,
                 Some(v) => Some(non_negative_integer(v, "maxk")? as usize),
             };
+            let strategy = match value.get("strategy") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or("\"strategy\" must be a string")?
+                        .to_string(),
+                ),
+            };
             Ok(Request::Run(RunRequest {
                 bench,
                 scale,
                 slice,
                 maxk,
+                strategy,
             }))
         }
         "ping" => Ok(Request::Ping),
@@ -197,6 +209,7 @@ pub fn run_request_line(
     scale: f64,
     slice: Option<u64>,
     maxk: Option<usize>,
+    strategy: Option<&str>,
 ) -> String {
     let mut fields = vec![
         "\"op\":\"run\"".to_string(),
@@ -208,6 +221,9 @@ pub fn run_request_line(
     }
     if let Some(k) = maxk {
         fields.push(format!("\"maxk\":{k}"));
+    }
+    if let Some(name) = strategy {
+        fields.push(format!("\"strategy\":{}", json_string(name)));
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -227,6 +243,7 @@ mod tests {
                 scale: 0.5,
                 slice: Some(20),
                 maxk: Some(6),
+                strategy: None,
             })
         );
         // Optional fields default.
@@ -238,6 +255,7 @@ mod tests {
                 scale: 1.0,
                 slice: None,
                 maxk: None,
+                strategy: None,
             })
         );
     }
@@ -264,6 +282,7 @@ mod tests {
                 scale: 1.0,
                 slice: Some(0),
                 maxk: Some(0),
+                strategy: None,
             })
         );
     }
@@ -289,6 +308,10 @@ mod tests {
                 "{\"op\":\"run\",\"bench\":\"x\",\"maxk\":-2}",
                 "negative maxk",
             ),
+            (
+                "{\"op\":\"run\",\"bench\":\"x\",\"strategy\":3}",
+                "strategy not a string",
+            ),
             ("{\"op\":\"ping\"} trailing", "trailing garbage"),
         ] {
             assert!(parse_request(line).is_err(), "{why}: {line}");
@@ -297,7 +320,7 @@ mod tests {
 
     #[test]
     fn request_line_roundtrips_through_the_parser() {
-        let line = run_request_line("omnetpp_s", 0.002, None, Some(6));
+        let line = run_request_line("omnetpp_s", 0.002, None, Some(6), None);
         let r = parse_request(&line).unwrap();
         assert_eq!(
             r,
@@ -306,6 +329,19 @@ mod tests {
                 scale: 0.002,
                 slice: None,
                 maxk: Some(6),
+                strategy: None,
+            })
+        );
+        let line = run_request_line("omnetpp_s", 0.002, Some(20), None, Some("rss"));
+        let r = parse_request(&line).unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                bench: "omnetpp_s".into(),
+                scale: 0.002,
+                slice: Some(20),
+                maxk: None,
+                strategy: Some("rss".into()),
             })
         );
     }

@@ -15,7 +15,7 @@ use sampsim_core::runs::{self, WarmupMode};
 use sampsim_core::stage_cache::{response_key, StageCache};
 use sampsim_core::CoreError;
 use sampsim_exec::Jobs;
-use sampsim_simpoint::SimPointOptions;
+use sampsim_simpoint::{SimPointOptions, StrategySpec};
 use sampsim_spec2017::{benchmark, BenchmarkId, BenchmarkSpec};
 use sampsim_util::scale::Scale;
 use sampsim_workload::Program;
@@ -32,6 +32,10 @@ pub struct RunRequest {
     pub slice: Option<u64>,
     /// `MaxK` override (`None` = default 35).
     pub maxk: Option<usize>,
+    /// Sampling-strategy name (`None` = `simpoint`). Validated against
+    /// the registry during [`prepare`]; an unregistered name yields the
+    /// typed `invalid-config` reply with rule `SA130`.
+    pub strategy: Option<String>,
 }
 
 /// A request that passed validation and is ready to execute.
@@ -168,6 +172,14 @@ pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
             ..config.simpoint
         };
     }
+    if let Some(name) = &request.strategy {
+        let report = sampsim_analyze::lint_strategy_name(name);
+        if report.has_errors() {
+            return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
+        }
+        config.strategy =
+            StrategySpec::parse(name).expect("registry-validated strategy names always parse");
+    }
     let report = Pipeline::new(config.clone()).preflight(&program);
     if report.has_errors() {
         return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
@@ -295,6 +307,7 @@ mod tests {
             scale: 0.002,
             slice: None,
             maxk: Some(6),
+            strategy: None,
         }
     }
 
@@ -349,6 +362,36 @@ mod tests {
         })
         .unwrap_err();
         assert!(maxk.reply().contains("SA021"), "{}", maxk.reply());
+    }
+
+    #[test]
+    fn strategy_requests_validate_and_key() {
+        // An unregistered name is the typed invalid-config reply with
+        // the SA130 rule attached.
+        let unknown = prepare(&RunRequest {
+            strategy: Some("frobnicate".into()),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(unknown.code(), "invalid-config");
+        let reply = unknown.reply();
+        assert!(reply.contains("SA130"), "{reply}");
+        assert!(reply.contains("\"rules\":"), "{reply}");
+        // Every registered name prepares; an explicit "simpoint" shares
+        // the default's response key, the others change it.
+        let base = prepare(&tiny_request()).unwrap();
+        for name in sampsim_simpoint::STRATEGY_NAMES {
+            let p = prepare(&RunRequest {
+                strategy: Some((*name).into()),
+                ..tiny_request()
+            })
+            .unwrap();
+            if *name == "simpoint" {
+                assert_eq!(p.key, base.key);
+            } else {
+                assert_ne!(p.key, base.key, "{name}");
+            }
+        }
     }
 
     #[test]

@@ -20,11 +20,12 @@ fn tiny_request() -> RunRequest {
         scale: 0.002,
         slice: None,
         maxk: Some(6),
+        strategy: None,
     }
 }
 
 fn tiny_request_line() -> String {
-    protocol::run_request_line("omnetpp_s", 0.002, None, Some(6))
+    protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), None)
 }
 
 /// The ground truth: exactly what `sampsim run` prints on stdout.
@@ -170,6 +171,19 @@ fn shutdown_drains_queued_requests() {
     assert_eq!(stats.executions, 1, "second run is a cache hit: {stats:?}");
 }
 
+/// Requesting the default strategy by name changes nothing: the document
+/// for `"strategy":"simpoint"` is byte-identical to the one for a request
+/// that omits the key entirely.
+#[test]
+fn explicit_simpoint_strategy_is_byte_identical_to_default() {
+    let explicit = RunRequest {
+        strategy: Some("simpoint".into()),
+        ..tiny_request()
+    };
+    let doc = service::run_document(&explicit, sampsim_exec::SERIAL, &NoCache).unwrap();
+    assert_eq!(doc, reference_document());
+}
+
 /// Control ops and failure replies over a real socket: ping, stats,
 /// malformed JSON, unknown benchmarks, and lint-rejected configurations
 /// all produce one typed reply line — never a dropped connection.
@@ -208,6 +222,23 @@ fn control_and_failure_replies_are_typed() {
     assert!(invalid.contains("SA021"), "{invalid}");
     assert!(invalid.contains("\"severity\":\"error\""), "{invalid}");
     assert!(protocol::is_error_reply(&invalid));
+
+    // An unregistered sampling strategy is rejected the same structured
+    // way: a typed invalid-config reply carrying the SA130 rule — never a
+    // dropped connection or an untyped error.
+    let bad_strategy = client::request_line(
+        &addr,
+        &protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), Some("frobnicate")),
+    )
+    .unwrap();
+    assert!(
+        bad_strategy.contains("\"code\":\"invalid-config\""),
+        "{bad_strategy}"
+    );
+    assert!(bad_strategy.contains("\"rules\":["), "{bad_strategy}");
+    assert!(bad_strategy.contains("SA130"), "{bad_strategy}");
+    assert!(bad_strategy.contains("frobnicate"), "{bad_strategy}");
+    assert!(protocol::is_error_reply(&bad_strategy));
 
     client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();
     let stats = handle.wait().unwrap();

@@ -1,12 +1,11 @@
 //! The end-to-end SimPoint analysis driver.
 
 use crate::bbv::Bbv;
-use crate::bic::{bic_score, choose_k};
-use crate::kmeans::{kmeans_best_of_jobs, KmeansError, KmeansResult};
-use crate::project::{RandomProjection, DEFAULT_DIM};
-use crate::select::{select_simpoints, SimPoint};
+use crate::kmeans::KmeansError;
+use crate::project::DEFAULT_DIM;
+use crate::select::SimPoint;
+use crate::strategy::SimPointStrategy;
 use sampsim_exec::{Jobs, SERIAL};
-use sampsim_util::rng::Xoshiro256StarStar;
 use std::fmt;
 
 /// Tuning knobs of the analysis.
@@ -137,6 +136,10 @@ impl SimPointAnalysis {
     /// restart winner is selected deterministically, so the result is
     /// bit-identical to the serial run.
     ///
+    /// This is a thin wrapper over [`SimPointStrategy::analyze`], where the
+    /// algorithm lives since the strategy refactor; the differential suite
+    /// pins the two entry points bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns [`SimPointError::NoSlices`] when `bbvs` is empty.
@@ -146,67 +149,7 @@ impl SimPointAnalysis {
         slice_size: u64,
         jobs: Jobs,
     ) -> Result<SimPointsResult, SimPointError> {
-        if bbvs.is_empty() {
-            return Err(SimPointError::NoSlices);
-        }
-        let o = &self.options;
-        let n = bbvs.len();
-        let projection = RandomProjection::new(o.dim, o.seed);
-        let data = projection.project_all_normalized(bbvs);
-
-        // Score candidate k on a subsample when the slice count is large.
-        let (score_data, score_n) = if n > o.sample_size {
-            let mut rng = Xoshiro256StarStar::seed_from_u64(o.seed ^ 0x5A5A);
-            let mut idx: Vec<usize> = (0..n).collect();
-            rng.shuffle(&mut idx);
-            idx.truncate(o.sample_size);
-            idx.sort_unstable();
-            let mut sub = Vec::with_capacity(o.sample_size * o.dim);
-            for &i in &idx {
-                sub.extend_from_slice(&data[i * o.dim..(i + 1) * o.dim]);
-            }
-            (sub, o.sample_size)
-        } else {
-            (data.clone(), n)
-        };
-
-        let max_k = o.max_k.min(score_n);
-        let mut bic_scores = Vec::with_capacity(max_k);
-        for k in 1..=max_k {
-            let r = kmeans_best_of_jobs(
-                &score_data,
-                score_n,
-                o.dim,
-                k,
-                o.max_iter,
-                o.seed.wrapping_add(k as u64),
-                o.n_init,
-                jobs,
-            )?;
-            bic_scores.push((k, bic_score(&r, o.dim)));
-        }
-        let best_k = choose_k(&bic_scores, o.bic_threshold);
-
-        // Final clustering at the chosen k over every slice.
-        let final_result: KmeansResult = kmeans_best_of_jobs(
-            &data,
-            n,
-            o.dim,
-            best_k,
-            o.max_iter,
-            o.seed.wrapping_add(best_k as u64),
-            o.n_init,
-            jobs,
-        )?;
-        let points = select_simpoints(&final_result, &data, o.dim);
-        Ok(SimPointsResult {
-            k: best_k,
-            slice_size,
-            assignments: final_result.assignments.clone(),
-            points,
-            bic_scores,
-            avg_variance: final_result.avg_variance(),
-        })
+        SimPointStrategy::new(self.options).analyze(bbvs, slice_size, jobs)
     }
 }
 

@@ -52,6 +52,7 @@ pub mod kmeans;
 pub mod project;
 pub mod select;
 pub mod smarts;
+pub mod strategy;
 pub mod variance;
 pub mod vli;
 
@@ -63,3 +64,7 @@ pub use kmeans::{
     KmeansError, KmeansResult,
 };
 pub use select::SimPoint;
+pub use strategy::{
+    Rss, RssOptions, SamplingStrategy, Selection, SimPointStrategy, StrategyInput, StrategySpec,
+    Stratified2p, Stratified2pOptions, STRATEGY_NAMES,
+};

@@ -76,4 +76,23 @@ cmp "$serve_dir/direct.json" "$serve_dir/reply.json" \
 "$sampsim_bin" request --shutdown --addr "$addr" > /dev/null
 wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; exit 1; }
 
+echo "==> sampsim compare smoke (all strategies vs whole-program truth)"
+# Quick-scale cross-strategy study on one benchmark, then validate the
+# report against the sampsim-compare/v1 schema AND the strategy registry
+# (the validator fails when a registered strategy is missing a row).
+compare_report="$serve_dir/compare.json"
+"$sampsim_bin" compare omnetpp_s --scale 0.002 --maxk 6 --reps 2 \
+    -o "$compare_report" > /dev/null 2> /dev/null
+"$sampsim_bin" compare --validate "$compare_report"
+# Belt and braces against registry drift: every strategy the CLI itself
+# advertises in its usage text must have a row in the report, so adding a
+# strategy to the CLI without teaching `compare` about it fails loudly.
+cli_strategies="$("$sampsim_bin" help | sed -n '/one of:/{n;s/;.*//;s/,/ /g;p;}')"
+[ -n "$cli_strategies" ] \
+    || { echo "compare smoke: could not read the strategy list from 'sampsim help'" >&2; exit 1; }
+for name in $cli_strategies; do
+    grep -q "\"strategy\":\"$name\"" "$compare_report" \
+        || { echo "compare smoke: CLI strategy '$name' missing from the compare report" >&2; exit 1; }
+done
+
 echo "all checks passed"

@@ -19,7 +19,10 @@ use sampsim::core::metrics::{aggregate_weighted, RunMetrics};
 use sampsim::core::runs::{run_regions_functional_jobs, run_regions_timing_jobs, WarmupMode};
 use sampsim::core::{PinPointsConfig, Pipeline};
 use sampsim::exec::Jobs;
-use sampsim::simpoint::SimPointOptions;
+use sampsim::simpoint::{
+    SamplingStrategy, SimPointAnalysis, SimPointOptions, SimPointStrategy, StrategyInput,
+    StrategySpec,
+};
 use sampsim::spec2017::{benchmark, BenchmarkId};
 use sampsim::uarch::CoreConfig;
 use sampsim::util::scale::Scale;
@@ -62,6 +65,7 @@ fn config(profile_cache: bool) -> PinPointsConfig {
         },
         warmup_slices: 5,
         profile_cache: profile_cache.then(configs::allcache_table1),
+        strategy: StrategySpec::SimPoint,
     }
 }
 
@@ -300,6 +304,106 @@ fn kmeans_restarts_are_bit_identical_across_job_counts() {
             assert_eq!(par.centroids.len(), serial.centroids.len());
             for (a, b) in par.centroids.iter().zip(&serial.centroids) {
                 assert_f64_bits(*a, *b, &format!("{what}: centroid"));
+            }
+        }
+    }
+}
+
+#[test]
+fn simpoint_through_trait_is_bit_identical_to_legacy() {
+    // The strategy refactor's zero-drift guarantee: SimPoint dispatched
+    // through the `SamplingStrategy` trait must reproduce the legacy
+    // `SimPointAnalysis` entry point bit for bit — selection, weights,
+    // assignments, BIC scores, and the regional pinballs (cursors,
+    // warmup records) derived from them — across seeds × benchmarks ×
+    // job counts.
+    let suite: Vec<(String, Program)> = [31u64, 32, 33]
+        .iter()
+        .map(|&seed| (format!("seed {seed}"), synthetic(seed)))
+        .chain([BenchmarkId::McfR, BenchmarkId::XzR].iter().map(|&id| {
+            (
+                id.name().to_string(),
+                benchmark(id).scaled(Scale::new(0.001)).build(),
+            )
+        }))
+        .collect();
+    for (label, program) in &suite {
+        let pipeline = Pipeline::new(config(false));
+        let (bbvs, starts, _) = pipeline.profile(program);
+        let opts = config(false).simpoint;
+        for jobs in [Jobs::new(1).unwrap(), Jobs::new(2).unwrap(), Jobs::Auto] {
+            let legacy = SimPointAnalysis::new(opts)
+                .run_jobs(&bbvs, 1_000, jobs)
+                .unwrap();
+            let selection = SimPointStrategy::new(opts)
+                .select(
+                    &StrategyInput {
+                        bbvs: &bbvs,
+                        slice_size: 1_000,
+                    },
+                    jobs,
+                )
+                .unwrap();
+            let (via_trait, replicates) = selection.into_parts(1_000);
+            assert_eq!(via_trait, legacy, "{label}: selection (jobs = {jobs})");
+            assert!(replicates.is_empty(), "{label}: simpoint has no replicates");
+            for (a, b) in via_trait.points.iter().zip(&legacy.points) {
+                assert_f64_bits(a.weight, b.weight, &format!("{label}: weight bits"));
+            }
+            for (a, b) in via_trait.bic_scores.iter().zip(&legacy.bic_scores) {
+                assert_eq!(a.0, b.0, "{label}: BIC k");
+                assert_f64_bits(a.1, b.1, &format!("{label}: BIC score bits"));
+            }
+            // Downstream checkpoints (cursors + warmup) match too.
+            let regional_trait = pipeline.regionals_for(program, &via_trait, &starts);
+            let regional_legacy = pipeline.regionals_for(program, &legacy, &starts);
+            assert_eq!(
+                regional_trait, regional_legacy,
+                "{label}: regional pinballs (jobs = {jobs})"
+            );
+        }
+        // The full pipeline (which now always dispatches through the
+        // trait) agrees with the legacy analysis run serially.
+        let result = pipeline.run(program).unwrap();
+        let legacy = SimPointAnalysis::new(opts)
+            .run_jobs(&bbvs, 1_000, sampsim::exec::SERIAL)
+            .unwrap();
+        assert_eq!(result.simpoints, legacy, "{label}: pipeline selection");
+        assert!(result.replicates.is_empty());
+    }
+}
+
+#[test]
+fn new_strategies_are_bit_identical_across_job_counts() {
+    // stratified2p and rss are jobs-oblivious by construction, but the
+    // pipeline around them (sharded profiling, cached stages) is not —
+    // the whole run must still be bit-identical for every job count,
+    // including the replicate sets rss derives its error bars from.
+    for name in ["stratified2p", "rss"] {
+        let program = synthetic(51);
+        let mut cfg = config(false);
+        cfg.strategy = StrategySpec::parse(name).unwrap();
+        let pipeline = Pipeline::new(cfg);
+        let reference = pipeline.run(&program).unwrap();
+        assert!(!reference.regional.is_empty(), "{name}");
+        let weight: f64 = reference.regional.iter().map(|pb| pb.weight).sum();
+        assert!((weight - 1.0).abs() < 1e-9, "{name}: weights sum {weight}");
+        for jobs in job_grid() {
+            let result = pipeline.run_jobs(&program, jobs).unwrap();
+            assert_eq!(
+                result.simpoints, reference.simpoints,
+                "{name}: selection (jobs = {jobs})"
+            );
+            assert_eq!(
+                result.regional, reference.regional,
+                "{name}: regional pinballs (jobs = {jobs})"
+            );
+            assert_eq!(
+                result.replicates, reference.replicates,
+                "{name}: replicate sets (jobs = {jobs})"
+            );
+            for (r, s) in result.regional.iter().zip(&reference.regional) {
+                assert_f64_bits(r.weight, s.weight, &format!("{name}: weight bits"));
             }
         }
     }

@@ -47,6 +47,7 @@ fn small_config() -> PinPointsConfig {
         },
         warmup_slices: 20,
         profile_cache: None,
+        ..Default::default()
     }
 }
 

@@ -388,6 +388,7 @@ fn pipeline_weights_sum_to_one() {
             },
             warmup_slices: 2,
             profile_cache: None,
+            ..Default::default()
         })
         .run(&program)
         .unwrap();
@@ -508,6 +509,164 @@ fn json_parser_untrusted_input_hardening() {
             assert!(parsed.is_err(), "depth {depth} accepted");
         }
     });
+}
+
+/// A random sparse BBV set for the strategy properties.
+fn arb_bbvs(g: &mut Gen, n: usize) -> Vec<Bbv> {
+    (0..n)
+        .map(|_| {
+            let mut counts = g.vec_of(1..20, |g| {
+                (g.u64_in(0..200) as u32, g.u64_in(1..100) as u32)
+            });
+            counts.sort_by_key(|&(b, _)| b);
+            counts.dedup_by_key(|&mut (b, _)| b);
+            Bbv::from_counts(counts)
+        })
+        .collect()
+}
+
+/// Every registered strategy returns a valid discrete distribution over
+/// in-bounds slices: weights non-negative and summing to ~1, region
+/// indices inside the slice range and duplicate-free — and the same holds
+/// for every replicate set the strategy carries.
+#[test]
+fn strategy_selections_are_valid_distributions() {
+    use sampsim::simpoint::{SimPointOptions, StrategySpec};
+    run_cases("strategy-distributions", 24, |g| {
+        let n = g.usize_in(2..60);
+        let bbvs = arb_bbvs(g, n);
+        let input = sampsim::simpoint::StrategyInput {
+            bbvs: &bbvs,
+            slice_size: 1_000,
+        };
+        let options = SimPointOptions {
+            max_k: 6,
+            seed: g.u64_in(0..1_000),
+            ..Default::default()
+        };
+        for spec in StrategySpec::registry() {
+            let strategy = spec.build(&options);
+            let selection = strategy.select(&input, sampsim::exec::SERIAL).unwrap();
+            let mut sets: Vec<&[sampsim::simpoint::select::SimPoint]> = vec![&selection.points];
+            sets.extend(selection.replicates.iter().map(Vec::as_slice));
+            for points in sets {
+                assert!(!points.is_empty(), "{}: empty selection", spec.name());
+                let mut seen = std::collections::HashSet::new();
+                let mut sum = 0.0;
+                for p in points {
+                    assert!(
+                        (p.slice as usize) < n,
+                        "{}: slice {} out of {n}",
+                        spec.name(),
+                        p.slice
+                    );
+                    assert!(
+                        seen.insert(p.slice),
+                        "{}: duplicate {}",
+                        spec.name(),
+                        p.slice
+                    );
+                    assert!(p.weight >= 0.0, "{}: weight {}", spec.name(), p.weight);
+                    sum += p.weight;
+                }
+                assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", spec.name());
+            }
+        }
+    });
+}
+
+/// The stratified allocation depends only on the score *multiset*, not on
+/// slice order: permuting the BBV list leaves the per-stratum sample
+/// allocation unchanged.
+#[test]
+fn stratified2p_allocation_permutation_invariant() {
+    use sampsim::simpoint::{StrategyInput, Stratified2p, Stratified2pOptions};
+    run_cases("s2p-allocation-permutation", 24, |g| {
+        let n = g.usize_in(4..80);
+        let bbvs = arb_bbvs(g, n);
+        let strategy = Stratified2p::new(Stratified2pOptions {
+            seed: g.u64_in(0..10_000),
+            ..Default::default()
+        });
+        let forward = strategy
+            .allocation(&StrategyInput {
+                bbvs: &bbvs,
+                slice_size: 1_000,
+            })
+            .unwrap();
+        // A deterministic shuffle drawn from the case generator.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, g.usize_in(0..i + 1));
+        }
+        let shuffled: Vec<Bbv> = order.iter().map(|&i| bbvs[i].clone()).collect();
+        let permuted = strategy
+            .allocation(&StrategyInput {
+                bbvs: &shuffled,
+                slice_size: 1_000,
+            })
+            .unwrap();
+        assert_eq!(forward, permuted, "allocation moved under permutation");
+    });
+}
+
+/// Repeated subsampling works: the standard error of the per-replicate
+/// estimate (the replicate's weighted mean of the rank statistic) shrinks
+/// as the replicate count grows — monotonically in expectation, so the
+/// assertion averages over 20 independent BBV sets.
+#[test]
+fn rss_error_bars_shrink_with_replicates() {
+    use sampsim::simpoint::strategy::bbv_norm_score;
+    use sampsim::simpoint::{Rss, RssOptions, SamplingStrategy, StrategyInput};
+    use sampsim::util::rng::Xoshiro256StarStar;
+    use sampsim::util::stats::Summary;
+
+    let grid = [4usize, 16, 64];
+    let mut avg_stderr = [0.0f64; 3];
+    for seed in 0..20u64 {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        let bbvs: Vec<Bbv> = (0..80)
+            .map(|_| {
+                let len = 5 + rng.next_below(15) as usize;
+                let mut counts: Vec<(u32, u32)> = (0..len)
+                    .map(|_| (rng.next_below(300) as u32, 1 + rng.next_below(50) as u32))
+                    .collect();
+                counts.sort_by_key(|&(b, _)| b);
+                counts.dedup_by_key(|&mut (b, _)| b);
+                Bbv::from_counts(counts)
+            })
+            .collect();
+        let scores: Vec<f64> = bbvs.iter().map(bbv_norm_score).collect();
+        let input = StrategyInput {
+            bbvs: &bbvs,
+            slice_size: 1_000,
+        };
+        for (i, &reps) in grid.iter().enumerate() {
+            let selection = Rss::new(RssOptions {
+                replicates: reps,
+                seed: 0x00C0_FFEE ^ seed,
+                ..Default::default()
+            })
+            .select(&input, sampsim::exec::SERIAL)
+            .unwrap();
+            assert_eq!(selection.replicates.len(), reps);
+            let mut estimates = Summary::new();
+            for replicate in &selection.replicates {
+                // Weights sum to 1, so this is the replicate's estimate of
+                // the mean rank statistic.
+                let mean: f64 = replicate
+                    .iter()
+                    .map(|p| p.weight * scores[p.slice as usize])
+                    .sum();
+                estimates.add(mean);
+            }
+            avg_stderr[i] += estimates.stddev() / (reps as f64).sqrt();
+        }
+    }
+    assert!(
+        avg_stderr[0] > avg_stderr[1] && avg_stderr[1] > avg_stderr[2],
+        "stderr must shrink with replicates: {avg_stderr:?}"
+    );
 }
 
 /// Deterministic mini-program family indexed by seed.
