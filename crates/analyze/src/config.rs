@@ -122,19 +122,19 @@ pub fn lint_simpoint_options(options: &SimPointOptions) -> Report {
     report
 }
 
-/// Validates a requested sampling-strategy name against the engine
+/// Validates a requested sampling-strategy spec string against the engine
 /// registry (`SA130`). Used by serve request validation and the CLI
 /// before a strategy string is turned into a pipeline configuration.
+/// Accepts both bare registry names (`rss`) and parameterized specs
+/// (`rss:set_size=8,replicates=9`); the diagnostic carries the parser's
+/// description of what was wrong.
 pub fn lint_strategy_name(name: &str) -> Report {
     let mut report = Report::new();
-    if !sampsim_simpoint::STRATEGY_NAMES.contains(&name) {
+    if let Err(why) = sampsim_simpoint::StrategySpec::parse_spec(name) {
         report.push(Diagnostic::new(
             Rule::UnknownStrategy,
             Location::config("strategy"),
-            format!(
-                "strategy '{name}' is not registered (known: {})",
-                sampsim_simpoint::STRATEGY_NAMES.join(", ")
-            ),
+            format!("strategy '{name}' is rejected: {why}"),
         ));
     }
     report
@@ -276,6 +276,21 @@ mod tests {
         assert_eq!(diags[0].rule, Rule::UnknownStrategy);
         assert_eq!(diags[0].rule.code(), "SA130");
         assert!(diags[0].message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn parameterized_strategy_specs_validate_too() {
+        assert!(lint_strategy_name("rss:set_size=8,replicates=9").is_empty());
+        assert!(lint_strategy_name("stratified2p:strata=4").is_empty());
+        let report = lint_strategy_name("rss:set_size=nope");
+        let diags = report.into_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::UnknownStrategy);
+        assert!(
+            diags[0].message.contains("set_size"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -45,9 +45,9 @@ macro_rules! rules {
         /// lints, `SA04x` artifact audits, `SA10x` memory abstract
         /// interpretation, `SA11x` phase-graph structure, `SA12x`
         /// static-vs-dynamic audit oracle, `SA13x` sampling-strategy
-        /// validation. See `docs/lint-rules.md` and
-        /// `docs/static-analysis.md` for the full catalogue with rationale
-        /// and examples.
+        /// validation, `SA14x` statistical soundness. See
+        /// `docs/lint-rules.md` and `docs/static-analysis.md` for the full
+        /// catalogue with rationale and examples.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         pub enum Rule {
             $( $(#[$meta])* $variant, )*
@@ -75,6 +75,25 @@ macro_rules! rules {
             /// Help text suggesting a fix.
             pub fn help(self) -> &'static str {
                 match self { $( Rule::$variant => $help, )* }
+            }
+
+            /// Resolves a stable `SAxxx` code back to its rule.
+            pub fn from_code(code: &str) -> Option<Rule> {
+                match code { $( $code => Some(Rule::$variant), )* _ => None }
+            }
+
+            /// The rule's one-paragraph description: code, default
+            /// severity, summary and help, assembled from the same fields
+            /// the renderers and `docs/lint-rules.md` use. This is the
+            /// single source of truth behind `sampsim lint --explain`.
+            pub fn explain(self) -> String {
+                format!(
+                    "{} ({}): {}.\n\n{}.",
+                    self.code(),
+                    self.severity().label(),
+                    self.summary(),
+                    self.help()
+                )
             }
         }
     };
@@ -354,6 +373,53 @@ rules! {
         "strategy names are resolved against the engine registry \
          (simpoint, stratified2p, rss); check the spelling or see \
          docs/sampling-strategies.md for how to register a new one"),
+
+    // ---- statistical soundness (SA14x) ----
+    /// The predicted effective sample count is below CLT plausibility.
+    SampleBelowClt => ("SA140", Warning,
+        "predicted sample size is below CLT plausibility (n < 30)",
+        "normal-theory confidence intervals need roughly 30 independent \
+         samples per estimate; raise MaxK, the stratified sample budget \
+         or the rss set size / replicate count, or use smaller slices so \
+         more regions exist to sample"),
+    /// The clustering strategy cannot compress: MaxK covers every slice.
+    ClusteringDegenerate => ("SA141", Warning,
+        "MaxK is not smaller than the slice count; clustering degenerates \
+         to a census",
+        "with k >= n the strategy selects every slice and the plan \
+         predicts no speedup; lower MaxK or use smaller slices so the \
+         clustering has behaviour to compress"),
+    /// A stratum receives too few pilot or final samples to estimate
+    /// spread.
+    StratumStarved => ("SA142", Error,
+        "a stratum receives fewer than 2 pilot or final samples",
+        "two-phase allocation estimates per-stratum spread from the pilot; \
+         a 0- or 1-sample stratum has no estimable variance and Neyman \
+         allocation silently degenerates to its proportional fallback; \
+         lower the strata count or raise the pilot/sample budget"),
+    /// The static weight-concentration bound allows one region to
+    /// dominate the estimate.
+    WeightConcentration => ("SA143", Warning,
+        "a single region's weight can reach or exceed the concentration \
+         bound (0.5)",
+        "when one region can carry half the estimate, a single \
+         unrepresentative pick dominates every metric; raise the sample \
+         budget, the strata count or the rss set size so per-region \
+         weight is bounded lower"),
+    /// The rss replicate budget cannot produce error bars.
+    InsufficientReplicates => ("SA144", Error,
+        "replicate budget is below 2; no error bars can be computed",
+        "ranked-set confidence intervals come from the spread across \
+         replicates; fewer than 2 replicates makes every CI half-width \
+         exactly 0, which misreports certainty; set replicates >= 2"),
+    /// The predicted replay cost exceeds the whole-program run.
+    CostExceedsWhole => ("SA145", Warning,
+        "predicted simulated-instruction cost exceeds the whole-program \
+         run",
+        "selected regions plus their warmup windows replay more \
+         instructions than simulating the program outright; sampling is \
+         slower than truth here — lower the warmup window, the sample \
+         budget or MaxK"),
 }
 
 impl fmt::Display for Rule {
@@ -547,6 +613,24 @@ mod tests {
             assert!(!r.summary().is_empty());
             assert!(!r.help().is_empty());
         }
+    }
+
+    #[test]
+    fn codes_round_trip_through_from_code() {
+        for &r in Rule::ALL {
+            assert_eq!(Rule::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Rule::from_code("SA999"), None);
+        assert_eq!(Rule::from_code("sa001"), None);
+        assert_eq!(Rule::from_code(""), None);
+    }
+
+    #[test]
+    fn explain_carries_code_severity_summary_and_help() {
+        let text = Rule::SampleBelowClt.explain();
+        assert!(text.starts_with("SA140 (warning): "), "{text}");
+        assert!(text.contains(Rule::SampleBelowClt.summary()), "{text}");
+        assert!(text.contains(Rule::SampleBelowClt.help()), "{text}");
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * `SA110` — phase-graph structure ([`lint_phase_graph`])
 //! * `SA120`–`SA125` — static-vs-dynamic audit oracle
 //!   ([`audit_bbvs_static`], [`audit_cursors`], [`AuditSummary`])
+//! * `SA130` — sampling-strategy validation ([`lint_strategy_name`])
+//! * `SA140`–`SA145` — statistical soundness ([`lint_soundness`])
 //!
 //! The deeper passes are built on a small reusable framework: a worklist
 //! fixpoint solver over join-semilattices ([`fixpoint`]), a
@@ -37,6 +39,7 @@ pub mod config;
 pub mod diag;
 pub mod fixpoint;
 pub mod render;
+pub mod soundness;
 pub mod staticbbv;
 pub mod workload;
 
@@ -49,6 +52,10 @@ pub use config::{
 pub use diag::{Diagnostic, Location, Report, Rule, Severity};
 pub use fixpoint::{solve, BitSet, JoinSemiLattice};
 pub use render::{diagnostic_json, render_human, render_json_lines};
+pub use soundness::{
+    lint_soundness, predicted_instructions, SoundnessInput, CLT_MIN_SAMPLES,
+    WEIGHT_CONCENTRATION_BOUND,
+};
 pub use staticbbv::{
     audit_bbvs_static, audit_cursors, diagnose_unreadable_artifact, AuditSummary, StaticBbvBounds,
 };

@@ -1,0 +1,98 @@
+//! Rule/doc drift oracle: the rule registry (`Rule::ALL`) and the
+//! human catalogue (`docs/lint-rules.md`) must describe the same set of
+//! rules, in both directions.
+//!
+//! - Every registered rule needs a `| SAxxx |` table row in the doc, so
+//!   a rule added in code without documentation fails here.
+//! - Every `SAxxx` id mentioned anywhere in the doc must resolve through
+//!   `Rule::from_code`, so a rule deleted or renamed in code leaves no
+//!   stale documentation behind. Range headings like `SA001–SA014` are
+//!   expanded endpoint-by-endpoint, so both ends must exist.
+
+use sampsim_analyze::Rule;
+use std::collections::BTreeSet;
+
+fn doc_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/lint-rules.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// All `SA` + 3-digit ids appearing anywhere in `text`, deduplicated.
+fn mentioned_ids(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut ids = BTreeSet::new();
+    for start in 0..bytes.len().saturating_sub(4) {
+        if &bytes[start..start + 2] == b"SA"
+            && bytes[start + 2..start + 5]
+                .iter()
+                .all(|b| b.is_ascii_digit())
+            // Reject longer runs of digits (e.g. an SA-prefixed issue
+            // number) — rule codes are exactly three digits.
+            && bytes.get(start + 5).is_none_or(|b| !b.is_ascii_digit())
+        {
+            ids.insert(text[start..start + 5].to_string());
+        }
+    }
+    ids
+}
+
+#[test]
+fn every_registered_rule_has_a_table_row() {
+    let doc = doc_text();
+    let missing: Vec<&str> = Rule::ALL
+        .iter()
+        .map(|r| r.code())
+        .filter(|code| !doc.contains(&format!("| {code} |")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "rules registered in sampsim_analyze::Rule but absent from the \
+         docs/lint-rules.md tables: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_id_resolves_in_the_registry() {
+    let doc = doc_text();
+    let ids = mentioned_ids(&doc);
+    assert!(
+        ids.len() >= Rule::ALL.len(),
+        "the doc mentions fewer distinct SA ids ({}) than there are \
+         registered rules ({})",
+        ids.len(),
+        Rule::ALL.len()
+    );
+    let stale: Vec<String> = ids
+        .into_iter()
+        .filter(|id| Rule::from_code(id).is_none())
+        // SA999 is the catalogue's canonical "no such rule" example.
+        .filter(|id| id != "SA999")
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "SA ids mentioned in docs/lint-rules.md that no longer resolve \
+         via Rule::from_code: {stale:?}"
+    );
+}
+
+#[test]
+fn table_rows_agree_with_registered_severities() {
+    // Each `| SAxxx | severity |` row must state the severity the
+    // registry assigns, so a severity change in code cannot leave the
+    // catalogue describing the old exit-code behaviour.
+    let doc = doc_text();
+    for line in doc.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some(code) = cells.nth(1) else { continue };
+        let Some(rule) = Rule::from_code(code) else {
+            continue;
+        };
+        let documented = cells.next().unwrap_or_default();
+        let registered = format!("{:?}", rule.severity()).to_lowercase();
+        assert_eq!(
+            documented, registered,
+            "docs/lint-rules.md documents {code} as '{documented}' but \
+             the registry says '{registered}'"
+        );
+    }
+}

@@ -16,6 +16,8 @@ commands:
   report <bench>               whole vs regional vs reduced vs warmup report
   compare <bench> [-o FILE]    run every registered sampling strategy and
                                report CPI / miss-rate error vs the whole run
+  plan <bench> [-o FILE]       statically predict a strategy's cost, speedup
+                               and error bound without running anything
   trace <bench> -o FILE        write an execution trace (--limit N insts)
   lint [bench]                 static checks over workloads and the config
   audit [bench]                differentially check dynamic profiles against
@@ -33,18 +35,23 @@ flags:
   --jobs <n>     worker threads ('auto' or >= 1; default: auto). Results
                  are bit-identical for every job count.
   --strategy <name>
-                 region-selection strategy for run/request (one of:
-                 simpoint, stratified2p, rss; default: simpoint)
+                 region-selection strategy for run/request/plan (one of:
+                 simpoint, stratified2p, rss; default: simpoint), with
+                 optional parameters, e.g. rss:set_size=8,replicates=4
 
 compare flags:
   --reps <n>              replicate selections per strategy for the error
                           bars (>= 1, default: 5)
   --validate <FILE>       only validate an existing report, run nothing
 
+plan flags:
+  --validate <FILE>       only validate an existing plan report, run nothing
+
 lint flags:
   --format <human|json>   output format (default: human)
   --deny-warnings         exit non-zero on warnings too
   --artifacts <DIR>       also audit saved .pb pinball files in DIR
+  --explain <SA-id>       print one rule's description (e.g. SA140) and exit
 
 audit flags:
   --format / --deny-warnings   as for lint
@@ -156,6 +163,17 @@ pub enum Command {
         /// Validate this existing report instead of running the study.
         validate: Option<String>,
     },
+    /// `sampsim plan <bench> [-o FILE]` — statically predict a strategy's
+    /// simulation cost, speedup bound and conservative CI half-width
+    /// bounds without executing anything.
+    Plan {
+        /// Benchmark name or substring (`None` only with `--validate`).
+        bench: Option<String>,
+        /// Also write the JSON plan to this path (stdout always gets it).
+        out: Option<String>,
+        /// Validate this existing plan report instead of planning.
+        validate: Option<String>,
+    },
     /// `sampsim trace <bench> -o FILE`
     Trace {
         /// Benchmark name or substring.
@@ -175,6 +193,9 @@ pub enum Command {
         deny_warnings: bool,
         /// Directory of saved `.pb` pinball files to audit.
         artifacts: Option<String>,
+        /// Print this rule's one-paragraph description and exit instead
+        /// of linting (e.g. `SA140`).
+        explain: Option<String>,
     },
     /// `sampsim audit [bench]` — the static-vs-dynamic oracle.
     Audit {
@@ -267,6 +288,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut update = false;
     let mut reps: Option<usize> = None;
     let mut validate: Option<String> = None;
+    let mut explain: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut queue_depth: Option<usize> = None;
@@ -353,6 +375,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             "--validate" => {
                 validate = Some(iter.next().ok_or("--validate needs a path")?);
             }
+            "--explain" => {
+                explain = Some(
+                    iter.next()
+                        .ok_or("--explain needs a rule id (e.g. SA140)")?,
+                );
+            }
             "--artifacts" => {
                 artifacts = Some(iter.next().ok_or("--artifacts needs a path")?);
             }
@@ -397,6 +425,20 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
                 validate,
             }
         }
+        Some("plan") => {
+            let bench = positionals.next();
+            if validate.is_none() && bench.is_none() {
+                return Err("plan needs a benchmark (or --validate <FILE>)".into());
+            }
+            if validate.is_some() && bench.is_some() {
+                return Err("plan --validate takes no benchmark".into());
+            }
+            Command::Plan {
+                bench,
+                out,
+                validate,
+            }
+        }
         Some("trace") => Command::Trace {
             bench: positionals.next().ok_or("trace needs a benchmark")?,
             out: out.take().ok_or("trace needs -o FILE")?,
@@ -407,6 +449,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             format,
             deny_warnings,
             artifacts,
+            explain,
         },
         Some("audit") => {
             if update && artifacts.is_none() {
@@ -596,6 +639,7 @@ mod tests {
                 format: LintFormat::Human,
                 deny_warnings: false,
                 artifacts: None,
+                explain: None,
             }
         );
         assert_eq!(
@@ -607,10 +651,54 @@ mod tests {
                 format: LintFormat::Json,
                 deny_warnings: true,
                 artifacts: Some("out".into()),
+                explain: None,
+            }
+        );
+        assert_eq!(
+            parse_str("lint --explain SA140").unwrap().command,
+            Command::Lint {
+                bench: None,
+                format: LintFormat::Human,
+                deny_warnings: false,
+                artifacts: None,
+                explain: Some("SA140".into()),
             }
         );
         assert!(parse_str("lint --format yaml").is_err());
         assert!(parse_str("lint --artifacts").is_err());
+        assert!(parse_str("lint --explain").is_err());
+    }
+
+    #[test]
+    fn parses_plan() {
+        assert_eq!(
+            parse_str("plan mcf_r").unwrap().command,
+            Command::Plan {
+                bench: Some("mcf_r".into()),
+                out: None,
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("plan mcf_r --strategy rss -o plan.json")
+                .unwrap()
+                .command,
+            Command::Plan {
+                bench: Some("mcf_r".into()),
+                out: Some("plan.json".into()),
+                validate: None,
+            }
+        );
+        assert_eq!(
+            parse_str("plan --validate plan.json").unwrap().command,
+            Command::Plan {
+                bench: None,
+                out: None,
+                validate: Some("plan.json".into()),
+            }
+        );
+        assert!(parse_str("plan").is_err(), "needs bench or --validate");
+        assert!(parse_str("plan mcf_r --validate plan.json").is_err());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::args::{LintFormat, Options};
 use sampsim_analyze::{
-    audit_regions, lint_memory, lint_phase_graph, lint_program, render_human, render_json_lines,
-    Report, Rule,
+    audit_regions, lint_memory, lint_phase_graph, lint_program, lint_soundness, render_human,
+    render_json_lines, Report, Rule, SoundnessInput,
 };
 use sampsim_cache::configs;
 use sampsim_pinball::store;
@@ -58,6 +58,25 @@ pub fn lint(
                 })
                 .collect();
             report.merge(proportional);
+            // Statistical-soundness rules (SA140–SA145) are likewise
+            // per-benchmark: they depend on the slice count and the
+            // whole-run instruction mass.
+            let soundness: Report = lint_soundness(&SoundnessInput {
+                strategy: &config.strategy,
+                simpoint: &config.simpoint,
+                slice_size: config.slice_size,
+                warmup_slices: config.warmup_slices,
+                num_slices: expected,
+                total_insts: program.total_insts(),
+            })
+            .into_diagnostics()
+            .into_iter()
+            .map(|mut d| {
+                d.message = format!("{} ({})", d.message, spec.name());
+                d
+            })
+            .collect();
+            report.merge(soundness);
         }
     }
 
@@ -75,6 +94,19 @@ pub fn lint(
         LintFormat::Json => print!("{}", render_json_lines(&report)),
     }
     Ok(report.exit_code(deny_warnings))
+}
+
+/// `sampsim lint --explain <SA-id>` — prints the rule's one-paragraph
+/// description from the single source of truth (the `sampsim-analyze`
+/// rule registry). An unknown id is a usage-class failure (exit 2).
+pub fn explain(id: &str) -> Result<(), super::UsageError> {
+    let rule = Rule::from_code(id).ok_or_else(|| {
+        super::UsageError(format!(
+            "unknown lint rule '{id}' (rules run from SA001; see docs/lint-rules.md)"
+        ))
+    })?;
+    println!("{}", rule.explain());
+    Ok(())
 }
 
 /// Audits every regional-pinball file (`*.pb`, excluding `*.whole.pb`) in

@@ -4,12 +4,14 @@ mod audit;
 mod compare;
 mod lint;
 mod perf;
+mod plan;
 mod serve;
 
 pub use audit::audit;
 pub use compare::compare;
-pub use lint::lint;
+pub use lint::{explain, lint};
 pub use perf::perf;
+pub use plan::plan;
 pub use serve::{request, serve};
 
 use crate::args::Options;
@@ -51,9 +53,10 @@ fn create_report_file(path: &str) -> Result<std::fs::File, UsageError> {
     std::fs::File::create(path).map_err(|e| UsageError(format!("cannot write {path}: {e}")))
 }
 
-/// Resolves `--strategy` against the engine registry. A name that is not
-/// registered is a usage-class failure (SA130, exit 2) — same class as a
-/// bad flag value, caught before any pipeline work starts.
+/// Resolves `--strategy` against the engine registry. A spec that does
+/// not parse — unregistered name or malformed parameters — is a
+/// usage-class failure (SA130, exit 2), same class as a bad flag value,
+/// caught before any pipeline work starts.
 fn validated_strategy(options: &Options) -> Result<Option<StrategySpec>, UsageError> {
     let Some(name) = &options.strategy else {
         return Ok(None);
@@ -63,7 +66,7 @@ fn validated_strategy(options: &Options) -> Result<Option<StrategySpec>, UsageEr
         return Err(UsageError(format!("[{}] {}", d.rule.code(), d.message)));
     }
     Ok(Some(
-        StrategySpec::parse(name).expect("registry-validated strategy names always parse"),
+        StrategySpec::parse_spec(name).expect("lint-validated strategy specs always parse"),
     ))
 }
 
@@ -403,5 +406,18 @@ mod tests {
         let err = pipeline_config(&named("frobnicate")).unwrap_err();
         assert!(err.0.contains("SA130"), "{}", err.0);
         assert!(err.0.contains("frobnicate"), "{}", err.0);
+    }
+
+    #[test]
+    fn pipeline_config_accepts_parameterized_strategy_specs() {
+        let named = |name: &str| Options {
+            strategy: Some(name.to_string()),
+            ..Options::default()
+        };
+        let config = pipeline_config(&named("rss:set_size=8,replicates=4")).unwrap();
+        assert_eq!(config.strategy.name(), "rss");
+        let err = pipeline_config(&named("rss:set_size=nope")).unwrap_err();
+        assert!(err.0.contains("SA130"), "{}", err.0);
+        assert!(err.0.contains("set_size"), "{}", err.0);
     }
 }

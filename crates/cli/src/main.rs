@@ -9,6 +9,7 @@
 //! sampsim replay   <dir>/<bench>.pb     replay saved pinballs with tools
 //! sampsim report   <bench>              full paper-style report (all runs)
 //! sampsim compare  <bench>              cross-strategy efficacy study, JSON
+//! sampsim plan     <bench>              static cost/precision plan, JSON
 //! sampsim trace    <bench> -o FILE      write an execution trace to disk
 //! sampsim lint     [bench]              static checks (workloads + config)
 //! sampsim audit    [bench]              static-vs-dynamic differential oracle
@@ -55,6 +56,16 @@ fn main() -> ExitCode {
             validate.as_deref(),
             &parsed.options,
         ),
+        args::Command::Plan {
+            bench,
+            out,
+            validate,
+        } => commands::plan(
+            bench.as_deref(),
+            out.as_deref(),
+            validate.as_deref(),
+            &parsed.options,
+        ),
         args::Command::Trace { bench, out, limit } => {
             commands::trace(&bench, &out, limit, &parsed.options)
         }
@@ -63,7 +74,19 @@ fn main() -> ExitCode {
             format,
             deny_warnings,
             artifacts,
+            explain,
         } => {
+            // `--explain` answers from the rule registry alone — no
+            // benchmarks are built, no lint pass runs.
+            if let Some(id) = explain {
+                return match commands::explain(&id) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             // Lint maps findings straight to the exit code: 0 clean,
             // 1 denied findings, 2 usage errors (handled above).
             return match commands::lint(
@@ -76,6 +99,9 @@ fn main() -> ExitCode {
                 Ok(code) => ExitCode::from(code),
                 Err(e) => {
                     eprintln!("error: {e}");
+                    if e.is::<commands::UsageError>() {
+                        return ExitCode::from(2);
+                    }
                     ExitCode::FAILURE
                 }
             };

@@ -661,6 +661,212 @@ fn compare_output_is_golden_byte_stable_and_validates() {
 }
 
 #[test]
+fn plan_output_is_golden_byte_stable_and_validates() {
+    use sampsim_util::json::{self, Value};
+    let dir = std::env::temp_dir().join(format!("sampsim-cli-plan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan.json");
+    let args = ["plan", "omnetpp_s", "--scale", "0.002", "--maxk", "6"];
+    let capture = |jobs: Option<&str>, out_path: Option<&std::path::Path>| -> Vec<u8> {
+        let mut cmd = sampsim();
+        cmd.args(args);
+        if let Some(j) = jobs {
+            cmd.args(["--jobs", j]);
+        }
+        if let Some(p) = out_path {
+            cmd.arg("-o").arg(p);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "jobs {jobs:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+
+    // One schema-tagged JSON line with the statically derived shape.
+    let serial = capture(Some("1"), Some(&path));
+    let text = String::from_utf8(serial.clone()).unwrap();
+    assert_eq!(text.lines().count(), 1, "one JSON line: {text}");
+    let doc = json::parse(text.trim()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("sampsim-plan/v1")
+    );
+    assert_eq!(
+        doc.get("bench").and_then(Value::as_str),
+        Some("620.omnetpp_s")
+    );
+    assert_eq!(
+        doc.get("strategy").and_then(Value::as_str),
+        Some("simpoint")
+    );
+    assert!(doc.get("speedup_bound").and_then(Value::as_f64).unwrap() > 1.0);
+    let ci = doc.get("ci_bound_pct").unwrap();
+    for metric in ["cpi", "l1i", "l1d", "l2", "l3"] {
+        assert!(ci.get(metric).and_then(Value::as_f64).unwrap() > 0.0);
+    }
+    // MaxK 6 < 30: the plan carries its own SA140 finding.
+    assert!(text.contains("\"SA140\""), "{text}");
+
+    // Byte stability: -o mirrors stdout; a static plan trivially never
+    // depends on the job count, but the contract is still asserted.
+    let file = std::fs::read(&path).unwrap();
+    assert_eq!(file, serial, "-o file diverged from stdout");
+    assert_eq!(serial, capture(Some("3"), None), "--jobs 3 diverged");
+    assert_eq!(serial, capture(None, None), "default jobs diverged");
+
+    // --validate accepts the real plan and exits 0...
+    let out = sampsim()
+        .args(["plan", "--validate"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...and rejects registry drift with the usage-error exit code.
+    let broken = dir.join("broken.json");
+    std::fs::write(
+        &broken,
+        text.replace("\"strategy\":\"simpoint\"", "\"strategy\":\"frobnicate\""),
+    )
+    .unwrap();
+    let out = sampsim()
+        .args(["plan", "--validate"])
+        .arg(&broken)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "drifted plan must exit 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("frobnicate"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn plan_covers_every_advertised_strategy() {
+    for strategy in ["simpoint", "stratified2p", "rss"] {
+        let out = sampsim()
+            .args([
+                "plan",
+                "omnetpp_s",
+                "--scale",
+                "0.002",
+                "--maxk",
+                "6",
+                "--strategy",
+                strategy,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--strategy {strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            text.contains(&format!("\"strategy\":\"{strategy}\"")),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn lint_explain_prints_rule_descriptions() {
+    for id in ["SA140", "SA145", "SA001"] {
+        let out = sampsim().args(["lint", "--explain", id]).output().unwrap();
+        assert!(out.status.success(), "--explain {id}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.starts_with(&format!("{id} (")), "{text}");
+        assert!(text.len() > 60, "description too short: {text}");
+    }
+    let out = sampsim()
+        .args(["lint", "--explain", "SA999"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown rule id exits 2");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SA999"), "{err}");
+}
+
+#[test]
+fn lint_rejects_unsound_sampling_configs() {
+    let lint = |extra: &[&str]| {
+        let mut cmd = sampsim();
+        cmd.args(["lint", "omnetpp_s", "--scale", "0.002"])
+            .args(extra);
+        cmd.output().unwrap()
+    };
+    // SA140 (warning): MaxK 6 predicts 6 samples, below CLT plausibility.
+    let out = lint(&["--maxk", "6", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[SA140]"), "{text}");
+    assert_eq!(lint(&["--maxk", "6"]).status.code(), Some(0));
+
+    // SA141 (warning): MaxK at the slice count degenerates to a census.
+    let out = lint(&["--maxk", "100000", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[SA141]"), "{text}");
+
+    // SA142 (error): a starved stratified2p pilot fails even without
+    // --deny-warnings; the repaired twin is clean.
+    let out = lint(&["--strategy", "stratified2p:pilot=1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[SA142]"), "{text}");
+    assert_eq!(
+        lint(&["--strategy", "stratified2p:pilot=2"]).status.code(),
+        Some(0)
+    );
+
+    // SA143 (warning): one stratum can carry >= 50% of the weight.
+    let out = lint(&[
+        "--strategy",
+        "stratified2p:strata=1,samples=2",
+        "--deny-warnings",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[SA143]"), "{text}");
+
+    // SA144 (error): one rss replicate has no error bars; two do.
+    let out = lint(&["--strategy", "rss:set_size=30,replicates=1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[SA144]"), "{text}");
+    assert_eq!(
+        lint(&["--strategy", "rss:set_size=30,replicates=2"])
+            .status
+            .code(),
+        Some(0)
+    );
+
+    // SA145 (warning): a census-sized budget replays more than the whole
+    // run once warmup is counted.
+    let out = lint(&[
+        "--strategy",
+        "stratified2p:samples=100000",
+        "--deny-warnings",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[SA145]"), "{text}");
+
+    // A malformed spec is a usage error (SA130), not a lint finding.
+    let out = lint(&["--strategy", "rss:set_size=nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SA130"), "{err}");
+}
+
+#[test]
 fn run_accepts_registered_strategies_and_rejects_unknown_names() {
     for strategy in ["stratified2p", "rss"] {
         let out = sampsim()

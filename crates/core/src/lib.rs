@@ -59,12 +59,14 @@ pub mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod runs;
 pub mod stage_cache;
 
 pub use bench_result::BenchResult;
 pub use error::CoreError;
 pub use metrics::{AggregatedMetrics, RunMetrics};
-pub use pipeline::{PinPointsConfig, Pipeline, PipelineResult};
+pub use pipeline::{PinPointsConfig, Pipeline, PipelineResult, Preflight};
+pub use plan::{plan_strategy, PlanReport};
 pub use runs::WarmupMode;
 pub use stage_cache::{MemoryStageCache, NoCache, StageCache};

@@ -3,7 +3,9 @@
 
 use crate::error::CoreError;
 use crate::metrics::RunMetrics;
-use sampsim_analyze::{lint_sampling_config, Report, SamplingConfig};
+use sampsim_analyze::{
+    lint_sampling_config, lint_soundness, Report, SamplingConfig, SoundnessInput,
+};
 use sampsim_cache::{HierarchyConfig, HierarchyStats};
 use sampsim_exec::Jobs;
 use sampsim_pin::engine;
@@ -87,6 +89,27 @@ pub struct PipelineResult {
     pub replicates: Vec<Vec<SimPoint>>,
 }
 
+/// Proof that the full static-analysis preflight ran for one
+/// (program, configuration) pair — the analysis-deduplication token
+/// shared between serve request validation and the pipeline.
+///
+/// Only [`Pipeline::preflight_checked`] constructs one; the private `key`
+/// binds the report to the exact inputs it was computed from, so a token
+/// presented with a different program or configuration is ignored and the
+/// preflight re-runs (never-wrong, merely slower).
+#[derive(Debug, Clone)]
+pub struct Preflight {
+    report: Report,
+    key: u64,
+}
+
+impl Preflight {
+    /// The preflight's findings (all severities).
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+}
+
 /// Runs the PinPoints flow over a program.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -144,11 +167,42 @@ impl Pipeline {
         jobs: Jobs,
         cache: &dyn crate::stage_cache::StageCache,
     ) -> Result<PipelineResult, CoreError> {
+        let preflight = self.preflight_checked(program);
+        self.run_jobs_cached_preflighted(program, jobs, cache, &preflight)
+    }
+
+    /// [`Pipeline::run_jobs_cached`] reusing an already-computed
+    /// [`Preflight`]. This is the analysis-deduplication entry: callers
+    /// that already ran the full lint pass to validate a request (the
+    /// serve daemon, the CLI `run` path) hand the result back instead of
+    /// paying for a second identical pass inside the pipeline. A token
+    /// minted for a *different* program or configuration is detected by
+    /// its key and the preflight silently re-runs — a stale token can
+    /// cost time but never skip validation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Pipeline::run`].
+    pub fn run_jobs_cached_preflighted(
+        &self,
+        program: &Program,
+        jobs: Jobs,
+        cache: &dyn crate::stage_cache::StageCache,
+        preflight: &Preflight,
+    ) -> Result<PipelineResult, CoreError> {
         use crate::stage_cache::{profile_stage_key, ProfileStage};
 
-        let report = self.preflight(program);
-        if report.has_errors() {
-            return Err(CoreError::Config(report.into_diagnostics()));
+        let fresh;
+        let preflight = if preflight.key == self.preflight_key(program) {
+            preflight
+        } else {
+            fresh = self.preflight_checked(program);
+            &fresh
+        };
+        if preflight.report.has_errors() {
+            return Err(CoreError::Config(
+                preflight.report.clone().into_diagnostics(),
+            ));
         }
         let key = profile_stage_key(program, &self.config);
         let cached = cache
@@ -217,7 +271,37 @@ impl Pipeline {
         if let Some(hierarchy) = &self.config.profile_cache {
             report.merge(sampsim_analyze::lint_memory(program, hierarchy));
         }
+        if let Some(num_slices) = expected_slices {
+            report.merge(lint_soundness(&SoundnessInput {
+                strategy: &self.config.strategy,
+                simpoint: &self.config.simpoint,
+                slice_size: self.config.slice_size,
+                warmup_slices: self.config.warmup_slices,
+                num_slices,
+                total_insts: program.total_insts(),
+            }));
+        }
         report
+    }
+
+    /// Runs [`Pipeline::preflight`] and binds the result to this
+    /// (program, configuration) pair. The returned token is what
+    /// [`Pipeline::run_jobs_cached_preflighted`] accepts; it cannot be
+    /// constructed any other way, so holding one proves the full lint
+    /// pass ran.
+    pub fn preflight_checked(&self, program: &Program) -> Preflight {
+        Preflight {
+            report: self.preflight(program),
+            key: self.preflight_key(program),
+        }
+    }
+
+    /// The identity a [`Preflight`] token is bound to: the stage-cache
+    /// response key already covers the program digest, slicing, warmup,
+    /// SimPoint options and strategy fingerprint — exactly the inputs the
+    /// preflight reads.
+    fn preflight_key(&self, program: &Program) -> u64 {
+        crate::stage_cache::response_key(program, &self.config)
     }
 
     fn make_regionals(
@@ -681,6 +765,84 @@ mod tests {
         .unwrap();
         assert_eq!(m.instructions, 5_000);
         assert!(m.deterministic_eq(&m));
+    }
+
+    #[test]
+    fn preflighted_run_reuses_the_token_instead_of_relinting() {
+        // A config whose only defect is lint-visible: one rss replicate
+        // is an SA144 error, but the pipeline runs fine mechanically
+        // (replicates only matter for error bars). A forged clean token
+        // with the *correct* key therefore makes the run succeed — proof
+        // the preflight was actually skipped, not silently re-run.
+        let p = program();
+        let mut cfg = config();
+        cfg.strategy =
+            StrategySpec::parse_spec("rss:set_size=30,replicates=1").expect("valid spec");
+        let pipe = Pipeline::new(cfg);
+        assert!(matches!(pipe.run(&p), Err(CoreError::Config(_))));
+        let forged = Preflight {
+            report: Report::new(),
+            key: pipe.preflight_key(&p),
+        };
+        let r = pipe.run_jobs_cached_preflighted(
+            &p,
+            sampsim_exec::SERIAL,
+            &crate::stage_cache::NoCache,
+            &forged,
+        );
+        assert!(r.is_ok(), "{:?}", r.err());
+    }
+
+    #[test]
+    fn stale_preflight_tokens_fall_back_to_a_fresh_lint() {
+        // A token minted for a clean config must not leak past a broken
+        // one: the key mismatch forces a fresh preflight, which rejects.
+        let p = program();
+        let clean = Pipeline::new(config());
+        let token = clean.preflight_checked(&p);
+        assert!(!token.report().has_errors());
+        let mut bad_cfg = config();
+        bad_cfg.simpoint.bic_threshold = 1.5;
+        let bad = Pipeline::new(bad_cfg);
+        let r = bad.run_jobs_cached_preflighted(
+            &p,
+            sampsim_exec::SERIAL,
+            &crate::stage_cache::NoCache,
+            &token,
+        );
+        assert!(matches!(r, Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn preflight_carries_the_soundness_pass() {
+        use sampsim_analyze::Rule;
+        let p = program(); // 200 slices at slice_size 1000
+        let mut cfg = config();
+        // rss with a single replicate: SA144 is error-severity, so the
+        // run is refused with the typed config error.
+        cfg.strategy = StrategySpec::parse_spec("rss:set_size=30,replicates=1").unwrap();
+        let pipe = Pipeline::new(cfg);
+        let report = pipe.preflight(&p);
+        assert!(report.fired(Rule::InsufficientReplicates));
+        match pipe.run(&p) {
+            Err(CoreError::Config(diags)) => {
+                assert!(diags.iter().any(|d| d.rule == Rule::InsufficientReplicates));
+            }
+            other => panic!("expected a config error, got {other:?}"),
+        }
+        // The clean twin (replicates = 2) passes preflight and runs.
+        let mut cfg = config();
+        cfg.strategy = StrategySpec::parse_spec("rss:set_size=30,replicates=2").unwrap();
+        let pipe = Pipeline::new(cfg);
+        assert!(!pipe.preflight(&p).fired(Rule::InsufficientReplicates));
+        assert!(pipe.run(&p).is_ok());
+        // Warning-severity soundness findings surface in the report but
+        // do not block: MaxK 10 yields 10 < 30 samples (SA140).
+        let pipe = Pipeline::new(config());
+        let report = pipe.preflight(&p);
+        assert!(report.fired(Rule::SampleBelowClt));
+        assert!(!report.has_errors());
+        assert!(pipe.run(&p).is_ok());
     }
 
     #[test]

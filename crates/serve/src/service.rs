@@ -10,7 +10,7 @@ use crate::protocol;
 use sampsim_analyze::Diagnostic;
 use sampsim_cache::configs;
 use sampsim_core::metrics::{aggregate_weighted, whole_as_aggregate, AggregatedMetrics};
-use sampsim_core::pipeline::{PinPointsConfig, Pipeline, PipelineResult};
+use sampsim_core::pipeline::{PinPointsConfig, Pipeline, PipelineResult, Preflight};
 use sampsim_core::runs::{self, WarmupMode};
 use sampsim_core::stage_cache::{response_key, StageCache};
 use sampsim_core::CoreError;
@@ -32,9 +32,11 @@ pub struct RunRequest {
     pub slice: Option<u64>,
     /// `MaxK` override (`None` = default 35).
     pub maxk: Option<usize>,
-    /// Sampling-strategy name (`None` = `simpoint`). Validated against
-    /// the registry during [`prepare`]; an unregistered name yields the
-    /// typed `invalid-config` reply with rule `SA130`.
+    /// Sampling-strategy spec (`None` = `simpoint`): a registry name or
+    /// a parameterized form like `rss:set_size=8,replicates=4`. Validated
+    /// during [`prepare`]; a malformed spec yields the typed
+    /// `invalid-config` reply with rule `SA130`, and a statistically
+    /// unsound one the `SA14x` rule that rejected it.
     pub strategy: Option<String>,
 }
 
@@ -50,6 +52,11 @@ pub struct Prepared {
     /// Content-addressed key identifying the response bytes (see
     /// `sampsim_core::stage_cache::response_key`).
     pub key: u64,
+    /// The completed preflight analysis, keyed to `(program, config)`.
+    /// [`execute_prepared`] hands it back to the pipeline so validation
+    /// runs exactly once per request instead of once in `prepare` and
+    /// again inside `Pipeline::run`.
+    pub preflight: Preflight,
 }
 
 /// Why a request could not be served.
@@ -178,11 +185,13 @@ pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
             return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
         }
         config.strategy =
-            StrategySpec::parse(name).expect("registry-validated strategy names always parse");
+            StrategySpec::parse_spec(name).expect("lint-validated strategy specs always parse");
     }
-    let report = Pipeline::new(config.clone()).preflight(&program);
-    if report.has_errors() {
-        return Err(ServiceError::InvalidConfig(report.into_diagnostics()));
+    let preflight = Pipeline::new(config.clone()).preflight_checked(&program);
+    if preflight.report().has_errors() {
+        return Err(ServiceError::InvalidConfig(
+            preflight.report().clone().into_diagnostics(),
+        ));
     }
     let key = response_key(&program, &config);
     Ok(Prepared {
@@ -190,6 +199,7 @@ pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
         program,
         config,
         key,
+        preflight,
     })
 }
 
@@ -206,8 +216,12 @@ pub fn execute_prepared(
     jobs: Jobs,
     cache: &dyn StageCache,
 ) -> Result<String, ServiceError> {
-    let result =
-        Pipeline::new(prepared.config.clone()).run_jobs_cached(&prepared.program, jobs, cache)?;
+    let result = Pipeline::new(prepared.config.clone()).run_jobs_cached_preflighted(
+        &prepared.program,
+        jobs,
+        cache,
+        &prepared.preflight,
+    )?;
     let regions = runs::run_regions_functional_jobs(
         &prepared.program,
         &result.regional,
@@ -391,6 +405,38 @@ mod tests {
             } else {
                 assert_ne!(p.key, base.key, "{name}");
             }
+        }
+    }
+
+    #[test]
+    fn unsound_strategy_specs_reject_typed() {
+        // SA144: one rss replicate. The reply is the typed invalid-config
+        // shape carrying the rule object, same front door as SA130.
+        let unsound = prepare(&RunRequest {
+            strategy: Some("rss:set_size=30,replicates=1".into()),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(unsound.code(), "invalid-config");
+        let reply = unsound.reply();
+        assert!(reply.contains("SA144"), "{reply}");
+        assert!(reply.contains("\"rules\":"), "{reply}");
+        // SA142: a starved stratified2p pilot.
+        let starved = prepare(&RunRequest {
+            strategy: Some("stratified2p:pilot=1".into()),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(starved.code(), "invalid-config");
+        assert!(starved.reply().contains("SA142"), "{}", starved.reply());
+        // The clean twins prepare (and carry a reusable preflight token).
+        for spec in ["rss:set_size=30,replicates=2", "stratified2p:pilot=2"] {
+            let p = prepare(&RunRequest {
+                strategy: Some(spec.into()),
+                ..tiny_request()
+            })
+            .unwrap();
+            assert!(!p.preflight.report().has_errors(), "{spec}");
         }
     }
 

@@ -65,6 +65,6 @@ pub use kmeans::{
 };
 pub use select::SimPoint;
 pub use strategy::{
-    Rss, RssOptions, SamplingStrategy, Selection, SimPointStrategy, StrategyInput, StrategySpec,
-    Stratified2p, Stratified2pOptions, STRATEGY_NAMES,
+    Rss, RssOptions, SamplePlan, SamplingStrategy, Selection, SimPointStrategy, StrategyInput,
+    StrategySpec, Stratified2p, Stratified2pOptions, STRATEGY_NAMES,
 };

@@ -762,6 +762,31 @@ pub enum StrategySpec {
     Rss(RssOptions),
 }
 
+/// The statically derivable shape of a strategy's selection: how many
+/// regions it will pick, how many samples contribute to each estimate,
+/// and the worst-case weight any single region can carry. Derived by
+/// [`StrategySpec::predict`] from the strategy parameters and the slice
+/// count alone — no profiling, clustering or replay — and consumed by the
+/// `sampsim plan` cost/precision model and the SA14x soundness lints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePlan {
+    /// Distinct regions replayed (the simulated-instruction cost driver).
+    pub regions: usize,
+    /// Samples contributing to each metric estimate (`regions ×
+    /// replicates` for replicated strategies).
+    pub samples: usize,
+    /// Independent replicates the strategy natively produces.
+    pub replicates: usize,
+    /// Static upper bound on the weight any single selection *draw*
+    /// carries, or `f64::INFINITY` when the strategy offers no
+    /// parameter-level guarantee (SimPoint cluster sizes are
+    /// data-dependent). Strategies that merge duplicate draws (rss) can
+    /// report regions whose accumulated weight is a multiple of this
+    /// bound; the bound still governs how much estimate mass one *pick*
+    /// controls.
+    pub max_weight_bound: f64,
+}
+
 impl StrategySpec {
     /// Resolves a registry name to a spec with default parameters.
     /// Returns `None` for unregistered names (callers surface the typed
@@ -772,6 +797,122 @@ impl StrategySpec {
             "stratified2p" => Some(StrategySpec::Stratified2p(Stratified2pOptions::default())),
             "rss" => Some(StrategySpec::Rss(RssOptions::default())),
             _ => None,
+        }
+    }
+
+    /// Resolves a strategy *spec string*: a registry name optionally
+    /// followed by `:key=value,key=value` parameter overrides
+    /// (`stratified2p:strata=4,samples=40`, `rss:replicates=9`). The
+    /// bare-name form is exactly [`StrategySpec::parse`]. `simpoint`
+    /// takes no parameters here — its knobs live in [`SimPointOptions`]
+    /// (`--maxk`). Unknown names, unknown keys and malformed values
+    /// return a message the caller wraps in the typed `SA130` diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let (name, params) = match spec.split_once(':') {
+            Some((name, params)) => (name, Some(params)),
+            None => (spec, None),
+        };
+        let mut parsed = Self::parse(name).ok_or_else(|| {
+            format!(
+                "`{name}` is not a registered strategy (registry: {})",
+                STRATEGY_NAMES.join(", ")
+            )
+        })?;
+        let Some(params) = params else {
+            return Ok(parsed);
+        };
+        for pair in params.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("parameter `{pair}` is not of the form key=value"))?;
+            let int = |what: &str| {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{what} `{key}={value}` is not a non-negative integer"))
+            };
+            match (&mut parsed, key) {
+                (StrategySpec::SimPoint, _) => {
+                    return Err(format!(
+                        "`simpoint` takes no spec parameters (got `{key}`); \
+                         use --maxk / SimPointOptions"
+                    ));
+                }
+                (StrategySpec::Stratified2p(o), "strata") => o.strata = int("strata")? as usize,
+                (StrategySpec::Stratified2p(o), "pilot") => o.pilot = int("pilot")? as usize,
+                (StrategySpec::Stratified2p(o), "samples") => o.samples = int("samples")? as usize,
+                (StrategySpec::Stratified2p(o), "seed") => o.seed = int("seed")?,
+                (StrategySpec::Rss(o), "set_size") => o.set_size = int("set_size")? as usize,
+                (StrategySpec::Rss(o), "replicates") => o.replicates = int("replicates")? as usize,
+                (StrategySpec::Rss(o), "seed") => o.seed = int("seed")?,
+                (spec, _) => {
+                    return Err(format!(
+                        "`{}` has no parameter `{key}`",
+                        StrategySpec::name(spec)
+                    ));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Predicts the selection shape for a run of `num_slices` profiling
+    /// slices, from parameters alone (see [`SamplePlan`]). Mirrors the
+    /// clamping each strategy applies at selection time: SimPoint picks
+    /// one representative per cluster (≤ `min(MaxK, n)`), stratified2p
+    /// allocates `samples.max(strata).min(n)` draws, rss keeps
+    /// `set_size.clamp(1, n)` regions per replicate.
+    pub fn predict(&self, simpoint: &SimPointOptions, num_slices: u64) -> SamplePlan {
+        let n = usize::try_from(num_slices).unwrap_or(usize::MAX);
+        match self {
+            StrategySpec::SimPoint => {
+                let regions = simpoint.max_k.min(n);
+                SamplePlan {
+                    regions,
+                    samples: regions,
+                    replicates: 1,
+                    // A k=1 clustering provably yields one unit-weight
+                    // point; for k > 1 cluster sizes are data-dependent,
+                    // so no static bound exists.
+                    max_weight_bound: if simpoint.max_k <= 1 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    },
+                }
+            }
+            StrategySpec::Stratified2p(o) => {
+                let s = o.strata.clamp(1, n.max(1));
+                let target = o.samples.max(s).min(n);
+                SamplePlan {
+                    regions: target,
+                    samples: target,
+                    replicates: 1,
+                    // A census gives every slice weight 1/n; otherwise
+                    // the largest stratum (⌈n/s⌉ slices) can receive a
+                    // single draw carrying the whole stratum's mass.
+                    max_weight_bound: if n == 0 {
+                        1.0
+                    } else if target >= n {
+                        1.0 / n as f64
+                    } else {
+                        n.div_ceil(s) as f64 / n as f64
+                    },
+                }
+            }
+            StrategySpec::Rss(o) => {
+                let m = o.set_size.clamp(1, n.max(1));
+                let reps = o.replicates.max(1);
+                SamplePlan {
+                    regions: m,
+                    samples: m * reps,
+                    replicates: reps,
+                    max_weight_bound: 1.0 / m as f64,
+                }
+            }
         }
     }
 
@@ -976,5 +1117,122 @@ mod tests {
         }
         assert_eq!(StrategySpec::parse("frobnicate"), None);
         assert_eq!(StrategySpec::default(), StrategySpec::SimPoint);
+    }
+
+    #[test]
+    fn parse_spec_accepts_bare_names_and_parameter_overrides() {
+        for name in STRATEGY_NAMES {
+            assert_eq!(
+                StrategySpec::parse_spec(name).unwrap(),
+                StrategySpec::parse(name).unwrap()
+            );
+        }
+        let spec = StrategySpec::parse_spec("stratified2p:strata=4,pilot=1,samples=40,seed=7");
+        assert_eq!(
+            spec.unwrap(),
+            StrategySpec::Stratified2p(Stratified2pOptions {
+                strata: 4,
+                pilot: 1,
+                samples: 40,
+                seed: 7,
+            })
+        );
+        let spec = StrategySpec::parse_spec("rss:set_size=3,replicates=1");
+        assert_eq!(
+            spec.unwrap(),
+            StrategySpec::Rss(RssOptions {
+                set_size: 3,
+                replicates: 1,
+                ..RssOptions::default()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_spec_rejects_bad_specs_with_messages() {
+        let err = StrategySpec::parse_spec("frobnicate").unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        assert!(err.contains("simpoint"), "{err}");
+        let err = StrategySpec::parse_spec("simpoint:maxk=5").unwrap_err();
+        assert!(err.contains("no spec parameters"), "{err}");
+        let err = StrategySpec::parse_spec("rss:strata=4").unwrap_err();
+        assert!(err.contains("no parameter `strata`"), "{err}");
+        let err = StrategySpec::parse_spec("rss:set_size=x").unwrap_err();
+        assert!(err.contains("not a non-negative integer"), "{err}");
+        let err = StrategySpec::parse_spec("rss:set_size").unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+    }
+
+    #[test]
+    fn predict_matches_actual_selection_shapes() {
+        let bbvs = synthetic_bbvs(3, 20); // 60 slices
+        let n = bbvs.len() as u64;
+        let opts = SimPointOptions {
+            max_k: 6,
+            ..SimPointOptions::default()
+        };
+        for spec in StrategySpec::registry() {
+            let plan = spec.predict(&opts, n);
+            let sel = spec
+                .build(&opts)
+                .select(&input(&bbvs), sampsim_exec::SERIAL)
+                .unwrap();
+            assert!(
+                sel.points.len() <= plan.regions,
+                "{}: {} > {}",
+                spec.name(),
+                sel.points.len(),
+                plan.regions
+            );
+            // The bound governs single draws; rss merges duplicate draws,
+            // so its region weights are multiples of the bound instead.
+            for p in &sel.points {
+                let draws = (p.weight / plan.max_weight_bound).round().max(1.0);
+                assert!(
+                    p.weight <= draws * plan.max_weight_bound + 1e-12,
+                    "{}: weight {} not covered by {} draw(s) x bound {}",
+                    spec.name(),
+                    p.weight,
+                    draws,
+                    plan.max_weight_bound
+                );
+                if matches!(spec, StrategySpec::Stratified2p(_)) {
+                    assert!(
+                        p.weight <= plan.max_weight_bound + 1e-12,
+                        "{}: {} > {}",
+                        spec.name(),
+                        p.weight,
+                        plan.max_weight_bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_clamps_to_the_slice_count() {
+        let opts = SimPointOptions {
+            max_k: 10,
+            ..SimPointOptions::default()
+        };
+        // n = 4 slices: every strategy clamps to at most 4 regions, and
+        // census selections bound each weight by 1/n.
+        let sp = StrategySpec::SimPoint.predict(&opts, 4);
+        assert_eq!((sp.regions, sp.samples, sp.replicates), (4, 4, 1));
+        assert!(sp.max_weight_bound.is_infinite());
+        let s2p = StrategySpec::parse("stratified2p")
+            .unwrap()
+            .predict(&opts, 4);
+        assert_eq!((s2p.regions, s2p.replicates), (4, 1));
+        assert_eq!(s2p.max_weight_bound, 0.25);
+        let rss = StrategySpec::parse("rss").unwrap().predict(&opts, 4);
+        assert_eq!((rss.regions, rss.samples, rss.replicates), (4, 20, 5));
+        assert_eq!(rss.max_weight_bound, 0.25);
+        // k = 1 is the one SimPoint shape with a static weight bound.
+        let k1 = SimPointOptions {
+            max_k: 1,
+            ..SimPointOptions::default()
+        };
+        assert_eq!(StrategySpec::SimPoint.predict(&k1, 4).max_weight_bound, 1.0);
     }
 }

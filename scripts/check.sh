@@ -95,4 +95,24 @@ for name in $cli_strategies; do
         || { echo "compare smoke: CLI strategy '$name' missing from the compare report" >&2; exit 1; }
 done
 
+echo "==> sampsim plan smoke (static planner, every advertised strategy)"
+# Planning is pure static analysis: for every strategy the CLI
+# advertises, render a plan, validate it against the sampsim-plan/v1
+# schema, and check the plan names the strategy it was asked for. Reuses
+# the advertised-strategy list extracted above so a strategy added to
+# the CLI without a working planner fails loudly.
+for name in $cli_strategies; do
+    plan_report="$serve_dir/plan-$name.json"
+    "$sampsim_bin" plan omnetpp_s --scale 0.002 --maxk 6 --strategy "$name" \
+        -o "$plan_report" > /dev/null 2> /dev/null
+    "$sampsim_bin" plan --validate "$plan_report"
+    grep -q "\"strategy\":\"$name\"" "$plan_report" \
+        || { echo "plan smoke: plan for '$name' does not name it" >&2; exit 1; }
+done
+# The linter's rule catalogue must answer for the planner's soundness
+# rules (the docs drift test pins the full registry; this pins the CLI
+# plumbing end to end).
+"$sampsim_bin" lint --explain SA140 > /dev/null
+"$sampsim_bin" lint --explain SA145 > /dev/null
+
 echo "all checks passed"

@@ -1,0 +1,119 @@
+//! Plan-vs-compare consistency oracle.
+//!
+//! `sampsim plan` promises, *statically*, that a strategy's observed
+//! relative error on every reported metric stays within the plan's
+//! conservative CI half-width bound. This oracle holds the static model
+//! to that promise dynamically: for every registered strategy on several
+//! suite benchmarks, run the real cross-strategy efficacy study
+//! (`compare_strategies`) and check each observed error against the
+//! corresponding plan via `check_against_compare`.
+//!
+//! Two directions, as with every oracle in this repo:
+//!
+//! - **Honest bounds hold.** No registered strategy may escape its
+//!   predicted bound on any benchmark (metrics with near-zero truth are
+//!   skipped — relative error is undefined there).
+//! - **Doctored bounds fail.** The same plans with their bounds
+//!   optimistically narrowed by 10^6 must produce violations for every
+//!   strategy — proving the checker can actually reject a model that
+//!   flatters itself, rather than passing vacuously.
+
+use sampsim::core::compare::{compare_strategies, CompareReport};
+use sampsim::core::plan::{check_against_compare, plan_strategy, PlanReport};
+use sampsim::core::PinPointsConfig;
+use sampsim::exec::SERIAL;
+use sampsim::simpoint::{SimPointOptions, StrategySpec, STRATEGY_NAMES};
+use sampsim::spec2017::{benchmark, BenchmarkId};
+use sampsim::util::scale::Scale;
+
+/// Benchmarks the oracle runs against: distinct suites and memory
+/// behaviours, scaled so each run is a few hundred slices.
+const BENCHES: &[BenchmarkId] = &[BenchmarkId::McfR, BenchmarkId::OmnetppS, BenchmarkId::XzR];
+
+/// Replicates handed to the efficacy study. The plan's bounds are
+/// per-replicate (n_eff = regions), so any value ≥ 1 must stay inside
+/// them; 2 keeps the study honest about spread without slowing the test.
+const REPLICATES: usize = 2;
+
+fn config() -> PinPointsConfig {
+    PinPointsConfig {
+        slice_size: 1_000,
+        simpoint: SimPointOptions {
+            max_k: 6,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Plans for every registered strategy plus the matching efficacy study.
+fn plans_and_compare(id: BenchmarkId) -> (Vec<PlanReport>, CompareReport) {
+    let program = benchmark(id).scaled(Scale::new(0.002)).build();
+    let config = config();
+    let plans: Vec<PlanReport> = STRATEGY_NAMES
+        .iter()
+        .map(|name| {
+            let spec = StrategySpec::parse_spec(name).expect("registered names parse");
+            plan_strategy(&program, &config, Some(&spec))
+                .unwrap_or_else(|e| panic!("planning {name} on {}: {e}", program.name()))
+        })
+        .collect();
+    let compare = compare_strategies(&program, &config, REPLICATES, SERIAL)
+        .unwrap_or_else(|e| panic!("comparing on {}: {e}", program.name()));
+    (plans, compare)
+}
+
+#[test]
+fn observed_errors_stay_within_planned_bounds() {
+    for &id in BENCHES {
+        let (plans, compare) = plans_and_compare(id);
+        // The study must actually exercise every strategy the plans
+        // cover, or the check would pass by omission.
+        for name in STRATEGY_NAMES {
+            assert!(
+                compare.strategies.iter().any(|r| r.strategy == *name),
+                "{}: compare report lacks strategy {name}",
+                compare.bench
+            );
+            assert!(
+                plans.iter().any(|p| p.strategy == *name),
+                "{}: no plan for strategy {name}",
+                compare.bench
+            );
+        }
+        let violations = check_against_compare(&plans, &compare);
+        assert!(
+            violations.is_empty(),
+            "{}: observed errors escaped the static plan bounds: {violations:?}",
+            compare.bench
+        );
+    }
+}
+
+#[test]
+fn doctored_optimistic_bounds_are_rejected() {
+    // One benchmark suffices to prove the checker has teeth; the honest
+    // direction above already sweeps all three.
+    let (mut plans, compare) = plans_and_compare(BenchmarkId::McfR);
+    for plan in &mut plans {
+        plan.ci_bound_pct.cpi /= 1e6;
+        plan.ci_bound_pct.l1i /= 1e6;
+        plan.ci_bound_pct.l1d /= 1e6;
+        plan.ci_bound_pct.l2 /= 1e6;
+        plan.ci_bound_pct.l3 /= 1e6;
+    }
+    let violations = check_against_compare(&plans, &compare);
+    assert!(
+        !violations.is_empty(),
+        "{}: a million-fold narrowed bound produced no violations — the \
+         oracle cannot reject an over-optimistic model",
+        compare.bench
+    );
+    for name in STRATEGY_NAMES {
+        assert!(
+            violations.iter().any(|v| v.strategy == *name),
+            "{}: doctored bounds produced no violation for {name}: {violations:?}",
+            compare.bench
+        );
+    }
+}

@@ -9,13 +9,17 @@
 //! cargo test --features property-tests --test property_tests
 //! ```
 
+use sampsim::analyze::predicted_instructions;
 use sampsim::cache::{CacheStats, HierarchyStats};
 use sampsim::core::metrics::{aggregate_weighted, RunMetrics};
+use sampsim::core::plan::plan_strategy;
+use sampsim::core::PinPointsConfig;
 use sampsim::pin::tools::MixCounts;
 use sampsim::pinball::{Logger, RegionalPinball};
 use sampsim::simpoint::bbv::Bbv;
 use sampsim::simpoint::kmeans::kmeans;
 use sampsim::simpoint::select::{reduce_to_percentile, SimPoint};
+use sampsim::simpoint::StrategySpec;
 use sampsim::util::codec;
 use sampsim::util::prop::{run_cases, Gen};
 use sampsim::workload::spec::{InterleaveSpec, Mix, PhaseSpec, StreamGen, WorkloadSpec};
@@ -690,4 +694,154 @@ fn program_for(seed: u64) -> Program {
         })
         .build()
         .build()
+}
+
+// ---------------------------------------------------------------- plans
+
+/// Raising a strategy's sample budget must never *widen* a plan's CI
+/// half-width bounds (more samples ⇒ at least as much precision), and
+/// the predicted replay cost must grow at least as fast as the region
+/// mass it buys. Swept per strategy family: `rss` by set size,
+/// `stratified2p` by sample budget, `simpoint` by MaxK — and `rss` by
+/// replicate count, where the bound is per-replicate and must stay
+/// constant (trivially non-increasing).
+#[test]
+fn plan_ci_bounds_monotone_in_sample_budget() {
+    run_cases("plan-ci-monotone", 12, |g| {
+        let program = program_for(g.u64_in(0..500));
+        let config = PinPointsConfig {
+            slice_size: 100 + 50 * g.u64_in(0..5),
+            warmup_slices: g.u64_in(0..8),
+            ..Default::default()
+        };
+        let budgets = [2usize, 4, 8, 16, 32, 64];
+        let sweep =
+            |config: &PinPointsConfig, specs: &[String]| -> Vec<sampsim::core::PlanReport> {
+                specs
+                    .iter()
+                    .map(|s| {
+                        let spec = StrategySpec::parse_spec(s).expect("generated specs parse");
+                        plan_strategy(&program, config, Some(&spec)).expect("plans render")
+                    })
+                    .collect()
+            };
+        let mut sweeps: Vec<Vec<sampsim::core::PlanReport>> = vec![
+            sweep(&config, &budgets.map(|b| format!("rss:set_size={b}"))),
+            sweep(
+                &config,
+                &budgets.map(|b| format!("stratified2p:samples={b}")),
+            ),
+            sweep(
+                &config,
+                &budgets.map(|b| format!("rss:set_size=8,replicates={b}")),
+            ),
+        ];
+        // simpoint has no spec parameters; its budget is MaxK.
+        sweeps.push(
+            budgets
+                .iter()
+                .map(|&k| {
+                    let mut c = config.clone();
+                    c.simpoint.max_k = k;
+                    plan_strategy(&program, &c, None).expect("plans render")
+                })
+                .collect(),
+        );
+        for plans in &sweeps {
+            for pair in plans.windows(2) {
+                for ((metric, lo), (_, hi)) in pair[1]
+                    .ci_bound_pct
+                    .named()
+                    .iter()
+                    .zip(pair[0].ci_bound_pct.named())
+                {
+                    assert!(
+                        *lo <= hi,
+                        "{}: {metric} bound widened from {hi} to {lo} as the budget grew",
+                        pair[1].strategy
+                    );
+                }
+                assert!(
+                    pair[1].regions < pair[0].regions
+                        || pair[1].predicted_instructions >= pair[0].predicted_instructions,
+                    "{}: cost shrank while the region count did not",
+                    pair[1].strategy
+                );
+            }
+            for plan in plans {
+                // The report's cost is the shared static model, exactly.
+                assert_eq!(
+                    plan.predicted_instructions,
+                    predicted_instructions(
+                        plan.regions,
+                        plan.slice_size,
+                        config.warmup_slices,
+                        plan.slices
+                    )
+                );
+            }
+        }
+    });
+}
+
+/// The shared cost model `predicted_instructions` is monotone in every
+/// argument and matches its closed form (regions × slice ×
+/// (1 + clamped warmup)) wherever the product does not saturate.
+#[test]
+fn predicted_cost_scales_with_region_mass() {
+    run_cases("plan-cost-monotone", 48, |g| {
+        let regions = g.usize_in(0..200);
+        let slice = g.u64_in(1..10_000);
+        let warmup = g.u64_in(0..100);
+        let n = g.u64_in(1..1_000);
+        let base = predicted_instructions(regions, slice, warmup, n);
+        assert!(predicted_instructions(regions + 1, slice, warmup, n) >= base);
+        assert!(predicted_instructions(regions, slice + 1, warmup, n) >= base);
+        assert!(predicted_instructions(regions, slice, warmup + 1, n) >= base);
+        assert!(predicted_instructions(regions, slice, warmup, n + 1) >= base);
+        assert_eq!(base, regions as u64 * slice * (1 + warmup.min(n - 1)));
+    });
+}
+
+/// A plan is a pure function of (program, config): rendering the same
+/// strategy with its spec parameters written in any key order produces
+/// byte-identical JSON. (Job-count independence is structural — the
+/// planner takes no job parameter at all — and the CLI integration suite
+/// pins the `--jobs` bytes.)
+#[test]
+fn plan_reports_byte_identical_across_spec_permutations() {
+    run_cases("plan-bytes-stable", 12, |g| {
+        let program = program_for(g.u64_in(0..500));
+        let config = PinPointsConfig {
+            slice_size: 100 + 50 * g.u64_in(0..5),
+            ..Default::default()
+        };
+        let set_size = g.usize_in(2..20);
+        let reps = g.usize_in(2..6);
+        let seed = g.u64_in(0..1_000);
+        let strata = g.usize_in(1..10);
+        let samples = g.usize_in(2..60);
+        let render = |spec: &str| {
+            let spec = StrategySpec::parse_spec(spec).expect("generated specs parse");
+            plan_strategy(&program, &config, Some(&spec))
+                .expect("plans render")
+                .to_json()
+        };
+        assert_eq!(
+            render(&format!(
+                "rss:set_size={set_size},replicates={reps},seed={seed}"
+            )),
+            render(&format!(
+                "rss:seed={seed},replicates={reps},set_size={set_size}"
+            )),
+        );
+        assert_eq!(
+            render(&format!(
+                "stratified2p:strata={strata},samples={samples},seed={seed}"
+            )),
+            render(&format!(
+                "stratified2p:seed={seed},samples={samples},strata={strata}"
+            )),
+        );
+    });
 }
