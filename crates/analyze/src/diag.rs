@@ -420,6 +420,17 @@ rules! {
          instructions than simulating the program outright; sampling is \
          slower than truth here — lower the warmup window, the sample \
          budget or MaxK"),
+
+    // ---- resource footprint (SA15x) ----
+    /// The materialized profile (BBVs + projected rows) exceeds the
+    /// memory budget.
+    MaterializedFootprint => ("SA150", Warning,
+        "predicted materialized profile exceeds the memory budget",
+        "profiling this many slices materializes per-slice BBVs and \
+         projected rows beyond the configured budget; use larger slices \
+         to cut the slice count, or the streaming clustering path \
+         (`--kmeans-mode minibatch`) whose footprint is bounded by the \
+         batch size instead of the slice count"),
 }
 
 impl fmt::Display for Rule {

@@ -53,8 +53,8 @@ pub use diag::{Diagnostic, Location, Report, Rule, Severity};
 pub use fixpoint::{solve, BitSet, JoinSemiLattice};
 pub use render::{diagnostic_json, render_human, render_json_lines};
 pub use soundness::{
-    lint_soundness, predicted_instructions, SoundnessInput, CLT_MIN_SAMPLES,
-    WEIGHT_CONCENTRATION_BOUND,
+    lint_soundness, materialized_bytes_estimate, predicted_instructions, SoundnessInput,
+    CLT_MIN_SAMPLES, DEFAULT_MATERIALIZED_BUDGET_BYTES, WEIGHT_CONCENTRATION_BOUND,
 };
 pub use staticbbv::{
     audit_bbvs_static, audit_cursors, diagnose_unreadable_artifact, AuditSummary, StaticBbvBounds,

@@ -29,6 +29,21 @@ pub const CLT_MIN_SAMPLES: usize = 30;
 /// estimate.
 pub const WEIGHT_CONCENTRATION_BOUND: f64 = 0.5;
 
+/// Default memory budget for the materialized profile (`SA150`): 256 MiB,
+/// generous for every shipped benchmark at its default scale but crossed
+/// around a million slices — exactly where the streaming clustering path
+/// is the right tool.
+pub const DEFAULT_MATERIALIZED_BUDGET_BYTES: u64 = 256 << 20;
+
+/// Statically predicted bytes the profile→select stages materialize when
+/// run through the non-streaming path: one projected row (`8 * dim`
+/// bytes) plus BBV bookkeeping (conservatively 128 bytes of counts and
+/// headers) per slice. Shared by the `SA150` lint and the perf harness so
+/// the two can never disagree about what "materialized" means.
+pub fn materialized_bytes_estimate(num_slices: u64, dim: usize) -> u64 {
+    num_slices.saturating_mul(8 * dim as u64 + 128)
+}
+
 /// The dependency-neutral view the soundness pass runs over: the strategy
 /// choice plus the run shape the workload IR determines statically.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +60,10 @@ pub struct SoundnessInput<'a> {
     pub num_slices: u64,
     /// Whole-program instruction count.
     pub total_insts: u64,
+    /// Memory budget for the materialized profile (`SA150`); use
+    /// [`DEFAULT_MATERIALIZED_BUDGET_BYTES`] unless the caller knows its
+    /// deployment better.
+    pub materialized_budget_bytes: u64,
 }
 
 /// The statically predicted replay cost of a plan, in instructions:
@@ -157,6 +176,24 @@ pub fn lint_soundness(input: &SoundnessInput<'_>) -> Report {
         }
     }
 
+    // SA150: the non-streaming profile path would materialize more than
+    // the memory budget. Independent of the strategy: the footprint is a
+    // function of the slice count and the projection dimension alone.
+    let footprint = materialized_bytes_estimate(n, input.simpoint.dim);
+    if input.materialized_budget_bytes > 0 && footprint > input.materialized_budget_bytes {
+        report.push(Diagnostic::new(
+            Rule::MaterializedFootprint,
+            Location::config("slice_size"),
+            format!(
+                "{n} slices materialize ~{} MiB of BBVs and projected rows \
+                 (budget {} MiB); the streaming path's footprint is \
+                 bounded by the batch size instead",
+                footprint >> 20,
+                input.materialized_budget_bytes >> 20
+            ),
+        ));
+    }
+
     // SA145: replaying the selection costs more than simulating the truth.
     let cost = predicted_instructions(plan.regions, input.slice_size, input.warmup_slices, n);
     if cost > input.total_insts {
@@ -190,6 +227,7 @@ mod tests {
             warmup_slices: 48,
             num_slices: 2_000,
             total_insts: 20_000_000,
+            materialized_budget_bytes: DEFAULT_MATERIALIZED_BUDGET_BYTES,
         }
     }
 
@@ -372,6 +410,32 @@ mod tests {
         input.total_insts = 10_000;
         input.warmup_slices = 3;
         assert_eq!(fired(&input), vec![]);
+    }
+
+    #[test]
+    fn sa150_fires_past_the_materialized_budget() {
+        let opts = SimPointOptions::default();
+        let spec = StrategySpec::SimPoint;
+        // 2M slices x (8*15 + 128) bytes ≈ 473 MiB > 256 MiB default.
+        let mut input = base(&spec, &opts);
+        input.num_slices = 2_000_000;
+        input.total_insts = 20_000_000_000;
+        let rules = fired(&input);
+        assert!(rules.contains(&Rule::MaterializedFootprint), "{rules:?}");
+        // The same run under a raised budget is clean of SA150.
+        input.materialized_budget_bytes = 1 << 30;
+        let rules = fired(&input);
+        assert!(!rules.contains(&Rule::MaterializedFootprint), "{rules:?}");
+        // A zero budget disables the check entirely.
+        input.materialized_budget_bytes = 0;
+        let rules = fired(&input);
+        assert!(!rules.contains(&Rule::MaterializedFootprint), "{rules:?}");
+        // The estimate itself is the shared closed form.
+        assert_eq!(materialized_bytes_estimate(1_000, 15), 1_000 * 248);
+        // The default budget admits a full 1M-slice run and fires just
+        // past ~1.08M slices at dim 15.
+        assert!(materialized_bytes_estimate(1_100_000, 15) > DEFAULT_MATERIALIZED_BUDGET_BYTES);
+        assert!(materialized_bytes_estimate(1_000_000, 15) < DEFAULT_MATERIALIZED_BUDGET_BYTES);
     }
 
     #[test]

@@ -108,21 +108,95 @@ impl CacheStats {
 
 const INVALID: u64 = u64::MAX;
 
-/// A set-associative cache with LRU replacement.
+/// How the probe loop tracks replacement order. Chosen once at
+/// construction from the policy and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeMode {
+    /// LRU/FIFO at exactly 8 ways (the perf-kernel and i7 L1 shape):
+    /// tags live in `[u64; 8]` rows (one 64 B line per set) and recency
+    /// order + dirty bits share a single meta word per set.
+    Packed8 { refresh: bool },
+    /// LRU/FIFO at `ways <= 16`: exact recency order packed into one
+    /// nibble-list word per set. `refresh` is true for LRU (hits move the
+    /// way to the MRU front) and false for FIFO (insertion order only).
+    Packed { refresh: bool },
+    /// LRU/FIFO at wider associativity: the original zipped tag+stamp
+    /// scan (see [`crate::reference::ReferenceCache`]).
+    Stamped,
+    /// Random / tree-PLRU: the policy selects victims itself and no
+    /// recency state is kept in the cache.
+    Policy,
+}
+
+/// Returns the packed order word of an empty set: recency position `p`
+/// (nibble `p`, LSB first, position 0 = MRU) holds way `ways - 1 - p`, so
+/// the first victim — the nibble at position `ways - 1` — is way 0. That
+/// matches the stamp scan's tie-break on an all-invalid set (lowest index
+/// wins), and by induction the whole cold-fill sequence (way 0, 1, ...).
+fn initial_order(ways: usize) -> u64 {
+    let mut order = 0u64;
+    for p in 0..ways {
+        order |= ((ways - 1 - p) as u64) << (4 * p);
+    }
+    order
+}
+
+/// Position of `way` in a packed order word (nibble index from the LSB).
+#[inline]
+fn nibble_position(order: u64, way: u64, ways: usize) -> usize {
+    let mut p = 0;
+    while (order >> (4 * p)) & 0xF != way {
+        p += 1;
+        debug_assert!(p < ways, "way {way} missing from order {order:#x}");
+    }
+    p
+}
+
+/// `Packed8` meta-word layout: recency nibbles in bits 0..32, dirty
+/// bitmask in bits 48..56.
+const META_DIRTY_SHIFT: u32 = 48;
+const META_ORDER_MASK: u64 = 0xFFFF_FFFF;
+
+/// A set-associative cache.
 ///
-/// Tags and LRU stamps are stored in flat arrays indexed by
-/// `set * ways + way` for cache-friendly scanning.
+/// Tags are stored in one flat array indexed by `set * ways + way`, so a
+/// set's tags share a cache line and the hit check is a short branchless
+/// scan. For LRU and FIFO at `ways <= 16` the replacement order is *not*
+/// kept as timestamps: each set owns a single packed `u64` listing its
+/// ways in exact recency order (four bits per way, MRU at the LSB). A hit
+/// is a register-only move-to-front, and a miss reads its victim straight
+/// from the top nibble instead of scanning for the minimum stamp. Because
+/// the old stamp clock was strictly increasing, stamps were unique per
+/// set and defined exactly this order, so counters, per-access results
+/// and eviction choices are bit-identical to the stamp implementation —
+/// enforced differentially against [`crate::reference::ReferenceCache`]
+/// in `tests/differential.rs`.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Flat tag array (all modes except `Packed8`).
     tags: Vec<u64>,
-    stamps: Vec<u64>,
+    /// One 64 B tag row per set (`Packed8` only; `tags` is empty).
+    tags8: Vec<[u64; 8]>,
+    /// Combined order+dirty meta word per set (`Packed8` only).
+    meta: Vec<u64>,
+    /// Per-way dirty flags (`Stamped`/`Policy` modes; empty for `Packed`,
+    /// which keeps dirty state as one bitmask word per set).
     dirty: Vec<bool>,
-    clock: u64,
     stats: CacheStats,
     set_mask: u64,
     line_shift: u32,
     ways: usize,
+    mode: ProbeMode,
+    /// One packed recency word per set (`ProbeMode::Packed` only).
+    order: Vec<u64>,
+    /// One dirty bitmask word per set (`ProbeMode::Packed` only).
+    dirty_mask: Vec<u64>,
+    /// Mask selecting the `4 * ways` live bits of an order word.
+    order_mask: u64,
+    /// Stamp array (`ProbeMode::Stamped` only; empty otherwise).
+    stamps: Vec<u64>,
+    clock: u64,
     policy: PolicyState,
 }
 
@@ -131,22 +205,79 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         let entries = (sets * u64::from(config.ways)) as usize;
+        let ways = config.ways as usize;
+        let policy = PolicyState::new(
+            config.policy,
+            sets as usize,
+            config.ways,
+            0xCAC4E ^ config.size_bytes,
+        );
+        let mode = if policy.stamp_based() {
+            if ways == 8 {
+                ProbeMode::Packed8 {
+                    refresh: policy.refresh_on_hit(),
+                }
+            } else if ways <= 16 {
+                ProbeMode::Packed {
+                    refresh: policy.refresh_on_hit(),
+                }
+            } else {
+                ProbeMode::Stamped
+            }
+        } else {
+            ProbeMode::Policy
+        };
+        let packed = matches!(mode, ProbeMode::Packed { .. });
+        let packed8 = matches!(mode, ProbeMode::Packed8 { .. });
         Self {
             config,
-            tags: vec![INVALID; entries],
-            stamps: vec![0; entries],
-            dirty: vec![false; entries],
-            clock: 0,
+            tags: if packed8 {
+                Vec::new()
+            } else {
+                vec![INVALID; entries]
+            },
+            tags8: if packed8 {
+                vec![[INVALID; 8]; sets as usize]
+            } else {
+                Vec::new()
+            },
+            meta: if packed8 {
+                vec![initial_order(8); sets as usize]
+            } else {
+                Vec::new()
+            },
+            dirty: if packed || packed8 {
+                Vec::new()
+            } else {
+                vec![false; entries]
+            },
             stats: CacheStats::default(),
             set_mask: sets - 1,
             line_shift: config.line_bytes.trailing_zeros(),
-            ways: config.ways as usize,
-            policy: PolicyState::new(
-                config.policy,
-                sets as usize,
-                config.ways,
-                0xCAC4E ^ config.size_bytes,
-            ),
+            ways,
+            mode,
+            order: if packed {
+                vec![initial_order(ways); sets as usize]
+            } else {
+                Vec::new()
+            },
+            dirty_mask: if packed {
+                vec![0; sets as usize]
+            } else {
+                Vec::new()
+            },
+            order_mask: if ways >= 16 {
+                u64::MAX
+            } else {
+                (1u64 << (4 * ways)) - 1
+            },
+            stamps: if mode == ProbeMode::Stamped {
+                vec![0; entries]
+            } else {
+                Vec::new()
+            },
+            clock: 0,
+            policy,
         }
     }
 
@@ -169,8 +300,14 @@ impl Cache {
     /// Invalidates all lines and resets counters.
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
-        self.stamps.fill(0);
+        self.tags8.fill([INVALID; 8]);
+        self.meta.fill(initial_order(8));
         self.dirty.fill(false);
+        if !self.order.is_empty() {
+            self.order.fill(initial_order(self.ways));
+        }
+        self.dirty_mask.fill(0);
+        self.stamps.fill(0);
         self.clock = 0;
         self.reset_stats();
     }
@@ -186,45 +323,172 @@ impl Cache {
     /// [`Cache::access`] with an explicit write flag: writes mark the line
     /// dirty (write-allocate, write-back), and evicting a dirty line
     /// counts a write-back.
-    ///
-    /// The probe is a single zipped tag+stamp scan: the hit check and the
-    /// min-stamp victim candidate come out of one pass, and policies that
-    /// select their own victims (random, tree-PLRU) skip the stamp reads
-    /// entirely.
     #[inline]
     pub fn access_rw(&mut self, addr: u64, is_write: bool, count: bool) -> bool {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
-        let tag = line;
-        let base = set * self.ways;
-        self.clock += 1;
-        if count {
-            self.stats.accesses += 1;
+        self.stats.accesses += u64::from(count);
+        match self.mode {
+            ProbeMode::Packed8 { refresh } => {
+                self.access_packed8(line, set, is_write, count, refresh)
+            }
+            ProbeMode::Packed { refresh } => {
+                let base = set * self.ways;
+                self.access_packed(line, set, base, is_write, count, refresh)
+            }
+            ProbeMode::Stamped => {
+                let base = set * self.ways;
+                self.access_stamped(line, set, base, is_write, count)
+            }
+            ProbeMode::Policy => {
+                let base = set * self.ways;
+                self.access_policy(line, set, base, is_write, count)
+            }
         }
-        let tags = &self.tags[base..base + self.ways];
-        let mut stamp_victim = 0usize;
-        let mut hit_way = None;
-        if self.policy.stamp_based() {
-            let stamps = &self.stamps[base..base + self.ways];
-            let mut victim_stamp = u64::MAX;
-            for (w, (&t, &s)) in tags.iter().zip(stamps).enumerate() {
-                if t == tag {
-                    hit_way = Some(w);
-                    break;
-                }
-                if s < victim_stamp {
-                    victim_stamp = s;
-                    stamp_victim = w;
+    }
+
+    /// The 8-way specialization: the tag row is a `[u64; 8]` (one cache
+    /// line), the recency order and dirty bits share one meta word, and
+    /// the whole access is branchless — a hit and a miss are the same
+    /// operation, "move the way at recency position `p` to the MRU
+    /// front", with `p` the matched way's position on a hit and the LRU
+    /// position (7) on a miss. Set indices are derived by masking with
+    /// `len - 1` so the optimizer drops the bounds checks.
+    #[inline(always)]
+    fn access_packed8(
+        &mut self,
+        tag: u64,
+        _set: usize,
+        is_write: bool,
+        count: bool,
+        refresh: bool,
+    ) -> bool {
+        let set = (tag as usize) & (self.tags8.len() - 1);
+        let row = &mut self.tags8[set];
+        let mut found = 0u32;
+        for (w, &t) in row.iter().enumerate() {
+            found |= u32::from(t == tag) << w;
+        }
+        let mset = (tag as usize) & (self.meta.len() - 1);
+        let meta = self.meta[mset];
+        let hit = found != 0;
+        let hit_mask = u32::from(hit).wrapping_neg();
+        // Way index of the hit; 32 (garbage, masked out below) on a miss.
+        let w = found.trailing_zeros();
+        let ord = (meta & META_ORDER_MASK) as u32;
+        // Branchless position-of-way-w: XOR broadcasts w into every
+        // nibble, then the zero-nibble trick flags the (unique) match.
+        // Flags above the lowest zero nibble can be borrow artifacts, so
+        // only the lowest — which trailing_zeros selects — is trusted.
+        let eq = ord ^ w.wrapping_mul(0x1111_1111);
+        let zero_flags = eq.wrapping_sub(0x1111_1111) & !eq & 0x8888_8888;
+        let p = ((zero_flags.trailing_zeros() >> 2) & hit_mask) | (7 & !hit_mask);
+        let sh = 4 * p;
+        let way = (ord >> sh) & 0xF;
+        // Move-to-front: nibbles above p stay, 0..p shift up one slot.
+        let low_mask = (1u32 << sh) - 1;
+        let keep_mask = !(low_mask | (0xF << sh));
+        let moved = (ord & keep_mask) | ((ord & low_mask) << 4) | way;
+        // FIFO read/write hits leave the order untouched.
+        let reorder_mask = u32::from(refresh || !hit).wrapping_neg();
+        let new_ord = (moved & reorder_mask) | (ord & !reorder_mask);
+        let dirty_shift = META_DIRTY_SHIFT + way;
+        let way_slot = (way & 7) as usize;
+        let missed = u64::from(!hit);
+        let counted = u64::from(count);
+        let valid_dirty = u64::from(row[way_slot] != INVALID) & (meta >> dirty_shift) & 1;
+        self.stats.misses += missed & counted;
+        self.stats.writebacks += missed & valid_dirty & counted;
+        // A miss clears the victim's dirty bit before the install sets it.
+        let clear = missed << dirty_shift;
+        self.meta[mset] = (meta & !(META_ORDER_MASK | clear))
+            | u64::from(new_ord)
+            | (u64::from(is_write) << dirty_shift);
+        // On a hit this rewrites the same tag; on a miss it installs.
+        row[way_slot] = tag;
+        hit
+    }
+
+    /// The packed LRU/FIFO fast path for `ways <= 16` (8-way sets take
+    /// [`Cache::access_packed8`] instead): branchless tag scan,
+    /// register-only order maintenance, no victim scan on misses.
+    #[inline]
+    fn access_packed(
+        &mut self,
+        tag: u64,
+        set: usize,
+        base: usize,
+        is_write: bool,
+        count: bool,
+        refresh: bool,
+    ) -> bool {
+        let ways = self.ways;
+        let set_tags = &self.tags[base..base + ways];
+        let mut found = 0u32;
+        for (w, &t) in set_tags.iter().enumerate() {
+            found |= u32::from(t == tag) << w;
+        }
+        if found != 0 {
+            let w = found.trailing_zeros() as usize;
+            if refresh {
+                let order = self.order[set];
+                let p = nibble_position(order, w as u64, ways);
+                if p != 0 {
+                    // Nibbles above p stay, 0..p shift up one slot, w
+                    // lands at the MRU front.
+                    let low_mask = (1u64 << (4 * p)) - 1;
+                    let keep_mask = !(low_mask | (0xF << (4 * p)));
+                    self.order[set] = (order & keep_mask) | ((order & low_mask) << 4) | w as u64;
                 }
             }
-        } else {
-            hit_way = tags.iter().position(|&t| t == tag);
+            if is_write {
+                self.dirty_mask[set] |= 1u64 << w;
+            }
+            return true;
+        }
+        self.stats.misses += u64::from(count);
+        let order = self.order[set];
+        let victim = ((order >> (4 * (ways - 1))) & 0xF) as usize;
+        self.order[set] = ((order << 4) & self.order_mask) | victim as u64;
+        let slot = base + victim;
+        let dirty = self.dirty_mask[set];
+        let evict_dirty = self.tags[slot] != INVALID && (dirty >> victim) & 1 != 0;
+        self.stats.writebacks += u64::from(evict_dirty && count);
+        self.dirty_mask[set] = (dirty & !(1u64 << victim)) | (u64::from(is_write) << victim);
+        self.tags[slot] = tag;
+        false
+    }
+
+    /// LRU/FIFO above 16 ways: the original zipped tag+stamp scan.
+    #[inline(never)]
+    fn access_stamped(
+        &mut self,
+        tag: u64,
+        _set: usize,
+        base: usize,
+        is_write: bool,
+        count: bool,
+    ) -> bool {
+        self.clock += 1;
+        let tags = &self.tags[base..base + self.ways];
+        let stamps = &self.stamps[base..base + self.ways];
+        let mut stamp_victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        let mut hit_way = None;
+        for (w, (&t, &s)) in tags.iter().zip(stamps).enumerate() {
+            if t == tag {
+                hit_way = Some(w);
+                break;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                stamp_victim = w;
+            }
         }
         if let Some(w) = hit_way {
             if self.policy.refresh_on_hit() {
                 self.stamps[base + w] = self.clock;
             }
-            self.policy.touch(set, w, self.ways);
             if is_write {
                 self.dirty[base + w] = true;
             }
@@ -233,17 +497,49 @@ impl Cache {
         if count {
             self.stats.misses += 1;
         }
-        let victim = self.policy.victim(set, self.ways).unwrap_or(stamp_victim);
-        if self.tags[base + victim] != INVALID && self.dirty[base + victim] {
-            if count {
-                self.stats.writebacks += 1;
-            }
-            self.dirty[base + victim] = false;
+        let slot = base + stamp_victim;
+        if self.tags[slot] != INVALID && self.dirty[slot] && count {
+            self.stats.writebacks += 1;
         }
-        self.tags[base + victim] = tag;
-        self.stamps[base + victim] = self.clock;
-        self.dirty[base + victim] = is_write;
-        self.policy.touch(set, victim, self.ways);
+        self.tags[slot] = tag;
+        self.stamps[slot] = self.clock;
+        self.dirty[slot] = is_write;
+        false
+    }
+
+    /// Random / tree-PLRU: victims come from the policy; recency state
+    /// lives in [`PolicyState`] (tree bits) or nowhere (random).
+    #[inline(never)]
+    fn access_policy(
+        &mut self,
+        tag: u64,
+        set: usize,
+        base: usize,
+        is_write: bool,
+        count: bool,
+    ) -> bool {
+        let ways = self.ways;
+        if let Some(w) = self.tags[base..base + ways].iter().position(|&t| t == tag) {
+            self.policy.touch(set, w, ways);
+            if is_write {
+                self.dirty[base + w] = true;
+            }
+            return true;
+        }
+        if count {
+            self.stats.misses += 1;
+        }
+        let victim = self
+            .policy
+            .victim(set, ways)
+            .expect("non-stamp policies select their own victims");
+        let slot = base + victim;
+        if self.tags[slot] != INVALID && self.dirty[slot] && count {
+            self.stats.writebacks += 1;
+        }
+        self.tags[slot] = tag;
+        self.dirty[slot] = is_write;
+        self.policy.touch(set, victim, ways);
         false
     }
 
@@ -252,6 +548,9 @@ impl Cache {
     pub fn peek(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
+        if !self.tags8.is_empty() {
+            return self.tags8[set].contains(&line);
+        }
         let base = set * self.ways;
         self.tags[base..base + self.ways].contains(&line)
     }

@@ -35,9 +35,11 @@ pub mod cache;
 pub mod configs;
 pub mod hierarchy;
 pub mod policy;
+pub mod reference;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, Level};
 pub use policy::ReplacementPolicy;
+pub use reference::ReferenceCache;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -1,0 +1,111 @@
+//! Differential suite: the packed-order fast path in [`Cache`] must be
+//! bit-identical to the frozen pre-optimization model
+//! ([`ReferenceCache`]) — per-access hit/miss results, counters,
+//! write-backs and residency (`peek`) — across policies, geometries and
+//! seeded access mixes. Replacement stamps vs. packed recency words are
+//! internal representation; everything observable is contractual.
+
+use sampsim_cache::policy::ReplacementPolicy;
+use sampsim_cache::{Cache, CacheConfig, CacheStats, ReferenceCache};
+use sampsim_util::rng::SplitMix64;
+
+/// Drives both models through an identical seeded stream of reads,
+/// writes, warmup accesses, flushes and stat resets, asserting
+/// equivalence after every access and at every checkpoint.
+fn drive(config: CacheConfig, seed: u64, accesses: usize, ws_bytes: u64) -> CacheStats {
+    let mut fast = Cache::new(config);
+    let mut reference = ReferenceCache::new(config);
+    let mut rng = SplitMix64::new(seed);
+    let ws_mask = ws_bytes - 1;
+    for i in 0..accesses {
+        let addr = rng.next_u64() & ws_mask;
+        let is_write = i % 4 == 3;
+        let count = i % 97 != 0; // sprinkle warmup accesses through the run
+        let a = fast.access_rw(addr, is_write, count);
+        let b = reference.access_rw(addr, is_write, count);
+        assert_eq!(
+            a, b,
+            "access #{i} diverged ({:?}, addr {addr:#x})",
+            config.policy
+        );
+        if i % 251 == 0 {
+            let probe = rng.next_u64() & ws_mask;
+            assert_eq!(
+                fast.peek(probe),
+                reference.peek(probe),
+                "peek diverged at #{i} ({:?})",
+                config.policy
+            );
+            assert_eq!(fast.stats(), reference.stats(), "stats diverged at #{i}");
+        }
+        if i == accesses / 2 {
+            fast.reset_stats();
+            reference.reset_stats();
+        }
+        if i == (3 * accesses) / 4 {
+            fast.flush();
+            reference.flush();
+        }
+    }
+    assert_eq!(fast.stats(), reference.stats());
+    fast.stats()
+}
+
+const POLICIES: [ReplacementPolicy; 4] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::Fifo,
+    ReplacementPolicy::Random,
+    ReplacementPolicy::TreePlru,
+];
+
+#[test]
+fn small_geometries_all_policies() {
+    // (size, ways, line): direct-mapped through 8-way, all ways pow2 so
+    // tree-PLRU constructs everywhere.
+    let shapes = [(256, 1, 32), (256, 2, 32), (256, 4, 32), (1024, 8, 32)];
+    for &(size, ways, line) in &shapes {
+        for policy in POLICIES {
+            let config = CacheConfig::new(size, ways, line, 1).with_policy(policy);
+            let stats = drive(config, 0x5EED ^ size, 20_000, 4096);
+            assert!(stats.accesses > 0);
+        }
+    }
+}
+
+#[test]
+fn bench_geometry_matches_reference() {
+    // The `sampsim perf` kernel shape: 32 KiB, 8-way, 64 B lines, with a
+    // working set 4x the capacity so the miss/eviction path dominates.
+    for policy in POLICIES {
+        let config = CacheConfig::new(32 << 10, 8, 64, 4).with_policy(policy);
+        drive(config, 0xC0FF_EE00, 60_000, 128 << 10);
+    }
+}
+
+#[test]
+fn sixteen_way_boundary_uses_packed_order() {
+    // ways == 16 is the last shape served by the packed nibble word.
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+        let config = CacheConfig::new(2 << 10, 16, 32, 1).with_policy(policy);
+        drive(config, 0x1616, 30_000, 16 << 10);
+    }
+}
+
+#[test]
+fn wide_associativity_falls_back_to_stamps() {
+    // Table I's 32-way L1 exercises the stamp fallback; still must match.
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+        let config = CacheConfig::new(32 << 10, 32, 32, 1).with_policy(policy);
+        drive(config, 0x3232, 30_000, 128 << 10);
+    }
+}
+
+#[test]
+fn hit_heavy_stream_matches() {
+    // Working set inside capacity: exercises the hit/move-to-front path
+    // far more than eviction.
+    for policy in POLICIES {
+        let config = CacheConfig::new(8 << 10, 8, 64, 1).with_policy(policy);
+        drive(config, 0xA11_517, 40_000, 4 << 10);
+    }
+}

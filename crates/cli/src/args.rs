@@ -38,6 +38,10 @@ flags:
                  region-selection strategy for run/request/plan (one of:
                  simpoint, stratified2p, rss; default: simpoint), with
                  optional parameters, e.g. rss:set_size=8,replicates=4
+  --kmeans-mode <lloyd|minibatch>
+                 SimPoint clustering kernel for run/request (default: lloyd,
+                 the exact bit-reproducible kernel; minibatch streams with a
+                 documented inertia tolerance)
 
 compare flags:
   --reps <n>              replicate selections per strategy for the error
@@ -63,6 +67,12 @@ perf flags:
   --quick                 smoke-test sizes (CI); full sizes otherwise
   --artifacts <DIR>       benchmark artifact directory (default: artifacts)
   --validate <FILE>       only validate an existing report, run nothing
+  --baseline <FILE>       gate the fresh report against this baseline:
+                          fail if any size-normalized rate (ns/access,
+                          ns/BBV, ns/slice) regresses by more than 10%.
+                          Rates are comparable across --quick and full
+                          runs. --jobs sets the clustering worker count
+                          (timings only; results stay bit-identical)
 
 serve flags:
   --addr <host:port>      listen address (default: 127.0.0.1:7411; port 0
@@ -92,6 +102,10 @@ pub struct Options {
     /// Sampling-strategy name (`None` = the pipeline default, SimPoint).
     /// Validated against the strategy registry by the command, not here.
     pub strategy: Option<String>,
+    /// K-means kernel for SimPoint clustering (`None` = exact Lloyd;
+    /// `"minibatch"` = streaming mini-batch). Validated by the service
+    /// layer, not here.
+    pub kmeans_mode: Option<String>,
 }
 
 impl Default for Options {
@@ -102,6 +116,7 @@ impl Default for Options {
             maxk: None,
             jobs: Jobs::Auto,
             strategy: None,
+            kmeans_mode: None,
         }
     }
 }
@@ -211,7 +226,7 @@ pub enum Command {
         /// Rewrite the `.art` summaries in `--artifacts`.
         update: bool,
     },
-    /// `sampsim perf [--quick] [-o FILE]`
+    /// `sampsim perf [--quick] [-o FILE] [--baseline FILE]`
     Perf {
         /// Smoke-test sizes instead of measurement sizes.
         quick: bool,
@@ -221,6 +236,9 @@ pub enum Command {
         artifacts: Option<String>,
         /// Validate this existing report instead of running kernels.
         validate: Option<String>,
+        /// Gate the fresh report against this baseline report: fail on
+        /// any size-normalized rate regressing by more than 10%.
+        baseline: Option<String>,
     },
     /// `sampsim serve [--addr A] [--cache-dir DIR] [--queue-depth N]`
     Serve {
@@ -288,6 +306,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut update = false;
     let mut reps: Option<usize> = None;
     let mut validate: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -318,6 +337,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             }
             "--strategy" => {
                 options.strategy = Some(iter.next().ok_or("--strategy needs a name")?);
+            }
+            "--kmeans-mode" => {
+                options.kmeans_mode = Some(iter.next().ok_or("--kmeans-mode needs a name")?);
             }
             "--reps" => {
                 let v = iter.next().ok_or("--reps needs a value")?;
@@ -374,6 +396,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             }
             "--validate" => {
                 validate = Some(iter.next().ok_or("--validate needs a path")?);
+            }
+            "--baseline" => {
+                baseline = Some(iter.next().ok_or("--baseline needs a path")?);
             }
             "--explain" => {
                 explain = Some(
@@ -468,6 +493,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
             out,
             artifacts,
             validate,
+            baseline,
         },
         Some("serve") => Command::Serve {
             addr: addr.unwrap_or_else(|| sampsim_serve::DEFAULT_ADDR.to_string()),
@@ -628,6 +654,11 @@ mod tests {
         assert_eq!(p.options.strategy.as_deref(), Some("rss"));
         assert_eq!(parse_str("run mcf_r").unwrap().options.strategy, None);
         assert!(parse_str("run mcf_r --strategy").is_err());
+
+        let p = parse_str("run mcf_r --kmeans-mode minibatch").unwrap();
+        assert_eq!(p.options.kmeans_mode.as_deref(), Some("minibatch"));
+        assert_eq!(parse_str("run mcf_r").unwrap().options.kmeans_mode, None);
+        assert!(parse_str("run mcf_r --kmeans-mode").is_err());
     }
 
     #[test]
@@ -738,10 +769,11 @@ mod tests {
                 out: None,
                 artifacts: None,
                 validate: None,
+                baseline: None,
             }
         );
         assert_eq!(
-            parse_str("perf --quick -o BENCH_kernels.json --artifacts arts")
+            parse_str("perf --quick -o BENCH_kernels.json --artifacts arts --baseline old.json")
                 .unwrap()
                 .command,
             Command::Perf {
@@ -749,6 +781,7 @@ mod tests {
                 out: Some("BENCH_kernels.json".into()),
                 artifacts: Some("arts".into()),
                 validate: None,
+                baseline: Some("old.json".into()),
             }
         );
         assert_eq!(
@@ -760,9 +793,11 @@ mod tests {
                 out: None,
                 artifacts: None,
                 validate: Some("BENCH_kernels.json".into()),
+                baseline: None,
             }
         );
         assert!(parse_str("perf --validate").is_err());
+        assert!(parse_str("perf --baseline").is_err());
         assert!(parse_str("perf extra").is_err());
     }
 

@@ -68,6 +68,7 @@ pub fn lint(
                 warmup_slices: config.warmup_slices,
                 num_slices: expected,
                 total_insts: program.total_insts(),
+                materialized_budget_bytes: sampsim_analyze::DEFAULT_MATERIALIZED_BUDGET_BYTES,
             })
             .into_diagnostics()
             .into_iter()

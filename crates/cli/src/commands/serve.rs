@@ -63,6 +63,7 @@ pub fn request(
                 options.slice,
                 options.maxk,
                 options.strategy.as_deref(),
+                options.kmeans_mode.as_deref(),
             )
         }
         RequestOp::Ping => "{\"op\":\"ping\"}".to_string(),

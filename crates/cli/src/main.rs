@@ -137,11 +137,14 @@ fn main() -> ExitCode {
             out,
             artifacts,
             validate,
+            baseline,
         } => commands::perf(
             quick,
             out.as_deref(),
             artifacts.as_deref(),
             validate.as_deref(),
+            baseline.as_deref(),
+            &parsed.options,
         ),
         args::Command::Serve {
             addr,

@@ -9,6 +9,7 @@
 
 use crate::error::CoreError;
 use sampsim_pinball::store::StoreError;
+use sampsim_util::bytes::SharedBytes;
 use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -73,16 +74,26 @@ impl ArtifactStore {
         self.dir.join(format!("{safe}.art"))
     }
 
+    /// Opens the artifact stored under `key` as a lazily decoded view:
+    /// the file is read once, the magic/version header is validated, and
+    /// the payload is held as a zero-copy window over that single read.
+    /// `None` when the file is absent or its header is foreign.
+    ///
+    /// Use this to inspect or route artifacts without paying the decode
+    /// cost ([`ArtifactView::decode`] decodes on demand).
+    pub fn view(&self, key: &str) -> Option<ArtifactView> {
+        let raw = SharedBytes::new(fs::read(self.path_for(key)).ok()?);
+        let dec = Decoder::with_header(&raw, MAGIC, VERSION).ok()?;
+        let start = raw.len() - dec.remaining();
+        Some(ArtifactView {
+            payload: raw.slice(start..raw.len()),
+        })
+    }
+
     /// Loads the artifact stored under `key`, or `None` when absent or
     /// unreadable (stale/corrupt artifacts are treated as cache misses).
     pub fn load<T: Decode>(&self, key: &str) -> Option<T> {
-        let bytes = fs::read(self.path_for(key)).ok()?;
-        let mut dec = Decoder::with_header(&bytes, MAGIC, VERSION).ok()?;
-        let value = T::decode(&mut dec).ok()?;
-        if !dec.is_exhausted() {
-            return None;
-        }
-        Some(value)
+        self.view(key)?.decode().ok()
     }
 
     /// Stores `value` under `key`.
@@ -115,6 +126,49 @@ impl ArtifactStore {
         let v = compute()?;
         self.save(key, &v)?;
         Ok(v)
+    }
+}
+
+/// A header-validated artifact whose payload has not been decoded yet.
+///
+/// Produced by [`ArtifactStore::view`]. Holds the payload as a
+/// [`SharedBytes`] window over the single file read; cloning the view or
+/// decoding it repeatedly never recopies the bytes.
+#[derive(Debug, Clone)]
+pub struct ArtifactView {
+    payload: SharedBytes,
+}
+
+impl ArtifactView {
+    /// Decodes the payload as a `T`, requiring every payload byte to be
+    /// consumed (trailing bytes mean the value was written as a different
+    /// type or the file is corrupt).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed or trailing bytes.
+    pub fn decode<T: Decode>(&self) -> Result<T, DecodeError> {
+        let mut dec = Decoder::new(&self.payload);
+        let value = T::decode(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(DecodeError::Invalid("trailing bytes"));
+        }
+        Ok(value)
+    }
+
+    /// The undecoded payload bytes (past the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
     }
 }
 
@@ -162,6 +216,25 @@ mod tests {
             .unwrap();
         assert_eq!(v2, 7, "second call must come from the cache");
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn view_decodes_lazily_and_rejects_wrong_types() {
+        let s = store("view");
+        s.save("answer", &42u64).unwrap();
+        let view = s.view("answer").unwrap();
+        // The payload is exactly the encoded u64, decodable on demand —
+        // repeatedly, since decoding borrows the view.
+        assert_eq!(view.len(), 8);
+        assert!(!view.is_empty());
+        assert_eq!(view.decode::<u64>().unwrap(), 42);
+        assert_eq!(view.decode::<u64>().unwrap(), 42);
+        // A type with trailing payload bytes left over is rejected.
+        assert!(view.decode::<u32>().is_err());
+        // Missing key or foreign header → no view at all.
+        assert!(s.view("missing").is_none());
+        fs::write(s.path_for("garbled"), b"garbage").unwrap();
+        assert!(s.view("garbled").is_none());
     }
 
     #[test]

@@ -12,7 +12,9 @@ use sampsim_pin::engine;
 use sampsim_pin::tools::{BbvTool, CacheSim, LdStMix, MixCounts};
 use sampsim_pinball::{RegionalPinball, WarmupRecord, WholePinball};
 use sampsim_simpoint::bbv::Bbv;
-use sampsim_simpoint::{SimPoint, SimPointOptions, SimPointsResult, StrategyInput, StrategySpec};
+use sampsim_simpoint::{
+    RandomProjection, SimPoint, SimPointOptions, SimPointsResult, StrategyInput, StrategySpec,
+};
 use sampsim_workload::{Cursor, Executor, Program};
 use std::time::Instant;
 
@@ -207,6 +209,7 @@ impl Pipeline {
         let key = profile_stage_key(program, &self.config);
         let cached = cache
             .get(key)
+            .filter(|bytes| ProfileStage::peek_matches(bytes, program, &self.config))
             .and_then(|bytes| ProfileStage::from_bytes(&bytes).ok())
             .filter(|stage| stage.matches(program, &self.config));
         let (bbvs, starts, whole_metrics) = match cached {
@@ -279,6 +282,7 @@ impl Pipeline {
                 warmup_slices: self.config.warmup_slices,
                 num_slices,
                 total_insts: program.total_insts(),
+                materialized_budget_bytes: sampsim_analyze::DEFAULT_MATERIALIZED_BUDGET_BYTES,
             }));
         }
         report
@@ -478,6 +482,159 @@ impl Pipeline {
         (bbvs, starts, metrics)
     }
 
+    /// The streaming profile: one profiling pass that projects each
+    /// slice's BBV to `simpoint.dim` dimensions *as it is harvested* and
+    /// discards the sparse BBV immediately, returning the flat row-major
+    /// projected matrix instead of the BBV set. Peak memory is
+    /// `O(num_slices * dim + distinct_blocks * dim)` — the full BBV set
+    /// (which dominates at large slice counts) is never materialized.
+    ///
+    /// The rows are **bit-identical** to
+    /// `RandomProjection::project_all_normalized(profile())`: each shard
+    /// worker owns a [`sampsim_simpoint::StreamingProjector`] (projection
+    /// matrix rows are a pure function of `(seed, block)`, so per-shard
+    /// row caches cannot diverge), per-BBV accumulation order is
+    /// unchanged, and shard outputs concatenate in slice order. The
+    /// differential suite pins this across seeds, benchmarks and job
+    /// counts.
+    pub fn profile_projected(&self, program: &Program) -> (Vec<f64>, Vec<Cursor>, RunMetrics) {
+        self.profile_projected_jobs(program, sampsim_exec::SERIAL)
+    }
+
+    /// [`Pipeline::profile_projected`] sharded over `jobs` workers; same
+    /// sharding scheme as [`Pipeline::profile_jobs`].
+    pub fn profile_projected_jobs(
+        &self,
+        program: &Program,
+        jobs: Jobs,
+    ) -> (Vec<f64>, Vec<Cursor>, RunMetrics) {
+        let slice = self.config.slice_size;
+        assert!(slice > 0, "slice size must be positive");
+        let started = Instant::now();
+        let o = &self.config.simpoint;
+        let projection = RandomProjection::new(o.dim, o.seed);
+        let num_slices = program.total_insts().div_ceil(slice);
+        let workers = jobs.get();
+        let shard_workers = if self.config.profile_cache.is_some() {
+            workers.saturating_sub(1).max(1)
+        } else {
+            workers
+        };
+        let num_shards = (shard_workers as u64).min(num_slices).max(1);
+        if workers <= 1 || num_shards <= 1 {
+            return self.profile_projected_serial(program, &projection, started);
+        }
+
+        let shards = shard_plan(num_slices, num_shards);
+        let mut tasks: Vec<ProfileTask> = Vec::with_capacity(shards.len() + 1);
+        if self.config.profile_cache.is_some() {
+            tasks.push(ProfileTask::Cache);
+        }
+        let mut exec = Executor::new(program);
+        for (i, shard) in shards.iter().enumerate() {
+            tasks.push(ProfileTask::Shard {
+                start: exec.cursor(),
+                slices: shard.count,
+            });
+            if i + 1 < shards.len() {
+                exec.skip(shard.count * slice);
+            }
+        }
+
+        let outputs = sampsim_exec::parallel_map(jobs, &tasks, |_, task| match task {
+            ProfileTask::Cache => {
+                let config = self
+                    .config
+                    .profile_cache
+                    .expect("cache task implies config");
+                let mut cs = CacheSim::new(config);
+                let mut exec = Executor::new(program);
+                engine::run_one(&mut exec, u64::MAX, &mut cs);
+                ProjectedOutput::Cache(cs.stats())
+            }
+            ProfileTask::Shard { start, slices } => {
+                let mut exec = Executor::with_cursor(program, start.clone());
+                let mut tools = (BbvTool::new(program.blocks().len()), LdStMix::new());
+                let mut projector = projection.streaming();
+                let mut starts = Vec::with_capacity(*slices as usize);
+                let ran =
+                    engine::run_slices(&mut exec, slice, *slices, &mut tools, |t, start, _| {
+                        starts.push(start);
+                        // Project-and-drop: the sparse BBV lives only for
+                        // this call.
+                        projector.push_normalized(&Bbv::from_counts(t.0.harvest()));
+                    });
+                ProjectedOutput::Shard {
+                    rows: projector.into_rows(),
+                    starts,
+                    mix: *tools.1.counts(),
+                    ran,
+                }
+            }
+        });
+
+        let mut rows = Vec::with_capacity(num_slices as usize * o.dim);
+        let mut starts = Vec::with_capacity(num_slices as usize);
+        let mut mix_total = MixCounts::new();
+        let mut instructions = 0u64;
+        let mut cache_stats: Option<HierarchyStats> = None;
+        for out in outputs {
+            match out {
+                ProjectedOutput::Cache(stats) => cache_stats = Some(stats),
+                ProjectedOutput::Shard {
+                    rows: r,
+                    starts: s,
+                    mix,
+                    ran,
+                } => {
+                    rows.extend_from_slice(&r);
+                    starts.extend(s);
+                    mix_total.merge(&mix);
+                    instructions += ran;
+                }
+            }
+        }
+        let metrics = RunMetrics {
+            instructions,
+            mix: mix_total,
+            cache: cache_stats,
+            timing: None,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        };
+        (rows, starts, metrics)
+    }
+
+    /// Single-threaded streaming profile (the reference semantics of
+    /// [`Pipeline::profile_projected_jobs`]).
+    fn profile_projected_serial(
+        &self,
+        program: &Program,
+        projection: &RandomProjection,
+        started: Instant,
+    ) -> (Vec<f64>, Vec<Cursor>, RunMetrics) {
+        let slice = self.config.slice_size;
+        let mut exec = Executor::new(program);
+        let mut tools = (
+            BbvTool::new(program.blocks().len()),
+            LdStMix::new(),
+            self.config.profile_cache.map(CacheSim::new),
+        );
+        let mut projector = projection.streaming();
+        let mut starts = Vec::new();
+        engine::run_slices(&mut exec, slice, u64::MAX, &mut tools, |t, start, _| {
+            starts.push(start);
+            projector.push_normalized(&Bbv::from_counts(t.0.harvest()));
+        });
+        let metrics = RunMetrics {
+            instructions: exec.retired(),
+            mix: *tools.1.counts(),
+            cache: tools.2.map(|c| c.stats()),
+            timing: None,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        };
+        (projector.into_rows(), starts, metrics)
+    }
+
     /// The single-threaded profiling pass (the reference semantics every
     /// sharded run must reproduce bit-for-bit).
     fn profile_serial(
@@ -523,6 +680,18 @@ enum ProfileOutput {
     Cache(HierarchyStats),
     Shard {
         bbvs: Vec<Bbv>,
+        starts: Vec<Cursor>,
+        mix: MixCounts,
+        ran: u64,
+    },
+}
+
+/// The result of one [`ProfileTask`] on the streaming projected path:
+/// projected rows instead of retained BBVs.
+enum ProjectedOutput {
+    Cache(HierarchyStats),
+    Shard {
+        rows: Vec<f64>,
         starts: Vec<Cursor>,
         mix: MixCounts,
         ran: u64,
@@ -715,6 +884,29 @@ mod tests {
         // Each full BBV accounts for exactly one slice of instructions.
         for bbv in &bbvs[..bbvs.len() - 1] {
             assert_eq!(bbv.l1_norm(), 1_000.0);
+        }
+    }
+
+    #[test]
+    fn projected_profile_matches_materialized_path_bitwise() {
+        let p = program();
+        let pipe = Pipeline::new(config());
+        let (bbvs, starts, metrics) = pipe.profile(&p);
+        let o = pipe.config().simpoint;
+        let oracle = RandomProjection::new(o.dim, o.seed).project_all_normalized(&bbvs);
+        for jobs in [
+            sampsim_exec::SERIAL,
+            Jobs::new(2).unwrap(),
+            Jobs::new(3).unwrap(),
+        ] {
+            let (rows, s2, m2) = pipe.profile_projected_jobs(&p, jobs);
+            assert_eq!(rows.len(), oracle.len(), "jobs={jobs}");
+            for (i, (a, b)) in rows.iter().zip(&oracle).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs} value {i}");
+            }
+            assert_eq!(s2, starts, "jobs={jobs}");
+            assert_eq!(m2.instructions, metrics.instructions, "jobs={jobs}");
+            assert_eq!(m2.mix, metrics.mix, "jobs={jobs}");
         }
     }
 

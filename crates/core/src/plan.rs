@@ -212,6 +212,7 @@ pub fn plan_strategy(
         warmup_slices: config.warmup_slices,
         num_slices: slices,
         total_insts: whole_instructions,
+        materialized_budget_bytes: sampsim_analyze::DEFAULT_MATERIALIZED_BUDGET_BYTES,
     });
 
     Ok(PlanReport {

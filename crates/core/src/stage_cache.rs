@@ -36,6 +36,7 @@ use crate::pipeline::PinPointsConfig;
 use sampsim_cache::HierarchyConfig;
 use sampsim_simpoint::bbv::Bbv;
 use sampsim_simpoint::SimPointOptions;
+use sampsim_util::bytes::SharedBytes;
 use sampsim_util::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use sampsim_util::hash::Fnv64;
 use sampsim_workload::{Cursor, Program};
@@ -53,10 +54,15 @@ pub const PROFILE_VERSION: u16 = 1;
 /// Implementations must be safe to share across worker threads. `get` and
 /// `put` are best-effort: a cache may drop entries at any time, and the
 /// pipeline treats undecodable bytes as a miss.
+///
+/// Lookups return [`SharedBytes`] views rather than owned vectors:
+/// in-memory tiers serve hits as refcount bumps and disk tiers serve the
+/// payload as a window over the single file read, so repeated hits on a
+/// multi-megabyte profile stage never recopy it.
 pub trait StageCache: Sync {
-    /// Looks up the bytes stored under `key`.
-    fn get(&self, key: u64) -> Option<Vec<u8>>;
-    /// Stores `bytes` under `key`.
+    /// Looks up the bytes stored under `key` as a zero-copy view.
+    fn get(&self, key: u64) -> Option<SharedBytes>;
+    /// Stores `bytes` under `key` (the one copy, at insert).
     fn put(&self, key: u64, bytes: &[u8]);
 }
 
@@ -65,7 +71,7 @@ pub trait StageCache: Sync {
 pub struct NoCache;
 
 impl StageCache for NoCache {
-    fn get(&self, _key: u64) -> Option<Vec<u8>> {
+    fn get(&self, _key: u64) -> Option<SharedBytes> {
         None
     }
     fn put(&self, _key: u64, _bytes: &[u8]) {}
@@ -75,7 +81,7 @@ impl StageCache for NoCache {
 /// reference implementation used by tests and single-process sweeps.
 #[derive(Debug, Default)]
 pub struct MemoryStageCache {
-    entries: Mutex<HashMap<u64, Vec<u8>>>,
+    entries: Mutex<HashMap<u64, SharedBytes>>,
     hits: AtomicU64,
 }
 
@@ -102,7 +108,8 @@ impl MemoryStageCache {
 }
 
 impl StageCache for MemoryStageCache {
-    fn get(&self, key: u64) -> Option<Vec<u8>> {
+    fn get(&self, key: u64) -> Option<SharedBytes> {
+        // A hit clones the view (a refcount bump), never the bytes.
         let found = self.entries.lock().unwrap().get(&key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -111,7 +118,10 @@ impl StageCache for MemoryStageCache {
     }
 
     fn put(&self, key: u64, bytes: &[u8]) {
-        self.entries.lock().unwrap().insert(key, bytes.to_vec());
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key, SharedBytes::from(bytes));
     }
 }
 
@@ -139,7 +149,7 @@ pub fn hierarchy_fingerprint(config: &HierarchyConfig) -> u64 {
 /// Stable fingerprint of the SimPoint analysis options.
 pub fn simpoint_fingerprint(options: &SimPointOptions) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("sampsim/fp/simpoint/v1");
+    h.write_str("sampsim/fp/simpoint/v2");
     h.write_u64(options.max_k as u64);
     h.write_u64(options.dim as u64);
     h.write_u64(u64::from(options.n_init));
@@ -147,6 +157,7 @@ pub fn simpoint_fingerprint(options: &SimPointOptions) -> u64 {
     h.write_f64(options.bic_threshold);
     h.write_u64(options.seed);
     h.write_u64(options.sample_size as u64);
+    h.write_str(options.kmeans_mode.label());
     h.finish()
 }
 
@@ -245,6 +256,26 @@ impl ProfileStage {
     pub fn matches(&self, program: &Program, config: &PinPointsConfig) -> bool {
         config.slice_size > 0
             && self.bbvs.len() as u64 == program.total_insts().div_ceil(config.slice_size)
+    }
+
+    /// Reads only the header and the slice-count prefix from an encoded
+    /// stage, without decoding any BBVs. `None` means the header is
+    /// foreign or the bytes are too short to carry a count.
+    pub fn peek_slice_count(bytes: &[u8]) -> Option<u64> {
+        let mut dec = Decoder::with_header(bytes, PROFILE_MAGIC, PROFILE_VERSION).ok()?;
+        Some(u64::from(dec.take_u32().ok()?))
+    }
+
+    /// Cheap validation-before-decode: whether an encoded stage plausibly
+    /// belongs to `program` under `config`, judged from the slice-count
+    /// prefix alone. The cached-stage fast path uses this to reject
+    /// entries for the wrong program or slice size before paying the full
+    /// (potentially multi-megabyte) decode; [`ProfileStage::matches`]
+    /// still re-checks after a real decode.
+    pub fn peek_matches(bytes: &[u8], program: &Program, config: &PinPointsConfig) -> bool {
+        config.slice_size > 0
+            && Self::peek_slice_count(bytes)
+                == Some(program.total_insts().div_ceil(config.slice_size))
     }
 }
 

@@ -1,0 +1,59 @@
+//! Differential suite for the streaming projection path.
+//!
+//! `Pipeline::profile_projected_jobs` promises rows bit-identical to the
+//! materialized oracle — `profile` followed by
+//! `RandomProjection::project_all_normalized` — for every projection
+//! seed, benchmark and job count. This pins that promise over real suite
+//! benchmarks (the unit test in `pipeline.rs` covers a synthetic
+//! program); the streaming path must not perturb a single mantissa bit,
+//! because every downstream artifact (clusters, simulation points,
+//! reported error) is keyed on exact bytes.
+
+use sampsim_core::pipeline::{PinPointsConfig, Pipeline};
+use sampsim_exec::Jobs;
+use sampsim_simpoint::{RandomProjection, SimPointOptions};
+use sampsim_spec2017::{benchmark, BenchmarkId};
+use sampsim_util::scale::Scale;
+
+const SCALE: f64 = 0.002;
+
+fn config(seed: u64) -> PinPointsConfig {
+    let scale = Scale::new(SCALE);
+    PinPointsConfig {
+        slice_size: scale.apply(10_000).max(1),
+        simpoint: SimPointOptions {
+            seed,
+            ..SimPointOptions::default()
+        },
+        ..PinPointsConfig::default()
+    }
+}
+
+#[test]
+fn streaming_projection_is_bit_identical_across_seeds_benchmarks_and_jobs() {
+    let benches = [BenchmarkId::McfR, BenchmarkId::OmnetppS];
+    let seeds = [SimPointOptions::default().seed, 0xBEEF_CAFE];
+    let job_counts = [sampsim_exec::SERIAL, Jobs::new(2).unwrap(), Jobs::Auto];
+    for id in benches {
+        let program = benchmark(id).scaled(Scale::new(SCALE)).build();
+        for seed in seeds {
+            let pipe = Pipeline::new(config(seed));
+            // The materialized oracle: full per-slice BBVs, batch
+            // projection.
+            let (bbvs, starts, metrics) = pipe.profile(&program);
+            let o = pipe.config().simpoint;
+            let oracle = RandomProjection::new(o.dim, o.seed).project_all_normalized(&bbvs);
+            for jobs in job_counts {
+                let label = format!("{} seed={seed:#x} jobs={jobs}", program.name());
+                let (rows, s2, m2) = pipe.profile_projected_jobs(&program, jobs);
+                assert_eq!(rows.len(), oracle.len(), "{label}: row count");
+                for (i, (a, b)) in rows.iter().zip(&oracle).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{label}: value {i}");
+                }
+                assert_eq!(s2, starts, "{label}: cursors");
+                assert_eq!(m2.instructions, metrics.instructions, "{label}: insts");
+                assert_eq!(m2.mix, metrics.mix, "{label}: ldstmix");
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The optimized kernels this repo ships — bounds-pruned k-means
 //! ([`sampsim_simpoint::kmeans`]), sparse cached-row BBV projection
-//! ([`sampsim_simpoint::project`]) and the single-pass cache probe
+//! ([`sampsim_simpoint::project`]) and the packed single-pass cache probe
 //! ([`sampsim_cache::Cache::access_rw`]) — all promise *bit-identical*
 //! results to their naive counterparts. This crate times them against
 //! those counterparts on real pipeline inputs (BBVs regenerated from the
@@ -10,25 +10,41 @@
 //! `BENCH_kernels.json` report. Every timed pair is also asserted
 //! bit-identical, so a perf run doubles as a differential test.
 //!
+//! The v2 schema adds two things. Every kernel now carries a reference
+//! timing and a speedup — the cache probe is timed against the frozen
+//! pre-optimization [`sampsim_cache::ReferenceCache`]
+//! (`cache_access_rw_reference`), with hit counters asserted identical.
+//! And a *scaling* section sweeps a synthetic slices × MaxK grid (up to
+//! a million slices) through the streaming projection + mini-batch
+//! clustering path, asserting along the way that the streamed footprint
+//! stays bounded by the batch size — peak-RSS deltas are measured from
+//! `/proc/self/status` and must not approach what the materialized path
+//! would need ([`sampsim_analyze::materialized_bytes_estimate`]).
+//!
 //! No external crates: timing is `std::time::Instant`, the report is a
 //! hand-assembled JSON document, and validation reuses
 //! [`sampsim_util::json`].
 //!
 //! Wall-clock numbers are inherently machine-dependent; the report is for
 //! trend tracking, not for byte-stable comparison. Everything *other*
-//! than the `*_ms` fields is deterministic.
+//! than the `*_ms` fields is deterministic. [`compare_reports`] turns two
+//! reports into a regression gate over the size-normalized rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sampsim_cache::{Cache, CacheConfig};
+use sampsim_cache::{Cache, CacheConfig, ReferenceCache};
 use sampsim_core::artifacts::ArtifactStore;
 use sampsim_core::pipeline::{PinPointsConfig, Pipeline};
 use sampsim_core::BenchResult;
+use sampsim_exec::Jobs;
 use sampsim_simpoint::bbv::Bbv;
 use sampsim_simpoint::kmeans::KmeansResult;
 use sampsim_simpoint::project::RandomProjection;
-use sampsim_simpoint::{kmeans_best_of, kmeans_best_of_reference, KmeansError, SimPointOptions};
+use sampsim_simpoint::{
+    kmeans_best_of_jobs, kmeans_best_of_reference, KmeansError, MiniBatchKmeans, SimPointOptions,
+    MINIBATCH_BATCH,
+};
 use sampsim_spec2017::{benchmark, BenchmarkId};
 use sampsim_util::json::{self, Value};
 use sampsim_util::rng::SplitMix64;
@@ -38,13 +54,24 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-pub const SCHEMA: &str = "sampsim-perf-kernels/v1";
+pub const SCHEMA: &str = "sampsim-perf-kernels/v2";
+
+/// Upper bound on the peak-RSS delta any scaling-grid point may add: the
+/// streamed path's state is O(dim * K + batch), so even the million-slice
+/// point must fit far under this.
+pub const MAX_STREAMING_RSS_DELTA_BYTES: u64 = 64 << 20;
+
+/// Allowed slowdown between a fresh report and a baseline before
+/// [`compare_reports`] fails: new rate > `1.10 *` old rate is a
+/// regression.
+pub const REGRESSION_TOLERANCE: f64 = 1.10;
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct PerfOptions {
     /// Quick mode: smallest shipped benchmark, coarser slices, reduced
-    /// `k` sweep — a CI smoke test rather than a measurement.
+    /// `k` sweep and a reduced scaling grid — a CI smoke test rather
+    /// than a measurement.
     pub quick: bool,
     /// Directory holding the shipped `*.art` benchmark artifacts.
     pub artifacts_dir: PathBuf,
@@ -52,6 +79,10 @@ pub struct PerfOptions {
     /// with it, so the *number* of slices (the clustering input size)
     /// matches the full-scale benchmark either way.
     pub scale: Scale,
+    /// Worker threads for the clustering restart sweep. Results are
+    /// bit-identical for every job count (asserted against the serial
+    /// naive reference on every run).
+    pub jobs: Jobs,
 }
 
 impl Default for PerfOptions {
@@ -60,6 +91,7 @@ impl Default for PerfOptions {
             quick: false,
             artifacts_dir: PathBuf::from("artifacts"),
             scale: Scale::TEST,
+            jobs: Jobs::Auto,
         }
     }
 }
@@ -76,6 +108,10 @@ pub enum PerfError {
     Mismatch(String),
     /// Artifact store or filesystem failure.
     Store(String),
+    /// The streaming path materialized more memory than its contract
+    /// allows — the peak-RSS delta of a scaling point exceeded
+    /// [`MAX_STREAMING_RSS_DELTA_BYTES`].
+    Memory(String),
 }
 
 impl fmt::Display for PerfError {
@@ -87,6 +123,9 @@ impl fmt::Display for PerfError {
                 write!(f, "optimized kernel diverged from reference: {what}")
             }
             PerfError::Store(e) => write!(f, "artifact store: {e}"),
+            PerfError::Memory(what) => {
+                write!(f, "streaming memory contract violated: {what}")
+            }
         }
     }
 }
@@ -114,6 +153,32 @@ pub struct KernelTiming {
     pub details: Vec<(&'static str, f64)>,
 }
 
+/// One point of the streaming scaling grid: `slices` synthetic BBVs
+/// projected row-by-row and clustered with mini-batch k-means at
+/// `max_k`, never materializing the profile.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Synthetic slice count streamed through the pipeline.
+    pub slices: u64,
+    /// Cluster count the mini-batch kernel ran at.
+    pub max_k: usize,
+    /// End-to-end wall time (generate + project + cluster).
+    pub wall_ms: f64,
+    /// `wall_ms * 1e6 / slices` — the size-normalized rate the
+    /// regression gate compares.
+    pub ns_per_slice: f64,
+    /// Sum of the final centroids: a deterministic checksum pinning the
+    /// streamed computation across runs and machines.
+    pub centroid_checksum: f64,
+    /// Peak-RSS growth (`VmHWM` delta) over the point, when the platform
+    /// exposes it. Asserted `<=` [`MAX_STREAMING_RSS_DELTA_BYTES`].
+    pub streamed_rss_delta_bytes: Option<u64>,
+    /// What the materialized path would need for the same slice count
+    /// ([`sampsim_analyze::materialized_bytes_estimate`]) — the contrast
+    /// the streaming contract is measured against.
+    pub materialized_estimate_bytes: u64,
+}
+
 /// A full harness run, serializable with [`PerfReport::to_json`].
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -127,6 +192,8 @@ pub struct PerfReport {
     pub dim: usize,
     /// The timed kernels.
     pub kernels: Vec<KernelTiming>,
+    /// The streaming slices × MaxK scaling grid.
+    pub scaling: Vec<ScalingPoint>,
 }
 
 /// The regenerated input set the kernels run over.
@@ -247,9 +314,12 @@ fn ensure_identical(a: &KmeansResult, b: &KmeansResult, what: &str) -> Result<()
     }
 }
 
-/// Times the full clustering sweep — naive [`kmeans_best_of_reference`]
-/// vs the bounds-pruned [`kmeans_best_of`] — over every `k` in
-/// `input.ks`, asserting each pair of winners bit-identical.
+/// Times the full clustering sweep — naive serial
+/// [`kmeans_best_of_reference`] vs the bounds-pruned parallel-restart
+/// [`kmeans_best_of_jobs`] — over every `k` in `input.ks`, asserting
+/// each pair of winners bit-identical. The assertion doubles as the
+/// determinism proof for `jobs`: whatever the worker count, the
+/// optimized side must reproduce the serial naive result bit for bit.
 ///
 /// # Errors
 ///
@@ -259,6 +329,7 @@ pub fn kmeans_sweep_kernel(
     data: &[f64],
     input: &PerfInput,
     reps: u32,
+    jobs: Jobs,
 ) -> Result<KernelTiming, PerfError> {
     let n = input.bbvs.len();
     let dim = input.dim;
@@ -294,7 +365,18 @@ pub fn kmeans_sweep_kernel(
             input
                 .ks
                 .iter()
-                .map(|&k| kmeans_best_of(data, n, dim, k, input.max_iter, input.seed, input.n_init))
+                .map(|&k| {
+                    kmeans_best_of_jobs(
+                        data,
+                        n,
+                        dim,
+                        k,
+                        input.max_iter,
+                        input.seed,
+                        input.n_init,
+                        jobs,
+                    )
+                })
                 .collect()
         });
         pruned = r?;
@@ -329,21 +411,27 @@ pub fn kmeans_sweep_kernel(
 /// [`PerfError::Mismatch`] if the batched path diverges.
 pub fn projection_kernel(input: &PerfInput, reps: u32) -> Result<KernelTiming, PerfError> {
     let projection = RandomProjection::new(input.dim, input.seed);
+    // Min-of-reps on both sides: every rep is the same deterministic pass,
+    // so the minimum is the least-perturbed measurement on a noisy host and
+    // the reported ns/BBV stays comparable across runs.
     let mut baseline = Vec::new();
-    let (_, reference_ms) = time_ms(|| {
-        for _ in 0..reps {
+    let mut reference_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (_, ms) = time_ms(|| {
             baseline.clear();
             for bbv in &input.bbvs {
                 baseline.extend(projection.project(&bbv.normalized()));
             }
-        }
-    });
+        });
+        reference_ms = reference_ms.min(ms);
+    }
     let mut batched = Vec::new();
-    let (_, optimized_ms) = time_ms(|| {
-        for _ in 0..reps {
-            batched = projection.project_all_normalized(&input.bbvs);
-        }
-    });
+    let mut optimized_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (out, ms) = time_ms(|| projection.project_all_normalized(&input.bbvs));
+        batched = out;
+        optimized_ms = optimized_ms.min(ms);
+    }
     if baseline.len() != batched.len()
         || baseline
             .iter()
@@ -362,6 +450,10 @@ pub fn projection_kernel(input: &PerfInput, reps: u32) -> Result<KernelTiming, P
             ("bbvs", input.bbvs.len() as f64),
             ("dim", input.dim as f64),
             ("reps", f64::from(reps)),
+            (
+                "ns_per_bbv",
+                optimized_ms * 1e6 / input.bbvs.len().max(1) as f64,
+            ),
             ("checksum", checksum),
         ],
     })
@@ -369,36 +461,194 @@ pub fn projection_kernel(input: &PerfInput, reps: u32) -> Result<KernelTiming, P
 
 /// Times the [`Cache::access_rw`] probe loop: a seeded random
 /// read/write stream over a 128 KiB working set against a 32 KiB 8-way
-/// LRU cache (misses exercise the victim path). There is no kept naive
-/// baseline, so only the optimized time is reported; the hit count is a
-/// deterministic checksum.
-pub fn cache_kernel(accesses: u64) -> KernelTiming {
-    let mut cache = Cache::new(CacheConfig::new(32 << 10, 8, 64, 1));
-    let mut rng = SplitMix64::new(0xC0FF_EE00);
-    let mut hits = 0u64;
-    let (_, optimized_ms) = time_ms(|| {
-        for i in 0..accesses {
-            let addr = rng.next_u64() & 0x1_FFFF;
-            if cache.access_rw(addr, i % 4 == 0, true) {
-                hits += 1;
+/// LRU cache (misses exercise the victim path). The packed kernel is
+/// timed against the frozen pre-optimization [`ReferenceCache`] on the
+/// identical access stream, with the hit counters asserted equal — the
+/// fast path's counters are bit-identical by contract.
+///
+/// Each side is timed `reps` times (fresh simulator, identical stream)
+/// and the minimum kept — the loops are deterministic, so the minimum is
+/// the least-perturbed measurement.
+///
+/// # Errors
+///
+/// [`PerfError::Mismatch`] if the packed cache's hit count ever differs
+/// from the reference model's.
+pub fn cache_kernel(accesses: u64, reps: u32) -> Result<KernelTiming, PerfError> {
+    let config = CacheConfig::new(32 << 10, 8, 64, 1);
+    let mut reference_ms = f64::INFINITY;
+    let mut ref_hits = 0u64;
+    for _ in 0..reps.max(1) {
+        let mut reference = ReferenceCache::new(config);
+        let mut rng = SplitMix64::new(0xC0FF_EE00);
+        let mut run_hits = 0u64;
+        let (_, ms) = time_ms(|| {
+            for i in 0..accesses {
+                let addr = rng.next_u64() & 0x1_FFFF;
+                run_hits += u64::from(reference.access_rw(addr, i % 4 == 0, true));
             }
-        }
-    });
-    KernelTiming {
+        });
+        reference_ms = reference_ms.min(ms);
+        ref_hits = run_hits;
+    }
+    let mut optimized_ms = f64::INFINITY;
+    let mut hits = 0u64;
+    for _ in 0..reps.max(1) {
+        let mut cache = Cache::new(config);
+        let mut rng = SplitMix64::new(0xC0FF_EE00);
+        let mut run_hits = 0u64;
+        let (_, ms) = time_ms(|| {
+            for i in 0..accesses {
+                let addr = rng.next_u64() & 0x1_FFFF;
+                // Branchless accumulation: a data-dependent branch here
+                // would mispredict on every fourth access and dominate
+                // the timing.
+                run_hits += u64::from(cache.access_rw(addr, i % 4 == 0, true));
+            }
+        });
+        optimized_ms = optimized_ms.min(ms);
+        hits = run_hits;
+    }
+    if hits != ref_hits {
+        return Err(PerfError::Mismatch(format!(
+            "cache hits: packed {hits}, reference {ref_hits}"
+        )));
+    }
+    Ok(KernelTiming {
         name: "cache_access_rw",
-        reference_ms: None,
+        reference_ms: Some(reference_ms),
         optimized_ms,
-        speedup: None,
+        speedup: Some(reference_ms / optimized_ms),
         details: vec![
             ("accesses", accesses as f64),
             ("ns_per_access", optimized_ms * 1e6 / accesses as f64),
             ("hits", hits as f64),
         ],
+    })
+}
+
+/// Current peak resident-set size (`VmHWM`) in bytes, from
+/// `/proc/self/status`. `None` on platforms without procfs; the scaling
+/// assertion is skipped there.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Deterministic synthetic BBV for the scaling grid: eight phases of 64
+/// slices each cycling through disjoint block bases, 16 blocks per slice
+/// with seeded counts. The block universe stays ≤ 512, so the projector's
+/// per-block row work is bounded and the grid measures streaming
+/// throughput rather than hash-table growth.
+pub fn synthetic_bbv(seed: u64, i: u64) -> Bbv {
+    let mut rng = SplitMix64::new(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let phase = (i / 64) % 8;
+    let base = (phase as u32) * 64;
+    let counts: Vec<(u32, u32)> = (0..16)
+        .map(|j| (base + j * 4, 1 + (rng.next_u64() % 100) as u32))
+        .collect();
+    Bbv::from_counts(counts)
+}
+
+/// Runs one scaling-grid point: streams `slices` synthetic BBVs through
+/// per-row projection into [`MiniBatchKmeans`], one pass, discarding each
+/// row after it is pushed. Peak memory is O(dim · `max_k` + batch) — the
+/// per-slice profile is never materialized, which is the whole contract.
+///
+/// # Errors
+///
+/// [`PerfError::Kmeans`] if the mini-batch kernel rejects its shape,
+/// [`PerfError::Memory`] if the measured peak-RSS delta exceeds
+/// [`MAX_STREAMING_RSS_DELTA_BYTES`].
+pub fn scaling_point(
+    slices: u64,
+    max_k: usize,
+    dim: usize,
+    seed: u64,
+    reps: u32,
+) -> Result<ScalingPoint, PerfError> {
+    let rss_before = peak_rss_bytes();
+    let projection = RandomProjection::new(dim, seed);
+    let batch = MINIBATCH_BATCH.min(usize::try_from(slices).unwrap_or(usize::MAX).max(1));
+    // Each rep is a complete, independent streaming pass; the minimum wall
+    // time is the rate the baseline gate compares, and every rep must land
+    // on bit-identical centroids (the pass is fully deterministic).
+    let mut wall_ms = f64::INFINITY;
+    let mut centroids: Vec<f64> = Vec::new();
+    for rep in 0..reps.max(1) {
+        let mut mb = MiniBatchKmeans::new(dim, max_k, batch, seed)?;
+        let (out, ms) = time_ms(|| -> Result<Vec<f64>, KmeansError> {
+            for i in 0..slices {
+                let bbv = synthetic_bbv(seed, i);
+                let row = projection.project(&bbv.normalized());
+                mb.push(&row);
+            }
+            mb.finish()
+        });
+        let out = out?;
+        if rep > 0
+            && (out.len() != centroids.len()
+                || out
+                    .iter()
+                    .zip(&centroids)
+                    .any(|(a, b)| a.to_bits() != b.to_bits()))
+        {
+            return Err(PerfError::Mismatch(format!(
+                "streaming pass diverged across reps at {slices} slices, k={max_k}"
+            )));
+        }
+        centroids = out;
+        wall_ms = wall_ms.min(ms);
+    }
+    // VmHWM is a monotonic high-water mark, so the delta is exactly the
+    // growth this point caused (saturating: another thread cannot shrink
+    // it, but a prior phase may already have raised it past us).
+    let streamed_rss_delta_bytes = match (rss_before, peak_rss_bytes()) {
+        (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+        _ => None,
+    };
+    if let Some(delta) = streamed_rss_delta_bytes {
+        if delta > MAX_STREAMING_RSS_DELTA_BYTES {
+            return Err(PerfError::Memory(format!(
+                "{slices} slices at k={max_k} grew peak RSS by {delta} bytes \
+                 (limit {MAX_STREAMING_RSS_DELTA_BYTES})"
+            )));
+        }
+    }
+    Ok(ScalingPoint {
+        slices,
+        max_k,
+        wall_ms,
+        ns_per_slice: wall_ms * 1e6 / slices.max(1) as f64,
+        centroid_checksum: centroids.iter().sum(),
+        streamed_rss_delta_bytes,
+        materialized_estimate_bytes: sampsim_analyze::materialized_bytes_estimate(slices, dim),
+    })
+}
+
+/// The slices × MaxK grid a full run sweeps; quick mode keeps only the
+/// smallest point (which the full grid shares, so quick runs remain
+/// comparable to a full baseline).
+pub fn scaling_grid(quick: bool) -> Vec<(u64, usize)> {
+    if quick {
+        vec![(10_000, 8)]
+    } else {
+        vec![
+            (10_000, 8),
+            (10_000, 35),
+            (100_000, 8),
+            (100_000, 35),
+            (1_000_000, 8),
+            (1_000_000, 35),
+        ]
     }
 }
 
-/// Runs the whole harness: input regeneration plus all three kernels.
-/// `progress` receives one human-readable line per completed stage.
+/// Runs the whole harness: input regeneration, all three kernels and the
+/// streaming scaling grid. `progress` receives one human-readable line
+/// per completed stage.
 ///
 /// # Errors
 ///
@@ -409,16 +659,22 @@ pub fn run_kernels(
 ) -> Result<PerfReport, PerfError> {
     let input = prepare_input(options)?;
     progress(&format!(
-        "regenerated {} BBV slices from {} (sweep ks = {:?}, {} restarts)",
+        "regenerated {} BBV slices from {} (sweep ks = {:?}, {} restarts, {} jobs)",
         input.bbvs.len(),
         input.benchmark,
         input.ks,
-        input.n_init
+        input.n_init,
+        options.jobs.get()
     ));
     let projection = RandomProjection::new(input.dim, input.seed);
     let data = projection.project_all_normalized(&input.bbvs);
 
-    let kmeans = kmeans_sweep_kernel(&data, &input, if options.quick { 1 } else { 3 })?;
+    let kmeans = kmeans_sweep_kernel(
+        &data,
+        &input,
+        if options.quick { 1 } else { 3 },
+        options.jobs,
+    )?;
     progress(&format!(
         "kmeans_sweep: {:.1} ms reference, {:.1} ms pruned ({:.2}x)",
         kmeans.reference_ms.unwrap_or(0.0),
@@ -436,11 +692,35 @@ pub fn run_kernels(
     ));
 
     let accesses = if options.quick { 1_000_000 } else { 16_000_000 };
-    let cache = cache_kernel(accesses);
+    let cache = cache_kernel(accesses, if options.quick { 3 } else { 5 })?;
     progress(&format!(
-        "cache_access_rw: {:.1} ms for {} accesses",
-        cache.optimized_ms, accesses
+        "cache_access_rw: {:.1} ms packed vs {:.1} ms reference model for {} accesses ({:.2}x)",
+        cache.optimized_ms,
+        cache.reference_ms.unwrap_or(0.0),
+        accesses,
+        cache.speedup.unwrap_or(0.0)
     ));
+
+    let mut scaling = Vec::new();
+    for (slices, max_k) in scaling_grid(options.quick) {
+        // Small points are cheap enough to repeat aggressively; the
+        // million-slice passes are long enough to be stable with fewer.
+        let point_reps = if slices >= 1_000_000 { 3 } else { 7 };
+        let point = scaling_point(slices, max_k, input.dim, input.seed, point_reps)?;
+        progress(&format!(
+            "scaling: {} slices at k={}: {:.1} ms ({:.0} ns/slice), \
+             rss delta {}, materialized would need {} MiB",
+            point.slices,
+            point.max_k,
+            point.wall_ms,
+            point.ns_per_slice,
+            point
+                .streamed_rss_delta_bytes
+                .map_or("n/a".to_string(), |b| format!("{} KiB", b >> 10)),
+            point.materialized_estimate_bytes >> 20
+        ));
+        scaling.push(point);
+    }
 
     Ok(PerfReport {
         benchmark: input.benchmark,
@@ -448,6 +728,7 @@ pub fn run_kernels(
         num_slices: input.bbvs.len() as u64,
         dim: input.dim,
         kernels: vec![kmeans, proj, cache],
+        scaling,
     })
 }
 
@@ -484,14 +765,36 @@ impl PerfReport {
                 format!("{{{}}}", fields.join(","))
             })
             .collect();
+        let scaling: Vec<String> = self
+            .scaling
+            .iter()
+            .map(|p| {
+                let rss = p
+                    .streamed_rss_delta_bytes
+                    .map_or("null".to_string(), |b| b.to_string());
+                format!(
+                    "{{\"slices\":{},\"max_k\":{},\"wall_ms\":{},\"ns_per_slice\":{},\
+                     \"centroid_checksum\":{},\"streamed_rss_delta_bytes\":{},\
+                     \"materialized_estimate_bytes\":{}}}",
+                    p.slices,
+                    p.max_k,
+                    json_f(p.wall_ms),
+                    json_f(p.ns_per_slice),
+                    json_f(p.centroid_checksum),
+                    rss,
+                    p.materialized_estimate_bytes
+                )
+            })
+            .collect();
         format!(
-            "{{\"schema\":\"{}\",\"benchmark\":\"{}\",\"quick\":{},\"num_slices\":{},\"dim\":{},\"kernels\":[{}]}}\n",
+            "{{\"schema\":\"{}\",\"benchmark\":\"{}\",\"quick\":{},\"num_slices\":{},\"dim\":{},\"kernels\":[{}],\"scaling\":[{}]}}\n",
             SCHEMA,
             self.benchmark,
             self.quick,
             self.num_slices,
             self.dim,
-            kernels.join(",")
+            kernels.join(","),
+            scaling.join(",")
         )
     }
 }
@@ -501,9 +804,10 @@ fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
         .ok_or_else(|| format!("{what}: missing \"{key}\""))
 }
 
-/// Validates a `BENCH_kernels.json` document against the v1 schema:
-/// schema tag, benchmark name, and the three kernels with finite
-/// non-negative timings (speedups required where a reference exists).
+/// Validates a `BENCH_kernels.json` document against the v2 schema:
+/// schema tag, benchmark name, the three kernels each with a finite
+/// reference timing and speedup, and a non-empty scaling grid whose
+/// points carry valid rates and the materialized-path estimate.
 ///
 /// # Errors
 ///
@@ -536,6 +840,17 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         if !ms.is_finite() || ms < 0.0 {
             return Err(format!("{name}: optimized_ms {ms} is not a valid timing"));
         }
+        // v2: every kernel carries a reference and a speedup — the cache
+        // probe included, timed against the frozen reference model.
+        let speedup = field(kernel, "speedup", name)?
+            .as_f64()
+            .ok_or_else(|| format!("{name}: speedup is not a number"))?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("{name}: speedup {speedup} is not valid"));
+        }
+        field(kernel, "reference_ms", name)?
+            .as_f64()
+            .ok_or_else(|| format!("{name}: reference_ms is not a number"))?;
         field(kernel, "details", name)?;
         seen.push(name.to_string());
     }
@@ -544,21 +859,180 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             return Err(format!("kernel \"{required}\" is missing"));
         }
     }
-    for kernel in kernels {
-        let name = kernel.get("name").and_then(Value::as_str).unwrap_or("");
-        if name == "kmeans_sweep" || name == "bbv_projection" {
-            let speedup = field(kernel, "speedup", name)?
-                .as_f64()
-                .ok_or_else(|| format!("{name}: speedup is not a number"))?;
-            if !speedup.is_finite() || speedup <= 0.0 {
-                return Err(format!("{name}: speedup {speedup} is not valid"));
-            }
-            field(kernel, "reference_ms", name)?
-                .as_f64()
-                .ok_or_else(|| format!("{name}: reference_ms is not a number"))?;
+    let scaling = field(&doc, "scaling", "report")?
+        .as_array()
+        .ok_or("scaling is not an array")?;
+    if scaling.is_empty() {
+        return Err("scaling grid is empty".to_string());
+    }
+    for point in scaling {
+        let slices = field(point, "slices", "scaling point")?
+            .as_f64()
+            .ok_or("scaling point: slices is not a number")?;
+        if slices < 1.0 {
+            return Err(format!("scaling point: slices {slices} is not positive"));
         }
+        field(point, "max_k", "scaling point")?
+            .as_f64()
+            .ok_or("scaling point: max_k is not a number")?;
+        for key in ["wall_ms", "ns_per_slice", "centroid_checksum"] {
+            let v = field(point, key, "scaling point")?
+                .as_f64()
+                .ok_or_else(|| format!("scaling point: {key} is not a number"))?;
+            if !v.is_finite() {
+                return Err(format!("scaling point: {key} {v} is not finite"));
+            }
+        }
+        field(point, "materialized_estimate_bytes", "scaling point")?
+            .as_f64()
+            .ok_or("scaling point: materialized_estimate_bytes is not a number")?;
     }
     Ok(())
+}
+
+fn detail(kernel: &Value, key: &str) -> Option<f64> {
+    kernel.get("details")?.get(key)?.as_f64()
+}
+
+fn kernel_by_name<'a>(doc: &'a Value, name: &str) -> Option<&'a Value> {
+    doc.get("kernels")?
+        .as_array()?
+        .iter()
+        .find(|k| k.get("name").and_then(Value::as_str) == Some(name))
+}
+
+fn check_rate(
+    what: &str,
+    new_rate: f64,
+    base_rate: f64,
+    compared: &mut Vec<String>,
+    failures: &mut Vec<String>,
+) {
+    if !(new_rate.is_finite() && base_rate.is_finite() && base_rate > 0.0) {
+        return;
+    }
+    let ratio = new_rate / base_rate;
+    if ratio > REGRESSION_TOLERANCE {
+        failures.push(format!(
+            "{what}: {new_rate:.2} vs baseline {base_rate:.2} ({ratio:.2}x, \
+             tolerance {REGRESSION_TOLERANCE:.2}x)"
+        ));
+    } else {
+        compared.push(format!("{what}: {ratio:.2}x of baseline"));
+    }
+}
+
+/// Compares a fresh report against a committed baseline and fails on any
+/// size-normalized rate regressing by more than [`REGRESSION_TOLERANCE`].
+///
+/// Only *rates* are compared (ns per access, ns per projected BBV, ns
+/// per streamed slice), so a quick run can be gated against a full
+/// baseline: the quick scaling grid is a subset of the full grid and the
+/// per-unit kernel rates are size-independent. The k-means sweep is only
+/// compared when both reports ran the same shape (same benchmark, slice
+/// count and sweep), since its cost is superlinear in both.
+///
+/// # Errors
+///
+/// A parse/shape problem in either document, every regressing metric
+/// (joined), or "nothing comparable" when no metric matched — a silently
+/// green gate that compared nothing would be worse than a red one.
+pub fn compare_reports(new_text: &str, baseline_text: &str) -> Result<Vec<String>, String> {
+    let new_doc = json::parse(new_text).map_err(|e| format!("new report: {e}"))?;
+    let base_doc = json::parse(baseline_text).map_err(|e| format!("baseline report: {e}"))?;
+    let mut compared = Vec::new();
+    let mut failures = Vec::new();
+
+    if let (Some(n), Some(b)) = (
+        kernel_by_name(&new_doc, "cache_access_rw"),
+        kernel_by_name(&base_doc, "cache_access_rw"),
+    ) {
+        if let (Some(nr), Some(br)) = (detail(n, "ns_per_access"), detail(b, "ns_per_access")) {
+            check_rate("cache ns_per_access", nr, br, &mut compared, &mut failures);
+        }
+    }
+
+    if let (Some(n), Some(b)) = (
+        kernel_by_name(&new_doc, "bbv_projection"),
+        kernel_by_name(&base_doc, "bbv_projection"),
+    ) {
+        // Per-BBV cost is size-dependent (fixed overhead dominates small
+        // inputs), so only same-sized runs are comparable — a quick run
+        // against a full baseline skips this rate.
+        if detail(n, "bbvs").is_some() && detail(n, "bbvs") == detail(b, "bbvs") {
+            if let (Some(nr), Some(br)) = (detail(n, "ns_per_bbv"), detail(b, "ns_per_bbv")) {
+                check_rate(
+                    "projection ns_per_bbv",
+                    nr,
+                    br,
+                    &mut compared,
+                    &mut failures,
+                );
+            }
+        }
+    }
+
+    if let (Some(n), Some(b)) = (
+        kernel_by_name(&new_doc, "kmeans_sweep"),
+        kernel_by_name(&base_doc, "kmeans_sweep"),
+    ) {
+        let shape = |k: &Value| -> Option<(u64, u64, u64, u64)> {
+            Some((
+                detail(k, "points")? as u64,
+                detail(k, "max_k")? as u64,
+                detail(k, "sweep_len")? as u64,
+                detail(k, "n_init")? as u64,
+            ))
+        };
+        if shape(n).is_some() && shape(n) == shape(b) {
+            if let (Some(nm), Some(bm)) = (
+                n.get("optimized_ms").and_then(Value::as_f64),
+                b.get("optimized_ms").and_then(Value::as_f64),
+            ) {
+                check_rate("kmeans_sweep ms", nm, bm, &mut compared, &mut failures);
+            }
+        }
+    }
+
+    let points = |doc: &Value| -> Vec<(u64, u64, f64)> {
+        doc.get("scaling")
+            .and_then(Value::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|p| {
+                        Some((
+                            p.get("slices")?.as_f64()? as u64,
+                            p.get("max_k")?.as_f64()? as u64,
+                            p.get("ns_per_slice")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_points = points(&base_doc);
+    for (slices, max_k, nr) in points(&new_doc) {
+        if let Some((_, _, br)) = base_points
+            .iter()
+            .find(|(s, k, _)| (*s, *k) == (slices, max_k))
+        {
+            check_rate(
+                &format!("scaling {slices}x{max_k} ns_per_slice"),
+                nr,
+                *br,
+                &mut compared,
+                &mut failures,
+            );
+        }
+    }
+
+    if !failures.is_empty() {
+        return Err(format!("perf regression:\n  {}", failures.join("\n  ")));
+    }
+    if compared.is_empty() {
+        return Err("nothing comparable between the reports".to_string());
+    }
+    Ok(compared)
 }
 
 #[cfg(test)]
@@ -595,12 +1069,13 @@ mod tests {
         let input = tiny_input();
         let projection = RandomProjection::new(input.dim, input.seed);
         let data = projection.project_all_normalized(&input.bbvs);
-        let kmeans = kmeans_sweep_kernel(&data, &input, 2).unwrap();
+        let kmeans = kmeans_sweep_kernel(&data, &input, 2, Jobs::Auto).unwrap();
         assert!(kmeans.speedup.is_some());
         let proj = projection_kernel(&input, 2).unwrap();
         assert!(proj.reference_ms.is_some());
-        let cache = cache_kernel(50_000);
-        assert_eq!(cache.reference_ms, None);
+        let cache = cache_kernel(50_000, 2).unwrap();
+        assert!(cache.reference_ms.is_some());
+        assert!(cache.speedup.is_some());
         let hits = cache
             .details
             .iter()
@@ -609,21 +1084,48 @@ mod tests {
             .unwrap();
         assert!(hits > 0.0, "some accesses must hit");
 
+        let point = scaling_point(2_000, 4, input.dim, input.seed, 2).unwrap();
+        assert_eq!(point.slices, 2_000);
+        assert!(point.ns_per_slice.is_finite());
+        assert_eq!(
+            point.materialized_estimate_bytes,
+            sampsim_analyze::materialized_bytes_estimate(2_000, input.dim)
+        );
+
         let report = PerfReport {
             benchmark: input.benchmark.clone(),
             quick: true,
             num_slices: input.bbvs.len() as u64,
             dim: input.dim,
             kernels: vec![kmeans, proj, cache],
+            scaling: vec![point],
         };
         let text = report.to_json();
         validate_report(&text).unwrap();
+        // A report is always within tolerance of itself, and every grid
+        // point must match.
+        let compared = compare_reports(&text, &text).unwrap();
+        assert!(compared.iter().any(|c| c.contains("cache")));
+        assert!(compared.iter().any(|c| c.contains("scaling")));
+    }
+
+    #[test]
+    fn kmeans_sweep_is_job_count_invariant() {
+        // The sweep asserts the parallel winner bit-identical to the
+        // serial naive reference internally; running it at two explicit
+        // worker counts proves the jobs knob cannot perturb results.
+        let input = tiny_input();
+        let projection = RandomProjection::new(input.dim, input.seed);
+        let data = projection.project_all_normalized(&input.bbvs);
+        for jobs in [sampsim_exec::SERIAL, Jobs::new(2).unwrap(), Jobs::Auto] {
+            kmeans_sweep_kernel(&data, &input, 1, jobs).unwrap();
+        }
     }
 
     #[test]
     fn cache_kernel_checksum_is_deterministic() {
-        let a = cache_kernel(20_000);
-        let b = cache_kernel(20_000);
+        let a = cache_kernel(20_000, 1).unwrap();
+        let b = cache_kernel(20_000, 1).unwrap();
         let hits = |k: &KernelTiming| {
             k.details
                 .iter()
@@ -635,6 +1137,17 @@ mod tests {
     }
 
     #[test]
+    fn scaling_point_checksum_is_deterministic_and_streamed() {
+        let a = scaling_point(3_000, 5, 8, 42, 2).unwrap();
+        let b = scaling_point(3_000, 5, 8, 42, 1).unwrap();
+        assert_eq!(a.centroid_checksum.to_bits(), b.centroid_checksum.to_bits());
+        // On Linux the harness must actually measure the footprint.
+        if peak_rss_bytes().is_some() {
+            assert!(a.streamed_rss_delta_bytes.is_some());
+        }
+    }
+
+    #[test]
     fn validate_rejects_broken_reports() {
         assert!(validate_report("not json").is_err());
         assert!(validate_report("{}").is_err());
@@ -642,21 +1155,71 @@ mod tests {
         assert!(validate_report(wrong_schema)
             .unwrap_err()
             .contains("schema"));
+        let kernel = |name: &str| {
+            format!(
+                r#"{{"name":"{name}","reference_ms":2.0,"optimized_ms":1.0,"speedup":2.0,"details":{{}}}}"#
+            )
+        };
+        let point = r#"{"slices":10,"max_k":2,"wall_ms":1.0,"ns_per_slice":100.0,"centroid_checksum":0.5,"streamed_rss_delta_bytes":null,"materialized_estimate_bytes":1920}"#;
         let missing_kernel = format!(
-            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[{{"name":"cache_access_rw","optimized_ms":1.0,"details":{{}}}}]}}"#
+            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[{}],"scaling":[{point}]}}"#,
+            kernel("cache_access_rw")
         );
         assert!(validate_report(&missing_kernel)
             .unwrap_err()
             .contains("kmeans_sweep"));
+        // v2 demands a speedup on *every* kernel, the cache probe
+        // included.
         let no_speedup = format!(
             r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[
-                {{"name":"kmeans_sweep","optimized_ms":1.0,"details":{{}}}},
-                {{"name":"bbv_projection","reference_ms":2.0,"optimized_ms":1.0,"speedup":2.0,"details":{{}}}},
-                {{"name":"cache_access_rw","optimized_ms":1.0,"details":{{}}}}]}}"#
+                {},{},
+                {{"name":"cache_access_rw","optimized_ms":1.0,"details":{{}}}}],"scaling":[{point}]}}"#,
+            kernel("kmeans_sweep"),
+            kernel("bbv_projection"),
         );
         assert!(validate_report(&no_speedup)
             .unwrap_err()
             .contains("speedup"));
+        // ...and a non-empty scaling grid.
+        let no_scaling = format!(
+            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[{},{},{}],"scaling":[]}}"#,
+            kernel("kmeans_sweep"),
+            kernel("bbv_projection"),
+            kernel("cache_access_rw"),
+        );
+        assert!(validate_report(&no_scaling)
+            .unwrap_err()
+            .contains("scaling"));
+    }
+
+    #[test]
+    fn compare_reports_gates_regressions() {
+        let doc = |cache_ns: f64, scale_ns: f64| {
+            format!(
+                r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[
+                    {{"name":"cache_access_rw","reference_ms":2.0,"optimized_ms":1.0,"speedup":2.0,
+                      "details":{{"accesses":1000,"ns_per_access":{cache_ns},"hits":10}}}}],
+                  "scaling":[{{"slices":10,"max_k":2,"wall_ms":1.0,"ns_per_slice":{scale_ns},
+                    "centroid_checksum":0.5,"streamed_rss_delta_bytes":null,
+                    "materialized_estimate_bytes":1920}}]}}"#
+            )
+        };
+        // Identical and slightly-faster reports pass...
+        compare_reports(&doc(13.0, 900.0), &doc(13.0, 900.0)).unwrap();
+        compare_reports(&doc(12.0, 800.0), &doc(13.0, 900.0)).unwrap();
+        // ...a >10% slowdown on either rate fails...
+        let err = compare_reports(&doc(15.0, 900.0), &doc(13.0, 900.0)).unwrap_err();
+        assert!(err.contains("cache ns_per_access"), "{err}");
+        let err = compare_reports(&doc(13.0, 1100.0), &doc(13.0, 900.0)).unwrap_err();
+        assert!(err.contains("scaling 10x2"), "{err}");
+        // ...and a baseline sharing no metric is an error, not a silent
+        // pass.
+        let other = format!(
+            r#"{{"schema":"{SCHEMA}","benchmark":"x","num_slices":1,"kernels":[],"scaling":[]}}"#
+        );
+        assert!(compare_reports(&doc(13.0, 900.0), &other)
+            .unwrap_err()
+            .contains("nothing comparable"));
     }
 
     #[test]

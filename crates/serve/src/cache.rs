@@ -16,6 +16,7 @@
 //! leave a half-written entry under a final name.
 
 use sampsim_core::stage_cache::StageCache;
+use sampsim_util::bytes::SharedBytes;
 use sampsim_util::codec::{Decoder, Encoder};
 use sampsim_util::hash::fnv64;
 use std::collections::HashMap;
@@ -38,15 +39,17 @@ pub enum Tier {
     Disk,
 }
 
-/// Bounded in-memory LRU over content-addressed byte entries.
+/// Bounded in-memory LRU over content-addressed byte entries. Entries are
+/// [`SharedBytes`] views, so hits are refcount bumps and promoting a disk
+/// entry stores the window over the file read rather than a copy.
 struct MemoryLru {
-    entries: HashMap<u64, (Vec<u8>, u64)>,
+    entries: HashMap<u64, (SharedBytes, u64)>,
     capacity: usize,
     tick: u64,
 }
 
 impl MemoryLru {
-    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+    fn get(&mut self, key: u64) -> Option<SharedBytes> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(&key).map(|(bytes, used)| {
@@ -55,7 +58,7 @@ impl MemoryLru {
         })
     }
 
-    fn put(&mut self, key: u64, bytes: &[u8]) {
+    fn put(&mut self, key: u64, bytes: SharedBytes) {
         if self.capacity == 0 {
             return;
         }
@@ -72,7 +75,7 @@ impl MemoryLru {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, (bytes.to_vec(), self.tick));
+        self.entries.insert(key, (bytes, self.tick));
     }
 }
 
@@ -111,21 +114,25 @@ impl TieredCache {
     }
 
     /// Looks up `key`, reporting which tier answered. Disk hits are
-    /// promoted into the memory tier.
-    pub fn get(&self, key: u64) -> Option<(Vec<u8>, Tier)> {
+    /// promoted into the memory tier; the promoted entry and the returned
+    /// view share the single file-read buffer.
+    pub fn get(&self, key: u64) -> Option<(SharedBytes, Tier)> {
         if let Some(bytes) = self.memory.lock().unwrap().get(key) {
             return Some((bytes, Tier::Memory));
         }
         let dir = self.disk.as_ref()?;
         let bytes = read_entry(&entry_path(dir, key), key)?;
-        self.memory.lock().unwrap().put(key, &bytes);
+        self.memory.lock().unwrap().put(key, bytes.clone());
         Some((bytes, Tier::Disk))
     }
 
     /// Stores `bytes` under `key` in both tiers. Disk failures are
     /// swallowed: the cache is an accelerator, not a dependency.
     pub fn put(&self, key: u64, bytes: &[u8]) {
-        self.memory.lock().unwrap().put(key, bytes);
+        self.memory
+            .lock()
+            .unwrap()
+            .put(key, SharedBytes::from(bytes));
         if let Some(dir) = &self.disk {
             let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
             let _ = write_entry(dir, key, bytes, seq);
@@ -139,7 +146,7 @@ impl TieredCache {
 }
 
 impl StageCache for TieredCache {
-    fn get(&self, key: u64) -> Option<Vec<u8>> {
+    fn get(&self, key: u64) -> Option<SharedBytes> {
         let found = TieredCache::get(self, key).map(|(bytes, _)| bytes);
         if found.is_some() {
             self.stage_hits.fetch_add(1, Ordering::Relaxed);
@@ -171,8 +178,10 @@ fn write_entry(dir: &Path, key: u64, bytes: &[u8], seq: u64) -> std::io::Result<
     result
 }
 
-fn read_entry(path: &Path, key: u64) -> Option<Vec<u8>> {
-    let raw = fs::read(path).ok()?;
+/// Reads and validates a disk entry, returning the payload as a zero-copy
+/// window over the single file read (no second payload copy).
+fn read_entry(path: &Path, key: u64) -> Option<SharedBytes> {
+    let raw = SharedBytes::new(fs::read(path).ok()?);
     let mut dec = Decoder::with_header(&raw, ENTRY_MAGIC, ENTRY_VERSION).ok()?;
     if dec.take_u64().ok()? != key {
         return None;
@@ -182,17 +191,23 @@ fn read_entry(path: &Path, key: u64) -> Option<Vec<u8>> {
         return None;
     }
     let start = raw.len() - dec.remaining();
-    let bytes = raw[start..start + len].to_vec();
+    let payload = raw.slice(start..start + len);
     let mut tail = Decoder::new(&raw[start + len..]);
-    if tail.take_u64().ok()? != fnv64(&bytes) {
+    if tail.take_u64().ok()? != fnv64(&payload) {
         return None;
     }
-    Some(bytes)
+    Some(payload)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Lookup helper: copies the view out so tests can compare owned
+    /// bytes.
+    fn got(cache: &TieredCache, key: u64) -> Option<(Vec<u8>, Tier)> {
+        cache.get(key).map(|(b, t)| (b.to_vec(), t))
+    }
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -207,12 +222,12 @@ mod tests {
         assert!(cache.get(1).is_none());
         cache.put(1, b"one");
         cache.put(2, b"two");
-        assert_eq!(cache.get(1), Some((b"one".to_vec(), Tier::Memory)));
+        assert_eq!(got(&cache, 1), Some((b"one".to_vec(), Tier::Memory)));
         // Key 2 is now the LRU entry; inserting key 3 evicts it.
         cache.put(3, b"three");
         assert!(cache.get(2).is_none());
-        assert_eq!(cache.get(1), Some((b"one".to_vec(), Tier::Memory)));
-        assert_eq!(cache.get(3), Some((b"three".to_vec(), Tier::Memory)));
+        assert_eq!(got(&cache, 1), Some((b"one".to_vec(), Tier::Memory)));
+        assert_eq!(got(&cache, 3), Some((b"three".to_vec(), Tier::Memory)));
     }
 
     #[test]
@@ -224,9 +239,9 @@ mod tests {
         }
         // A fresh cache (cold memory) reads the entry back from disk…
         let cache = TieredCache::new(4, Some(&dir)).unwrap();
-        assert_eq!(cache.get(42), Some((b"payload".to_vec(), Tier::Disk)));
+        assert_eq!(got(&cache, 42), Some((b"payload".to_vec(), Tier::Disk)));
         // …and promotes it to the memory tier.
-        assert_eq!(cache.get(42), Some((b"payload".to_vec(), Tier::Memory)));
+        assert_eq!(got(&cache, 42), Some((b"payload".to_vec(), Tier::Memory)));
         fs::remove_dir_all(&dir).unwrap();
     }
 

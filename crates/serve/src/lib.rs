@@ -419,7 +419,9 @@ fn handle_run(request: &service::RunRequest, shared: &Shared) -> String {
 
 fn cached_response(shared: &Shared, key: u64) -> Option<String> {
     let (bytes, tier) = shared.cache.get(key)?;
-    let line = String::from_utf8(bytes).ok()?;
+    // The reply line needs owned UTF-8; validate in place on the view and
+    // copy once here, at the protocol edge.
+    let line = std::str::from_utf8(&bytes).ok()?.to_string();
     shared.count_tier(tier);
     Some(line)
 }

@@ -72,7 +72,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .as_str()
         .ok_or("\"op\" must be a string")?;
     let allowed: &[&str] = match op {
-        "run" => &["op", "bench", "scale", "slice", "maxk", "strategy"],
+        "run" => &[
+            "op", "bench", "scale", "slice", "maxk", "strategy", "kmeans",
+        ],
         "ping" | "stats" | "shutdown" => &["op"],
         other => return Err(format!("unknown op {other:?}")),
     };
@@ -115,12 +117,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .to_string(),
                 ),
             };
+            let kmeans = match value.get("kmeans") {
+                None => None,
+                Some(v) => Some(v.as_str().ok_or("\"kmeans\" must be a string")?.to_string()),
+            };
             Ok(Request::Run(RunRequest {
                 bench,
                 scale,
                 slice,
                 maxk,
                 strategy,
+                kmeans,
             }))
         }
         "ping" => Ok(Request::Ping),
@@ -210,6 +217,7 @@ pub fn run_request_line(
     slice: Option<u64>,
     maxk: Option<usize>,
     strategy: Option<&str>,
+    kmeans: Option<&str>,
 ) -> String {
     let mut fields = vec![
         "\"op\":\"run\"".to_string(),
@@ -224,6 +232,9 @@ pub fn run_request_line(
     }
     if let Some(name) = strategy {
         fields.push(format!("\"strategy\":{}", json_string(name)));
+    }
+    if let Some(mode) = kmeans {
+        fields.push(format!("\"kmeans\":{}", json_string(mode)));
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -244,6 +255,7 @@ mod tests {
                 slice: Some(20),
                 maxk: Some(6),
                 strategy: None,
+                kmeans: None,
             })
         );
         // Optional fields default.
@@ -256,6 +268,7 @@ mod tests {
                 slice: None,
                 maxk: None,
                 strategy: None,
+                kmeans: None,
             })
         );
     }
@@ -283,6 +296,7 @@ mod tests {
                 slice: Some(0),
                 maxk: Some(0),
                 strategy: None,
+                kmeans: None,
             })
         );
     }
@@ -312,6 +326,10 @@ mod tests {
                 "{\"op\":\"run\",\"bench\":\"x\",\"strategy\":3}",
                 "strategy not a string",
             ),
+            (
+                "{\"op\":\"run\",\"bench\":\"x\",\"kmeans\":3}",
+                "kmeans not a string",
+            ),
             ("{\"op\":\"ping\"} trailing", "trailing garbage"),
         ] {
             assert!(parse_request(line).is_err(), "{why}: {line}");
@@ -320,7 +338,7 @@ mod tests {
 
     #[test]
     fn request_line_roundtrips_through_the_parser() {
-        let line = run_request_line("omnetpp_s", 0.002, None, Some(6), None);
+        let line = run_request_line("omnetpp_s", 0.002, None, Some(6), None, None);
         let r = parse_request(&line).unwrap();
         assert_eq!(
             r,
@@ -330,9 +348,17 @@ mod tests {
                 slice: None,
                 maxk: Some(6),
                 strategy: None,
+                kmeans: None,
             })
         );
-        let line = run_request_line("omnetpp_s", 0.002, Some(20), None, Some("rss"));
+        let line = run_request_line(
+            "omnetpp_s",
+            0.002,
+            Some(20),
+            None,
+            Some("rss"),
+            Some("minibatch"),
+        );
         let r = parse_request(&line).unwrap();
         assert_eq!(
             r,
@@ -342,6 +368,7 @@ mod tests {
                 slice: Some(20),
                 maxk: None,
                 strategy: Some("rss".into()),
+                kmeans: Some("minibatch".into()),
             })
         );
     }

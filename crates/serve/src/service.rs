@@ -15,7 +15,7 @@ use sampsim_core::runs::{self, WarmupMode};
 use sampsim_core::stage_cache::{response_key, StageCache};
 use sampsim_core::CoreError;
 use sampsim_exec::Jobs;
-use sampsim_simpoint::{SimPointOptions, StrategySpec};
+use sampsim_simpoint::{KmeansMode, SimPointOptions, StrategySpec};
 use sampsim_spec2017::{benchmark, BenchmarkId, BenchmarkSpec};
 use sampsim_util::scale::Scale;
 use sampsim_workload::Program;
@@ -38,6 +38,10 @@ pub struct RunRequest {
     /// `invalid-config` reply with rule `SA130`, and a statistically
     /// unsound one the `SA14x` rule that rejected it.
     pub strategy: Option<String>,
+    /// Clustering-kernel override (`None` = `lloyd`): `lloyd` or
+    /// `minibatch` (see `sampsim_simpoint::KmeansMode`). An unknown label
+    /// is a `bad-request` reply.
+    pub kmeans: Option<String>,
 }
 
 /// A request that passed validation and is ready to execute.
@@ -176,6 +180,17 @@ pub fn prepare(request: &RunRequest) -> Result<Prepared, ServiceError> {
     if let Some(maxk) = request.maxk {
         config.simpoint = SimPointOptions {
             max_k: maxk,
+            ..config.simpoint
+        };
+    }
+    if let Some(mode) = &request.kmeans {
+        let mode = KmeansMode::parse(mode).ok_or_else(|| {
+            ServiceError::BadRequest(format!(
+                "unknown kmeans mode {mode:?} (one of: lloyd, minibatch)"
+            ))
+        })?;
+        config.simpoint = SimPointOptions {
+            kmeans_mode: mode,
             ..config.simpoint
         };
     }
@@ -322,6 +337,7 @@ mod tests {
             slice: None,
             maxk: Some(6),
             strategy: None,
+            kmeans: None,
         }
     }
 
@@ -406,6 +422,37 @@ mod tests {
                 assert_ne!(p.key, base.key, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn kmeans_mode_requests_validate_and_key() {
+        let base = prepare(&tiny_request()).unwrap();
+        // Explicit "lloyd" is the default: same response key.
+        let lloyd = prepare(&RunRequest {
+            kmeans: Some("lloyd".into()),
+            ..tiny_request()
+        })
+        .unwrap();
+        assert_eq!(lloyd.key, base.key);
+        // "minibatch" switches the kernel and changes the key.
+        let mb = prepare(&RunRequest {
+            kmeans: Some("minibatch".into()),
+            ..tiny_request()
+        })
+        .unwrap();
+        assert_eq!(
+            mb.config.simpoint.kmeans_mode,
+            sampsim_simpoint::KmeansMode::MiniBatch
+        );
+        assert_ne!(mb.key, base.key);
+        // Unknown labels are a typed bad-request.
+        let err = prepare(&RunRequest {
+            kmeans: Some("hamerly".into()),
+            ..tiny_request()
+        })
+        .unwrap_err();
+        assert_eq!(err.code(), "bad-request");
+        assert!(err.to_string().contains("hamerly"), "{err}");
     }
 
     #[test]

@@ -21,11 +21,12 @@ fn tiny_request() -> RunRequest {
         slice: None,
         maxk: Some(6),
         strategy: None,
+        kmeans: None,
     }
 }
 
 fn tiny_request_line() -> String {
-    protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), None)
+    protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), None, None)
 }
 
 /// The ground truth: exactly what `sampsim run` prints on stdout.
@@ -228,7 +229,7 @@ fn control_and_failure_replies_are_typed() {
     // dropped connection or an untyped error.
     let bad_strategy = client::request_line(
         &addr,
-        &protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), Some("frobnicate")),
+        &protocol::run_request_line("omnetpp_s", 0.002, None, Some(6), Some("frobnicate"), None),
     )
     .unwrap();
     assert!(

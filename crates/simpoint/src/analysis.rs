@@ -1,7 +1,7 @@
 //! The end-to-end SimPoint analysis driver.
 
 use crate::bbv::Bbv;
-use crate::kmeans::KmeansError;
+use crate::kmeans::{KmeansError, KmeansMode};
 use crate::project::DEFAULT_DIM;
 use crate::select::SimPoint;
 use crate::strategy::SimPointStrategy;
@@ -28,6 +28,10 @@ pub struct SimPointOptions {
     /// scored on a deterministic subsample (the final clustering still uses
     /// every slice) — the same cost-control SimPoint 3.0 applies.
     pub sample_size: usize,
+    /// Clustering kernel: full Lloyd (default, bit-identical to the
+    /// reference oracle) or deterministic mini-batch (tolerance-pinned,
+    /// streaming working set).
+    pub kmeans_mode: KmeansMode,
 }
 
 impl Default for SimPointOptions {
@@ -42,6 +46,7 @@ impl Default for SimPointOptions {
             bic_threshold: 0.9,
             seed: 0x51AB_0DD5,
             sample_size: 8_000,
+            kmeans_mode: KmeansMode::Lloyd,
         }
     }
 }

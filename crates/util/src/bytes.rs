@@ -1,0 +1,187 @@
+//! Reference-counted byte views for zero-copy artifact reads.
+//!
+//! Caches and artifact stores hand out payloads that were read from disk
+//! (or built once in memory) to many consumers. Returning `Vec<u8>` from
+//! every lookup copies the payload per hit; [`SharedBytes`] instead wraps
+//! the buffer in an `Arc` and hands out cheaply cloneable *views*. A view
+//! can be narrowed to a sub-range without copying, so a payload embedded
+//! mid-file — after a header, before a checksum — is served as a window
+//! over the single read buffer.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, reference-counted byte view.
+///
+/// Cloning bumps a refcount; [`SharedBytes::slice`] narrows the view
+/// without touching the underlying buffer. Equality and hashing compare
+/// the viewed bytes, not buffer identity.
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// Wraps `bytes` in a view covering the whole buffer (takes ownership;
+    /// no copy).
+    pub fn new(bytes: Vec<u8>) -> Self {
+        let len = bytes.len();
+        Self {
+            buf: bytes.into(),
+            start: 0,
+            len,
+        }
+    }
+
+    /// An empty view.
+    pub fn empty() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// Narrows this view to `range` (relative to the view, not the
+    /// underlying buffer) without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` exceeds the view, exactly like slice indexing.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range {range:?} out of bounds for a view of {} bytes",
+            self.len
+        );
+        Self {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the viewed bytes into a fresh `Vec` (the one deliberate
+    /// copy, for callers that need ownership).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self::new(bytes)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self::new(bytes.to_vec())
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SharedBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_share_the_buffer() {
+        let view = SharedBytes::new(vec![1, 2, 3, 4, 5]);
+        let clone = view.clone();
+        assert_eq!(view, clone);
+        assert_eq!(Arc::as_ptr(&view.buf), Arc::as_ptr(&clone.buf));
+        assert_eq!(&*view, &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slicing_narrows_without_copying() {
+        let view = SharedBytes::new(vec![10, 20, 30, 40, 50]);
+        let mid = view.slice(1..4);
+        assert_eq!(&*mid, &[20, 30, 40]);
+        assert_eq!(Arc::as_ptr(&view.buf), Arc::as_ptr(&mid.buf));
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(1..2);
+        assert_eq!(&*inner, &[30]);
+        // Empty slices at the boundary are fine.
+        assert!(view.slice(5..5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        let view = SharedBytes::new(vec![1, 2, 3]);
+        let _ = view.slice(1..5);
+    }
+
+    #[test]
+    fn equality_compares_content_not_identity() {
+        let a = SharedBytes::new(vec![7, 8, 9]);
+        let b = SharedBytes::from(&[7, 8, 9][..]);
+        assert_eq!(a, b);
+        assert_eq!(a, [7, 8, 9]);
+        assert_ne!(a.slice(0..2), b);
+        assert_eq!(a.to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = SharedBytes::empty();
+        assert!(view.is_empty());
+        assert_eq!(view.len(), 0);
+        assert_eq!(&*view, &[] as &[u8]);
+    }
+}

@@ -10,6 +10,8 @@
 //!   comparing sampled runs against whole runs.
 //! * [`codec`] — a small, versioned binary serialization layer used for the
 //!   on-disk pinball and artifact formats.
+//! * [`bytes`] — reference-counted byte views ([`bytes::SharedBytes`]) for
+//!   zero-copy artifact and cache reads.
 //! * [`table`] — fixed-width ASCII table rendering for the benchmark harness
 //!   (every paper table/figure is printed through this).
 //! * [`plot`] — ASCII line charts for trend exhibits (Figs. 4 and 9).
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod codec;
 pub mod hash;
 pub mod json;

@@ -40,16 +40,38 @@ echo "==> sampsim audit --artifacts (shipped .art summaries)"
 # generators or the bounds derivation fails here.
 cargo run --release -q -p sampsim-cli -- audit --scale 0.01 --deny-warnings --artifacts artifacts
 
-echo "==> sampsim perf --quick (kernel smoke + report schema)"
+echo "==> sampsim perf --quick (kernel smoke + scaling grid + regression gate)"
 # Times the optimized kernels against their naive references at smoke
-# sizes — every timed pair is asserted bit-identical — then validates
-# the emitted report and the committed baseline against the schema.
+# sizes — every timed pair is asserted identical — runs the quick
+# streaming scaling point (peak-RSS asserted inside the harness), and
+# gates the size-normalized rates against the committed baseline: any
+# shared metric more than 10% slower fails.
 perf_report="$(mktemp)"
 serve_dir="$(mktemp -d)"
 trap 'rm -rf "$perf_report" "$serve_dir"' EXIT
-cargo run --release -q -p sampsim-cli -- perf --quick -o "$perf_report" > /dev/null
+cargo run --release -q -p sampsim-cli -- perf --quick -o "$perf_report" \
+    --baseline BENCH_kernels.json > /dev/null
 cargo run --release -q -p sampsim-cli -- perf --validate "$perf_report"
 cargo run --release -q -p sampsim-cli -- perf --validate BENCH_kernels.json
+# The committed full-run baseline must hold the paper-grade cache bound:
+# the packed probe at or below 15 ns/access.
+python3 - <<'EOF'
+import json
+with open("BENCH_kernels.json") as f:
+    report = json.load(f)
+cache = next(k for k in report["kernels"] if k["name"] == "cache_access_rw")
+ns = cache["details"]["ns_per_access"]
+assert ns <= 15.0, f"committed cache probe is {ns} ns/access (bound: 15)"
+# The committed scaling grid must include the million-slice streaming
+# point, and its measured footprint must stay far below what the
+# materialized path would need.
+point = next(
+    p for p in report["scaling"] if p["slices"] == 1_000_000 and p["max_k"] == 35
+)
+rss = point["streamed_rss_delta_bytes"]
+assert rss is None or rss <= 64 << 20, f"streamed RSS delta {rss} exceeds 64 MiB"
+assert point["materialized_estimate_bytes"] > 200 << 20, "estimate formula drifted"
+EOF
 
 echo "==> sampsim serve smoke (daemon reply == run stdout)"
 # Starts the daemon on an ephemeral port, sends one request, checks the
@@ -114,5 +136,6 @@ done
 # plumbing end to end).
 "$sampsim_bin" lint --explain SA140 > /dev/null
 "$sampsim_bin" lint --explain SA145 > /dev/null
+"$sampsim_bin" lint --explain SA150 > /dev/null
 
 echo "all checks passed"
