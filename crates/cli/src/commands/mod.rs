@@ -2,6 +2,7 @@
 
 mod audit;
 mod compare;
+mod fleet;
 mod lint;
 mod perf;
 mod plan;
@@ -9,6 +10,7 @@ mod serve;
 
 pub use audit::audit;
 pub use compare::compare;
+pub use fleet::{fleet, loadgen};
 pub use lint::{explain, lint};
 pub use perf::perf;
 pub use plan::plan;

@@ -1,0 +1,331 @@
+//! End-to-end tests for the fleet layer: placement determinism, reply
+//! byte-identity through the router across cold/warm/coalesced paths,
+//! peer warming + rebalance, typed degraded replies for dead shards,
+//! and the streamed suite batch op.
+//!
+//! Every test binds ephemeral loopback ports and uses the tiny scaled
+//! `620.omnetpp_s` configuration so a pipeline execution costs fractions
+//! of a second.
+
+use sampsim_core::stage_cache::NoCache;
+use sampsim_exec::Jobs;
+use sampsim_fleet::ring::Ring;
+use sampsim_fleet::router::{Router, RouterConfig};
+use sampsim_fleet::{Fleet, FleetConfig};
+use sampsim_serve::service::{self, RunRequest};
+use sampsim_serve::{client, protocol, ServeConfig, Server};
+use sampsim_util::json;
+
+fn tiny_request(maxk: usize) -> RunRequest {
+    RunRequest {
+        bench: "omnetpp_s".into(),
+        scale: 0.002,
+        slice: None,
+        maxk: Some(maxk),
+        strategy: None,
+        kmeans: None,
+    }
+}
+
+fn tiny_request_line(maxk: usize) -> String {
+    protocol::run_request_line("omnetpp_s", 0.002, None, Some(maxk), None, None)
+}
+
+/// The ground truth: exactly what `sampsim run` prints on stdout.
+fn reference_document(maxk: usize) -> String {
+    service::run_document(&tiny_request(maxk), sampsim_exec::SERIAL, &NoCache).unwrap()
+}
+
+/// A fleet config sized for tests: small pools, ephemeral everything.
+fn test_fleet(shards: usize) -> FleetConfig {
+    FleetConfig {
+        shard_workers: Jobs::new(2).unwrap(),
+        router_workers: Jobs::new(4).unwrap(),
+        ..FleetConfig::ephemeral(shards)
+    }
+}
+
+/// Tentpole contract: N concurrent identical requests through a 2-shard
+/// fleet all receive bytes identical to `sampsim run` stdout, the fleet
+/// executed the pipeline exactly once (cold + coalesced + warm paths all
+/// converge), and the router warmed the sibling shard.
+#[test]
+fn fleet_replies_are_byte_identical_across_cold_warm_coalesced_paths() {
+    const CLIENTS: usize = 4;
+    let reference = reference_document(6);
+    let fleet = Fleet::spawn(&test_fleet(2)).unwrap();
+    let addr = fleet.addr().to_string();
+
+    // Cold + coalesced: concurrent identical requests.
+    let replies: Vec<String> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| s.spawn(|| client::request_line(&addr, &tiny_request_line(6)).unwrap()))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for reply in &replies {
+        assert_eq!(reply, &reference, "routed bytes != `sampsim run` stdout");
+    }
+    // Warm: one more sequential request is a pure cache hit.
+    assert_eq!(
+        client::request_line(&addr, &tiny_request_line(6)).unwrap(),
+        reference
+    );
+
+    // Fleet-wide stats aggregate all shard counters and carry the
+    // fleet-level shape.
+    let stats_line = client::request_line(&addr, "{\"op\":\"stats\"}").unwrap();
+    let v = json::parse(&stats_line).unwrap();
+    assert_eq!(
+        v.get("shards").unwrap().as_f64().unwrap(),
+        2.0,
+        "{stats_line}"
+    );
+    assert_eq!(v.get("unreachable").unwrap().as_f64().unwrap(), 0.0);
+    let aggregated = sampsim_serve::Stats::from_json(&stats_line).unwrap();
+    assert_eq!(aggregated.executions, 1, "{stats_line}");
+
+    assert_eq!(
+        client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap(),
+        "{\"ok\":\"shutdown\"}"
+    );
+    let report = fleet.wait().unwrap();
+    let totals = report.totals();
+    assert_eq!(totals.executions, 1, "exactly one pipeline run: {totals:?}");
+    assert_eq!(
+        totals.coalesced + totals.mem_hits,
+        CLIENTS as u64,
+        "every non-leader coalesced or hit: {totals:?}"
+    );
+    assert!(totals.peer_warms >= 1, "sibling was warmed: {totals:?}");
+    assert!(report.router.peer_warms_sent >= 1, "{:?}", report.router);
+    assert_eq!(report.router.degraded, 0);
+}
+
+/// Placement is a pure function of (key, slot count): two fleets over
+/// the same shard count place the same configs on the same slots, pinned
+/// by each slot's execution counter.
+#[test]
+fn shard_placement_is_deterministic_across_fleets() {
+    let maxks = [3usize, 4, 5, 7, 8];
+    let per_slot = |report: &sampsim_fleet::FleetReport| -> Vec<u64> {
+        report.shards.iter().map(|s| s.executions).collect()
+    };
+    let run_fleet = || {
+        let fleet = Fleet::spawn(&test_fleet(2)).unwrap();
+        let addr = fleet.addr().to_string();
+        for &maxk in &maxks {
+            let reply = client::request_line(&addr, &tiny_request_line(maxk)).unwrap();
+            assert!(!protocol::is_error_reply(&reply), "{reply}");
+        }
+        client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();
+        fleet.wait().unwrap()
+    };
+    let first = run_fleet();
+    let second = run_fleet();
+    assert_eq!(per_slot(&first), per_slot(&second), "placement moved");
+    assert_eq!(per_slot(&first).iter().sum::<u64>(), maxks.len() as u64);
+    // And the placement matches the ring applied to the routing keys.
+    let ring = Ring::new(2);
+    let mut expected = vec![0u64; 2];
+    for &maxk in &maxks {
+        let key = service::route_key(&tiny_request(maxk)).unwrap();
+        expected[ring.route(key)] += 1;
+    }
+    assert_eq!(per_slot(&first), expected);
+}
+
+/// Failure semantics: killing one shard turns its keys into typed
+/// `degraded` replies — never hangs or dropped connections — while the
+/// surviving shard's keys keep serving byte-identical documents.
+#[test]
+fn dead_shard_yields_typed_degraded_replies_and_the_fleet_survives() {
+    let fleet = Fleet::spawn(&test_fleet(2)).unwrap();
+    let addr = fleet.addr().to_string();
+    let ring = Ring::new(2);
+
+    // Find one config per slot (deterministically, via the real keys).
+    let slot_config = |slot: usize| -> usize {
+        (3..64)
+            .find(|&maxk| ring.route(service::route_key(&tiny_request(maxk)).unwrap()) == slot)
+            .expect("both slots own some config")
+    };
+    let dead_slot = 0;
+    let dead_maxk = slot_config(dead_slot);
+    let live_maxk = slot_config(1 - dead_slot);
+
+    // Kill slot 0's daemon directly (not through the router).
+    client::request_line(
+        fleet.shard_addrs()[dead_slot].as_str(),
+        "{\"op\":\"shutdown\"}",
+    )
+    .unwrap();
+
+    // Keys owned by the dead slot: typed degraded reply naming it.
+    let degraded = client::request_line(&addr, &tiny_request_line(dead_maxk)).unwrap();
+    assert!(degraded.contains("\"code\":\"degraded\""), "{degraded}");
+    assert!(
+        degraded.contains(&format!("shard {dead_slot}")),
+        "{degraded}"
+    );
+
+    // Keys owned by the survivor: still byte-identical.
+    assert_eq!(
+        client::request_line(&addr, &tiny_request_line(live_maxk)).unwrap(),
+        reference_document(live_maxk)
+    );
+
+    // Fleet stats report the dead shard instead of failing.
+    let stats_line = client::request_line(&addr, "{\"op\":\"stats\"}").unwrap();
+    let v = json::parse(&stats_line).unwrap();
+    assert_eq!(v.get("unreachable").unwrap().as_f64().unwrap(), 1.0);
+
+    client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    let report = fleet.wait().unwrap();
+    assert!(report.router.degraded >= 1, "{:?}", report.router);
+}
+
+/// The rebalance story end to end: serve a key through a 2-shard fleet
+/// (which peer-warms the key's second-preference shard), kill the owner,
+/// put a new router over the survivor — and the same request is served
+/// from the survivor's cache with ZERO new pipeline executions.
+#[test]
+fn peer_warming_makes_rebalance_hit_the_sibling_cache() {
+    let serve_config = |_: usize| ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: None,
+        workers: Jobs::new(2).unwrap(),
+        ..ServeConfig::default()
+    };
+    let shard_a = Server::bind(serve_config(0)).unwrap().spawn();
+    let shard_b = Server::bind(serve_config(1)).unwrap().spawn();
+    let backends = vec![shard_a.addr().to_string(), shard_b.addr().to_string()];
+
+    // A config owned by slot 0 under a 2-slot ring.
+    let ring = Ring::new(2);
+    let maxk = (3..64)
+        .find(|&maxk| ring.route(service::route_key(&tiny_request(maxk)).unwrap()) == 0)
+        .unwrap();
+    let key = service::route_key(&tiny_request(maxk)).unwrap();
+    assert_eq!(ring.preference(key), vec![0, 1]);
+    let reference = reference_document(maxk);
+
+    // Serve it through a router over [A, B]: A executes, B gets warmed.
+    let router = Router::bind(RouterConfig::over("127.0.0.1:0", backends.clone()))
+        .unwrap()
+        .spawn();
+    let router_addr = router.addr().to_string();
+    assert_eq!(
+        client::request_line(&router_addr, &tiny_request_line(maxk)).unwrap(),
+        reference
+    );
+    // Kill the owner shard directly (the router's own shutdown op would
+    // fan to both shards; the survivor must stay up for the rebalance).
+    client::request_line(&backends[0], "{\"op\":\"shutdown\"}").unwrap();
+    let stats_a = shard_a.wait().unwrap();
+    assert_eq!(stats_a.executions, 1, "A executed the cold run");
+
+    // Rebalance: a new router over the SURVIVOR only. The key's new
+    // owner is its old second preference — exactly the shard peer
+    // warming filled.
+    let rebalanced = Router::bind(RouterConfig::over("127.0.0.1:0", vec![backends[1].clone()]))
+        .unwrap()
+        .spawn();
+    let rebalanced_addr = rebalanced.addr().to_string();
+    assert_eq!(
+        client::request_line(&rebalanced_addr, &tiny_request_line(maxk)).unwrap(),
+        reference,
+        "rebalanced reply must still be byte-identical"
+    );
+    // Tear down: the rebalanced router's shutdown fans to B; the first
+    // router's fan-out then hits two dead shards, which is fine.
+    client::request_line(&rebalanced_addr, "{\"op\":\"shutdown\"}").unwrap();
+    rebalanced.wait().unwrap();
+    client::request_line(&router_addr, "{\"op\":\"shutdown\"}").unwrap();
+    router.wait().unwrap();
+    let stats_b = shard_b.wait().unwrap();
+    assert_eq!(
+        stats_b.executions, 0,
+        "the warmed sibling must answer from cache: {stats_b:?}"
+    );
+    assert_eq!(stats_b.peer_warms, 1, "{stats_b:?}");
+    assert_eq!(stats_b.mem_hits, 1, "{stats_b:?}");
+}
+
+/// The batch op: items stream back in request order, each carrying the
+/// verbatim per-benchmark reply (documents for valid benchmarks, typed
+/// errors for invalid ones), terminated by an accurate summary.
+#[test]
+fn suite_requests_stream_ordered_items_and_a_summary() {
+    let reference = reference_document(6);
+    let fleet = Fleet::spawn(&test_fleet(2)).unwrap();
+    let addr = fleet.addr().to_string();
+
+    let template = RunRequest {
+        bench: String::new(),
+        ..tiny_request(6)
+    };
+    let line = protocol::suite_request_line(&["620.omnetpp_s", "nope"], &template);
+    let mut items = Vec::new();
+    let summary =
+        client::request_stream(&addr, &line, |item| items.push(item.to_string())).unwrap();
+
+    assert_eq!(items.len(), 2, "{items:?}");
+    let first = json::parse(&items[0]).unwrap();
+    assert_eq!(first.get("item").unwrap().as_f64().unwrap(), 0.0);
+    assert_eq!(
+        first.get("bench").unwrap().as_str().unwrap(),
+        "620.omnetpp_s"
+    );
+    // The embedded reply is the exact run document.
+    let reply_start = items[0].find("\"reply\":").unwrap() + "\"reply\":".len();
+    assert_eq!(&items[0][reply_start..items[0].len() - 1], reference);
+
+    let second = json::parse(&items[1]).unwrap();
+    assert_eq!(second.get("item").unwrap().as_f64().unwrap(), 1.0);
+    assert_eq!(
+        second
+            .get("reply")
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "unknown-bench"
+    );
+
+    let v = json::parse(&summary).unwrap();
+    assert_eq!(v.get("items").unwrap().as_f64().unwrap(), 2.0, "{summary}");
+    assert_eq!(v.get("errors").unwrap().as_f64().unwrap(), 1.0);
+
+    client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    fleet.wait().unwrap();
+}
+
+/// A single-shard fleet still honors the whole protocol surface through
+/// the router (ping via the retrying client, peer warming auto-disabled).
+#[test]
+fn single_shard_fleet_serves_the_full_protocol() {
+    let fleet = Fleet::spawn(&test_fleet(1)).unwrap();
+    let addr = fleet.addr().to_string();
+    let policy = client::RetryPolicy {
+        attempts: 4,
+        base_ms: 5,
+        max_ms: 50,
+        seed: 7,
+    };
+    let got = client::request_line_with_retry(&addr, "{\"op\":\"ping\"}", &policy).unwrap();
+    assert_eq!(got.reply, "{\"ok\":\"pong\"}");
+    assert_eq!(got.attempts, 1);
+    assert_eq!(
+        client::request_line(&addr, &tiny_request_line(6)).unwrap(),
+        reference_document(6)
+    );
+    client::request_line(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    let report = fleet.wait().unwrap();
+    // With one shard there is no sibling to warm.
+    assert_eq!(report.router.peer_warms_sent, 0);
+    assert_eq!(report.totals().peer_warms, 0);
+}

@@ -29,6 +29,13 @@ use std::sync::Mutex;
 pub const ENTRY_MAGIC: u32 = 0x53_534343; // "SSCC"
 /// On-disk entry format version.
 pub const ENTRY_VERSION: u16 = 1;
+/// Name of the version-stamp file written into every cache directory.
+pub const STAMP_FILE: &str = "CACHE_FORMAT";
+
+/// The exact version-stamp contents for this build's entry format.
+fn stamp_contents() -> String {
+    format!("sampsim-serve-cache/{ENTRY_VERSION}\n")
+}
 
 /// Which tier answered a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,20 +93,53 @@ pub struct TieredCache {
     /// Hits observed through the [`StageCache`] trait (pipeline-internal
     /// profiling-stage reuse), for the `stats` reply.
     stage_hits: AtomicU64,
-    /// Unique suffix source for temp files.
-    temp_seq: AtomicU64,
 }
+
+/// Process-wide unique suffix source for temp files. Per-*instance*
+/// counters are not enough: two caches over the same directory in one
+/// process (fleet shards under one `--cache-dir` root, a daemon plus a
+/// warm-filling router) would both start at 0 and, with the same pid in
+/// the name, collide on the very first write of a shared key — one
+/// writer's `fs::write` then interleaves with the other's rename and a
+/// torn entry gets renamed under the final name.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl TieredCache {
     /// Creates a cache with an in-memory capacity of `mem_entries` and an
     /// optional on-disk tier rooted at `dir` (created if missing).
     ///
+    /// Every cache directory carries a version stamp ([`STAMP_FILE`]). A
+    /// directory stamped by an *incompatible* entry format is rejected —
+    /// inheriting it would be silently useless at best (every entry reads
+    /// as a miss) and is the kind of ambiguity that hides real
+    /// corruption. An unstamped directory (fresh, or pre-stamp) is
+    /// adopted and stamped.
+    ///
     /// # Errors
     ///
-    /// Returns the I/O error when the cache directory cannot be created.
+    /// Returns the I/O error when the cache directory cannot be created
+    /// or its version stamp mismatches this build's entry format.
     pub fn new(mem_entries: usize, dir: Option<&Path>) -> std::io::Result<Self> {
         if let Some(dir) = dir {
             fs::create_dir_all(dir)?;
+            let stamp = dir.join(STAMP_FILE);
+            match fs::read_to_string(&stamp) {
+                Ok(found) if found != stamp_contents() => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "cache dir {} is stamped {:?} but this build writes {:?}; \
+                             refusing to inherit it (delete the directory or point \
+                             --cache-dir elsewhere)",
+                            dir.display(),
+                            found.trim_end(),
+                            stamp_contents().trim_end()
+                        ),
+                    ));
+                }
+                Ok(_) => {}
+                Err(_) => fs::write(&stamp, stamp_contents())?,
+            }
         }
         Ok(Self {
             memory: Mutex::new(MemoryLru {
@@ -109,7 +149,6 @@ impl TieredCache {
             }),
             disk: dir.map(Path::to_path_buf),
             stage_hits: AtomicU64::new(0),
-            temp_seq: AtomicU64::new(0),
         })
     }
 
@@ -134,7 +173,7 @@ impl TieredCache {
             .unwrap()
             .put(key, SharedBytes::from(bytes));
         if let Some(dir) = &self.disk {
-            let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+            let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
             let _ = write_entry(dir, key, bytes, seq);
         }
     }
@@ -272,6 +311,83 @@ mod tests {
         // Garbage header.
         fs::write(&path, b"garbage").unwrap();
         assert!(cache.get(7).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_dir_is_stamped_and_mismatches_are_rejected() {
+        let dir = temp_dir("stamp");
+        {
+            let _cache = TieredCache::new(4, Some(&dir)).unwrap();
+            let stamp = fs::read_to_string(dir.join(STAMP_FILE)).unwrap();
+            assert_eq!(stamp, stamp_contents());
+        }
+        // Reopening a correctly stamped directory works.
+        assert!(TieredCache::new(4, Some(&dir)).is_ok());
+        // A directory stamped by a different entry format is refused —
+        // never silently inherited.
+        fs::write(dir.join(STAMP_FILE), "sampsim-serve-cache/999\n").unwrap();
+        let err = TieredCache::new(4, Some(&dir)).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("refusing to inherit"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The concurrent shard warm-fill shape: several cache instances
+    /// share one directory (distinct shards, a router warm-filling a
+    /// sibling) and hammer the *same* key with different payloads while
+    /// readers race them. Every successful read must be one of the
+    /// payloads, intact — never a torn or interleaved entry.
+    #[test]
+    fn concurrent_same_key_writes_never_tear() {
+        let dir = temp_dir("race");
+        const KEY: u64 = 99;
+        const WRITERS: usize = 4;
+        const ROUNDS: usize = 50;
+        // Payloads of very different lengths so an interleaved write is
+        // structurally detectable, each self-describing.
+        let payloads: Vec<Vec<u8>> = (0..WRITERS)
+            .map(|w| {
+                let mut p = format!("writer-{w}:").into_bytes();
+                p.extend(std::iter::repeat_n(b'a' + w as u8, 64 << w));
+                p
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for payload in &payloads {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    // mem_entries 0: every put is a pure disk write,
+                    // every get a fresh disk read.
+                    let cache = TieredCache::new(0, Some(&dir)).unwrap();
+                    for _ in 0..ROUNDS {
+                        cache.put(KEY, payload);
+                    }
+                });
+            }
+            let dir = dir.clone();
+            let payloads = &payloads;
+            s.spawn(move || {
+                let cache = TieredCache::new(0, Some(&dir)).unwrap();
+                let mut seen = 0;
+                for _ in 0..ROUNDS * 4 {
+                    if let Some((bytes, _)) = cache.get(KEY) {
+                        seen += 1;
+                        assert!(
+                            payloads.iter().any(|p| p[..] == bytes[..]),
+                            "read a torn entry of {} bytes",
+                            bytes.len()
+                        );
+                    }
+                }
+                // The race window is tiny; most reads must succeed.
+                assert!(seen > 0, "reader never saw a valid entry");
+            });
+        });
+        // After the dust settles the entry is one intact payload.
+        let cache = TieredCache::new(0, Some(&dir)).unwrap();
+        let (bytes, _) = cache.get(KEY).expect("final entry must be readable");
+        assert!(payloads.iter().any(|p| p[..] == bytes[..]));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,17 +23,24 @@
 //! # Lifecycle
 //!
 //! ```text
-//! accept → bounded queue (Busy when full) → worker pool
+//! accept (readiness poll loop, [`acceptor`]) → complete request line
+//!        → bounded queue (Busy when full) → worker pool
 //!        → validate (analyze lints) → response cache → coalesce → pipeline
 //! ```
 //!
+//! Connection intake is readiness-driven: a single poll-loop thread owns
+//! every connection until its request line is complete, so an idle or
+//! slow-writing client never pins a worker thread ([`acceptor`]).
+//!
 //! Shutdown (`{"op":"shutdown"}`) is graceful: the acceptor stops taking
-//! connections, workers drain every already-queued request, and
-//! [`Server::serve`] returns the final [`Stats`].
+//! connections, drains the request lines of every already-accepted
+//! connection, workers drain the queue, and [`Server::serve`] returns
+//! the final [`Stats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acceptor;
 pub mod cache;
 pub mod client;
 pub mod coalesce;
@@ -44,14 +51,14 @@ use cache::{Tier, TieredCache};
 use coalesce::{Claim, Coalescer};
 use protocol::Request;
 use sampsim_exec::Jobs;
+use sampsim_util::json;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
 
 /// Default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
@@ -106,24 +113,90 @@ pub struct Stats {
     pub busy_rejects: u64,
     /// Profiling-stage cache hits inside the pipeline.
     pub stage_hits: u64,
+    /// Cache entries stored via the fleet `peer-put` warming protocol.
+    pub peer_warms: u64,
 }
 
 impl Stats {
+    /// The counter names, in reply order (shared by the renderer, the
+    /// parser, and the fleet aggregator).
+    pub const FIELDS: [&'static str; 9] = [
+        "requests",
+        "executions",
+        "coalesced",
+        "mem_hits",
+        "disk_hits",
+        "misses",
+        "busy_rejects",
+        "stage_hits",
+        "peer_warms",
+    ];
+
+    fn field(&self, name: &str) -> u64 {
+        match name {
+            "requests" => self.requests,
+            "executions" => self.executions,
+            "coalesced" => self.coalesced,
+            "mem_hits" => self.mem_hits,
+            "disk_hits" => self.disk_hits,
+            "misses" => self.misses,
+            "busy_rejects" => self.busy_rejects,
+            "stage_hits" => self.stage_hits,
+            "peer_warms" => self.peer_warms,
+            other => unreachable!("unknown stats field {other:?}"),
+        }
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut u64 {
+        match name {
+            "requests" => &mut self.requests,
+            "executions" => &mut self.executions,
+            "coalesced" => &mut self.coalesced,
+            "mem_hits" => &mut self.mem_hits,
+            "disk_hits" => &mut self.disk_hits,
+            "misses" => &mut self.misses,
+            "busy_rejects" => &mut self.busy_rejects,
+            "stage_hits" => &mut self.stage_hits,
+            "peer_warms" => &mut self.peer_warms,
+            other => unreachable!("unknown stats field {other:?}"),
+        }
+    }
+
     /// Renders the `stats` reply line.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"ok\":\"stats\",\"requests\":{},\"executions\":{},\"coalesced\":{},\
-             \"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"busy_rejects\":{},\
-             \"stage_hits\":{}}}",
-            self.requests,
-            self.executions,
-            self.coalesced,
-            self.mem_hits,
-            self.disk_hits,
-            self.misses,
-            self.busy_rejects,
-            self.stage_hits
-        )
+        let fields: Vec<String> = Self::FIELDS
+            .iter()
+            .map(|name| format!("\"{name}\":{}", self.field(name)))
+            .collect();
+        format!("{{\"ok\":\"stats\",{}}}", fields.join(","))
+    }
+
+    /// Parses a `stats` reply line back into counters — the inverse of
+    /// [`Stats::to_json`], used by the fleet router to aggregate shard
+    /// stats. Unknown fields are ignored (forward compatibility); a
+    /// missing field reads as zero.
+    pub fn from_json(line: &str) -> Option<Stats> {
+        let value = json::parse(line).ok()?;
+        if value.get("ok")?.as_str()? != "stats" {
+            return None;
+        }
+        let mut stats = Stats::default();
+        for name in Self::FIELDS {
+            if let Some(v) = value.get(name).and_then(|v| v.as_f64()) {
+                if v.is_finite() && v >= 0.0 {
+                    *stats.field_mut(name) = v as u64;
+                }
+            }
+        }
+        Some(stats)
+    }
+
+    /// Adds another snapshot's counters into this one (fleet-wide
+    /// aggregation).
+    pub fn merge(&mut self, other: &Stats) {
+        for name in Self::FIELDS {
+            *self.field_mut(name) += other.field(name);
+        }
     }
 }
 
@@ -137,6 +210,7 @@ struct Counters {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     busy_rejects: AtomicU64,
+    peer_warms: AtomicU64,
 }
 
 impl Counters {
@@ -145,16 +219,20 @@ impl Counters {
     }
 }
 
-/// State shared across the acceptor and the worker pool.
+/// State shared across the acceptor and the worker pool. The queue holds
+/// complete request lines (the acceptor already read them), so workers
+/// never block on client I/O.
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, String)>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Set (under the queue lock) when the acceptor thread has exited;
+    /// workers may only stop once no more dispatches can arrive.
+    acceptor_done: AtomicBool,
     counters: Counters,
     cache: TieredCache,
     coalescer: Coalescer,
     queue_depth: usize,
-    addr: SocketAddr,
 }
 
 impl Shared {
@@ -168,6 +246,7 @@ impl Shared {
             misses: self.counters.misses.load(Ordering::Relaxed),
             busy_rejects: self.counters.busy_rejects.load(Ordering::Relaxed),
             stage_hits: self.cache.stage_hits(),
+            peer_warms: self.counters.peer_warms.load(Ordering::Relaxed),
         }
     }
 
@@ -175,6 +254,25 @@ impl Shared {
         match tier {
             Tier::Memory => Counters::bump(&self.counters.mem_hits),
             Tier::Disk => Counters::bump(&self.counters.disk_hits),
+        }
+    }
+}
+
+impl acceptor::AcceptControl for Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn dispatch(&self, stream: TcpStream, line: String) {
+        let mut queue = self.queue.lock().unwrap();
+        if queue.len() >= self.queue_depth {
+            drop(queue);
+            Counters::bump(&self.counters.busy_rejects);
+            write_reply_line(stream, &protocol::busy_reply(self.queue_depth));
+        } else {
+            queue.push_back((stream, line));
+            drop(queue);
+            self.available.notify_one();
         }
     }
 }
@@ -219,23 +317,31 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            acceptor_done: AtomicBool::new(false),
             counters: Counters::default(),
             cache,
             coalescer: Coalescer::new(),
             queue_depth: self.config.queue_depth.max(1),
-            addr: self.addr,
         };
         let worker_ids: Vec<usize> = (0..self.config.workers.get()).collect();
         std::thread::scope(|s| {
-            let acceptor = s.spawn(|| accept_loop(&self.listener, &shared));
+            let acceptor = s.spawn(|| {
+                let result = acceptor::accept_loop(&self.listener, &shared);
+                // Flip the done flag under the queue lock so no worker
+                // can check it between a failed pop and its wait.
+                let _queue = shared.queue.lock().unwrap();
+                shared.acceptor_done.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                result
+            });
             // The bounded worker pool: one long-lived task per worker,
             // scheduled by the sampsim_exec pool.
             sampsim_exec::parallel_map(self.config.workers, &worker_ids, |_, _| {
                 worker_loop(&shared)
             });
-            acceptor.join().expect("acceptor does not panic");
-        });
-        Ok(shared.stats())
+            acceptor.join().expect("acceptor does not panic")?;
+            Ok(shared.stats())
+        })
     }
 
     /// Runs [`Server::serve`] on a background thread — the in-process
@@ -273,42 +379,17 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // the shutdown wake-up (or a straggler)
-                }
-                let mut queue = shared.queue.lock().unwrap();
-                if queue.len() >= shared.queue_depth {
-                    drop(queue);
-                    Counters::bump(&shared.counters.busy_rejects);
-                    write_reply(stream, &protocol::busy_reply(shared.queue_depth));
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.available.notify_one();
-                }
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Pops queued connections until the queue is empty *and* shutdown is
-/// flagged — queued work admitted before a shutdown is always served.
-fn next_connection(shared: &Shared) -> Option<TcpStream> {
+/// Pops queued requests until the queue is empty *and* the acceptor has
+/// exited — dispatched work is always served, and the acceptor itself
+/// drains already-accepted connections before exiting, so queued work
+/// admitted before a shutdown is never dropped.
+fn next_request(shared: &Shared) -> Option<(TcpStream, String)> {
     let mut queue = shared.queue.lock().unwrap();
     loop {
-        if let Some(stream) = queue.pop_front() {
-            return Some(stream);
+        if let Some(item) = queue.pop_front() {
+            return Some(item);
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.acceptor_done.load(Ordering::SeqCst) {
             return None;
         }
         queue = shared.available.wait(queue).unwrap();
@@ -316,56 +397,64 @@ fn next_connection(shared: &Shared) -> Option<TcpStream> {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = next_connection(shared) {
-        if handle_connection(stream, shared) {
+    while let Some((stream, line)) = next_request(shared) {
+        if handle_request(stream, &line, shared) {
             initiate_shutdown(shared);
         }
     }
 }
 
+/// Flags shutdown; the acceptor's poll loop observes the flag, drains
+/// its pending connections, and exits, which in turn releases the
+/// workers once the queue is empty.
 fn initiate_shutdown(shared: &Shared) {
-    {
-        // Hold the queue lock while flipping the flag so no worker can
-        // check it between a failed pop and its wait (missed-wakeup race).
-        let _queue = shared.queue.lock().unwrap();
-        shared.shutdown.store(true, Ordering::SeqCst);
-        shared.available.notify_all();
-    }
-    // Wake the acceptor out of accept().
-    let _ = TcpStream::connect(shared.addr);
+    shared.shutdown.store(true, Ordering::SeqCst);
 }
 
-/// Serves one connection (one request line, one reply line). Returns
+/// Serves one already-read request line (one reply line). Returns
 /// whether a shutdown was requested.
-fn handle_connection(stream: TcpStream, shared: &Shared) -> bool {
+fn handle_request(stream: TcpStream, line: &str, shared: &Shared) -> bool {
     Counters::bump(&shared.counters.requests);
-    let line = match read_request_line(&stream) {
-        Ok(line) => line,
-        Err(message) => {
-            write_reply(stream, &protocol::error_reply("bad-request", &message));
-            return false;
-        }
-    };
-    match protocol::parse_request(line.trim_end_matches(['\r', '\n'])) {
+    match protocol::parse_request(line) {
         Ok(Request::Run(request)) => {
             let reply = handle_run(&request, shared);
-            write_reply(stream, &reply);
+            write_reply_line(stream, &reply);
             false
         }
         Ok(Request::Ping) => {
-            write_reply(stream, &protocol::pong_reply());
+            write_reply_line(stream, &protocol::pong_reply());
             false
         }
         Ok(Request::Stats) => {
-            write_reply(stream, &shared.stats().to_json());
+            write_reply_line(stream, &shared.stats().to_json());
             false
         }
         Ok(Request::Shutdown) => {
-            write_reply(stream, &protocol::shutdown_reply());
+            write_reply_line(stream, &protocol::shutdown_reply());
             true
         }
+        Ok(Request::Suite { .. }) => {
+            // Batch fan-out is the fleet router's job; the daemon's
+            // one-line reply discipline stays intact.
+            write_reply_line(
+                stream,
+                &protocol::error_reply(
+                    "bad-request",
+                    "op \"suite\" is served by the fleet router (sampsim fleet)",
+                ),
+            );
+            false
+        }
+        Ok(Request::PeerPut { key, doc }) => {
+            // Fleet warming: store the rendered document under its key
+            // so a later rebalance finds the bytes already local.
+            shared.cache.put(key, doc.as_bytes());
+            Counters::bump(&shared.counters.peer_warms);
+            write_reply_line(stream, &protocol::peer_put_reply());
+            false
+        }
         Err(message) => {
-            write_reply(stream, &protocol::error_reply("bad-request", &message));
+            write_reply_line(stream, &protocol::error_reply("bad-request", &message));
             false
         }
     }
@@ -426,29 +515,9 @@ fn cached_response(shared: &Shared, key: u64) -> Option<String> {
     Some(line)
 }
 
-/// Reads one request line, bounded by [`protocol::MAX_LINE_BYTES`].
-fn read_request_line(stream: &TcpStream) -> Result<String, String> {
-    let stream = stream
-        .try_clone()
-        .map_err(|e| format!("connection error: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| format!("connection error: {e}"))?;
-    let mut reader = BufReader::new(stream).take(protocol::MAX_LINE_BYTES);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("unreadable request: {e}"))?;
-    if line.len() as u64 >= protocol::MAX_LINE_BYTES && !line.ends_with('\n') {
-        return Err(format!(
-            "request line exceeds {} bytes",
-            protocol::MAX_LINE_BYTES
-        ));
-    }
-    Ok(line)
-}
-
-fn write_reply(mut stream: TcpStream, line: &str) {
+/// Writes one reply line and flushes; failures are the client's loss.
+/// Public because the fleet router replies over the same discipline.
+pub fn write_reply_line(mut stream: TcpStream, line: &str) {
     // The client may already be gone; a failed reply write is its loss.
     let _ = stream
         .write_all(line.as_bytes())

@@ -193,6 +193,36 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
     values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
 }
 
+/// Nearest-rank percentile of an unsorted sample (`p` in `[0, 100]`).
+///
+/// Sorts a copy of `values` and returns the smallest observation with at
+/// least `p` percent of the sample at or below it — the convention used
+/// by the serving-latency reports, where p50/p99 must be actual observed
+/// latencies rather than interpolated values. Returns `NaN` for an empty
+/// sample.
+///
+/// ```
+/// use sampsim_util::stats::percentile;
+/// let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), 3.0);
+/// assert_eq!(percentile(&xs, 100.0), 5.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]` or any value is `NaN`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile over NaN"));
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 /// Ratio `a / b` guarding against a zero denominator (returns `0.0`).
 pub fn safe_ratio(a: f64, b: f64) -> f64 {
     if b == 0.0 {
@@ -269,6 +299,26 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn weighted_mean_length_mismatch() {
         weighted_mean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        // Unsorted input, tiny sample: every answer is an observed value.
+        assert_eq!(percentile(&[9.0], 50.0), 9.0);
+        assert_eq!(percentile(&[7.0, 3.0], 50.0), 3.0);
+        assert_eq!(percentile(&[7.0, 3.0], 99.0), 7.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 101.0);
     }
 
     #[test]
